@@ -1,0 +1,213 @@
+package dfg_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+//
+//   - common sub-expression elimination (the parser's "limited CSE"),
+//   - reference-count-driven buffer frees in the staged strategy,
+//   - the streaming tile count (future-work strategy),
+//   - one device vs. the node's two GPUs (future-work strategy).
+//
+// Each reports the modeled device time and/or peak device memory so the
+// effect of the design choice is visible next to the wall time.
+
+import (
+	"fmt"
+	"testing"
+
+	"dfg/internal/codegen"
+	"dfg/internal/expr"
+	"dfg/internal/ocl"
+	"dfg/internal/strategy"
+	"dfg/internal/vortex"
+)
+
+// BenchmarkAblation_CSE compares the staged execution of Q-criterion
+// with and without common sub-expression elimination. Without CSE every
+// du[1]-style component is decomposed at every use, adding kernel
+// dispatches and device traffic.
+func BenchmarkAblation_CSE(b *testing.B) {
+	m, f := benchGrid(b)
+	bind := benchBindings(b, m, f)
+	for _, cse := range []bool{true, false} {
+		name := "with-cse"
+		if !cse {
+			name = "without-cse"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := expr.Parse(vortex.QCritExpr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net, err := expr.BuildNetwork(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cse {
+				net.EliminateCommonSubexpressions()
+			}
+			s, _ := strategy.ForName("staged")
+			var kernels, devNs float64
+			for i := 0; i < b.N; i++ {
+				env := ocl.NewEnv(ocl.NewDevice(ocl.XeonX5660Spec(64)))
+				res, err := s.Execute(env, net, bind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				kernels = float64(res.Profile.Kernels)
+				devNs = float64(res.Profile.DeviceTime().Nanoseconds())
+			}
+			b.ReportMetric(kernels, "kernels/op")
+			b.ReportMetric(devNs, "modeled-ns/op")
+		})
+	}
+}
+
+// BenchmarkAblation_Refcounting compares staged Q-criterion with eager
+// reference-count-driven frees against hoarding every intermediate.
+func BenchmarkAblation_Refcounting(b *testing.B) {
+	m, f := benchGrid(b)
+	bind := benchBindings(b, m, f)
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, keep := range []bool{false, true} {
+		name := "eager-free"
+		if keep {
+			name = "keep-intermediates"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := strategy.Staged{KeepIntermediates: keep}
+			var peak float64
+			for i := 0; i < b.N; i++ {
+				env := ocl.NewEnv(ocl.NewDevice(ocl.XeonX5660Spec(64)))
+				res, err := s.Execute(env, net, bind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = float64(res.PeakBytes)
+			}
+			b.ReportMetric(peak, "peak-device-B")
+		})
+	}
+}
+
+// BenchmarkAblation_StreamingTiles sweeps the streaming strategy's tile
+// count on Q-criterion: more tiles shrink peak memory but add kernel
+// launches and halo re-uploads.
+func BenchmarkAblation_StreamingTiles(b *testing.B) {
+	m, f := benchGrid(b)
+	bind := benchBindings(b, m, f)
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tiles := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("tiles-%d", tiles), func(b *testing.B) {
+			s := strategy.Streaming{Tiles: tiles}
+			var peak, devNs float64
+			for i := 0; i < b.N; i++ {
+				env := ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64)))
+				res, err := s.Execute(env, net, bind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				peak = float64(res.PeakBytes)
+				devNs = float64(res.Profile.DeviceTime().Nanoseconds())
+			}
+			b.ReportMetric(peak, "peak-device-B")
+			b.ReportMetric(devNs, "modeled-ns/op")
+		})
+	}
+}
+
+// BenchmarkAblation_MultiDevice compares Q-criterion fusion on one GPU
+// against splitting the grid across the node's two GPUs.
+func BenchmarkAblation_MultiDevice(b *testing.B) {
+	m, f := benchGrid(b)
+	bind := benchBindings(b, m, f)
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("one-gpu", func(b *testing.B) {
+		s, _ := strategy.ForName("fusion")
+		var devNs float64
+		for i := 0; i < b.N; i++ {
+			env := ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64)))
+			res, err := s.Execute(env, net, bind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			devNs = float64(res.Profile.DeviceTime().Nanoseconds())
+		}
+		b.ReportMetric(devNs, "modeled-ns/op")
+	})
+	b.Run("two-gpus", func(b *testing.B) {
+		var devNs float64
+		for i := 0; i < b.N; i++ {
+			envs := []*ocl.Env{
+				ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64))),
+				ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64))),
+			}
+			res, err := strategy.ExecuteMultiDevice(envs, net, bind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Devices run concurrently: the modeled makespan is the
+			// slower device's timeline, not the sum.
+			var makespan float64
+			for _, env := range envs {
+				if d := float64(env.Queue().Now().Nanoseconds()); d > makespan {
+					makespan = d
+				}
+			}
+			devNs = makespan
+			_ = res
+		}
+		b.ReportMetric(devNs, "modeled-ns/op")
+	})
+}
+
+// BenchmarkAblation_ExecutorMode compares the blocked (NumExpr-style)
+// fused-plan executor against the per-element interpreter on the
+// Q-criterion kernel. Results are bitwise identical; only host wall
+// time differs.
+func BenchmarkAblation_ExecutorMode(b *testing.B) {
+	m, f := benchGrid(b)
+	bind := benchBindings(b, m, f)
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []codegen.Mode{codegen.ModeBlocked, codegen.ModeElementwise} {
+		b.Run(mode.String(), func(b *testing.B) {
+			prog, err := codegen.FuseWithMode(net, "qcrit", mode)
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := ocl.NewEnv(ocl.NewDevice(ocl.XeonX5660Spec(64)))
+			bufs := make([]*ocl.Buffer, len(prog.Args))
+			for i, a := range prog.Args {
+				switch a.Kind {
+				case codegen.ArgSource:
+					src := bind.Sources[a.Name]
+					buf, err := env.Upload(a.Name, src.Data, src.Width)
+					if err != nil {
+						b.Fatal(err)
+					}
+					bufs[i] = buf
+				default:
+					bufs[i] = env.Context().MustBuffer(a.Name, bind.N, a.Width)
+				}
+			}
+			b.SetBytes(int64(bind.N) * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := env.Run(prog.Kernel, bind.N, bufs, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command dfg-fuse inspects what the framework's front end and fusion
+// code generator produce for an expression:
+//
+//	dfg-fuse -preset qcrit            # generated fused OpenCL C source
+//	dfg-fuse -preset vortmag -dot     # dataflow network in Graphviz DOT
+//	dfg-fuse -expr 'a = u*u' -script  # network-definition API script
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dfg"
+	"dfg/internal/expr"
+)
+
+func main() {
+	var (
+		exprText = flag.String("expr", "", "expression program text (overrides -preset)")
+		preset   = flag.String("preset", "qcrit", "expression preset: velmag, vortmag or qcrit")
+		dot      = flag.Bool("dot", false, "print the dataflow network as Graphviz DOT instead of source")
+		script   = flag.Bool("script", false, "print the network-definition API script instead of source")
+		grammar  = flag.Bool("grammar", false, "print the expression grammar's LALR(1) state report (PLY's parser.out)")
+	)
+	flag.Parse()
+
+	if *grammar {
+		rep, err := expr.GrammarReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dfg-fuse:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		return
+	}
+
+	text := *exprText
+	if text == "" {
+		switch *preset {
+		case "velmag":
+			text = dfg.VelocityMagnitudeExpr
+		case "vortmag":
+			text = dfg.VorticityMagnitudeExpr
+		case "qcrit":
+			text = dfg.QCriterionExpr
+		default:
+			fmt.Fprintf(os.Stderr, "dfg-fuse: unknown preset %q\n", *preset)
+			os.Exit(1)
+		}
+	}
+
+	var (
+		out string
+		err error
+	)
+	switch {
+	case *dot:
+		out, err = dfg.NetworkDot(text)
+	case *script:
+		out, err = dfg.NetworkScript(text)
+	default:
+		var eng *dfg.Engine
+		eng, err = dfg.New(dfg.Config{})
+		if err == nil {
+			out, err = eng.FusedSource(text)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfg-fuse:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

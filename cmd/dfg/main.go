@@ -1,0 +1,233 @@
+// Command dfg evaluates a derived-field expression on synthetic
+// Rayleigh–Taylor data from the command line.
+//
+// Usage:
+//
+//	dfg -preset qcrit -dims 48x48x64 -device gpu -strategy fusion
+//	dfg -expr 'v2 = u*u + v*v' -dims 32x32x32 -stats
+//
+// It prints the device-event profile (the paper's Table II categories),
+// the device-memory high-water mark, and summary statistics of the
+// derived field.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"dfg"
+	"dfg/internal/bovio"
+	"dfg/internal/metrics"
+	"dfg/internal/ocl"
+	"dfg/internal/vtkio"
+)
+
+func main() {
+	var (
+		exprText = flag.String("expr", "", "expression program text (overrides -preset)")
+		preset   = flag.String("preset", "velmag", "expression preset: velmag, vortmag or qcrit")
+		dims     = flag.String("dims", "48x48x64", "grid dimensions NXxNYxNZ")
+		device   = flag.String("device", "cpu", "target device: cpu or gpu")
+		strat    = flag.String("strategy", "fusion", "execution strategy: roundtrip, staged or fusion")
+		seed     = flag.Int64("seed", 42, "synthetic data seed")
+		memScale = flag.Int64("mem-scale", 64, "divide simulated device memory by this factor")
+		stats    = flag.Bool("stats", true, "print derived-field statistics")
+		vtkOut   = flag.String("vtk", "", "write the mesh and derived field to this VTK legacy file")
+		traceOut = flag.String("trace", "", "write the run's device events as Chrome-trace JSON to this file")
+		listDevs = flag.Bool("list-devices", false, "list the simulated node's OpenCL platforms and devices (clinfo style) and exit")
+		bovIn    = flag.String("bov", "", "load real data: directory containing u.bov, v.bov, w.bov (overrides -dims/-seed)")
+		bovOut   = flag.String("bov-out", "", "write the derived field as a BOV data set to this .bov path")
+	)
+	flag.Parse()
+
+	if *listDevs {
+		listDevices(*memScale)
+		return
+	}
+
+	if err := run(*exprText, *preset, *dims, *device, *strat, *seed, *memScale, *stats, *vtkOut, *traceOut, *bovIn, *bovOut); err != nil {
+		fmt.Fprintln(os.Stderr, "dfg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exprText, preset, dims, device, strat string, seed, memScale int64, stats bool, vtkOut, traceOut, bovIn, bovOut string) error {
+	text := exprText
+	if text == "" {
+		switch preset {
+		case "velmag":
+			text = dfg.VelocityMagnitudeExpr
+		case "vortmag":
+			text = dfg.VorticityMagnitudeExpr
+		case "qcrit":
+			text = dfg.QCriterionExpr
+		default:
+			return fmt.Errorf("unknown preset %q", preset)
+		}
+	}
+
+	var d dfg.Dims
+	if bovIn == "" {
+		if _, err := fmt.Sscanf(dims, "%dx%dx%d", &d.NX, &d.NY, &d.NZ); err != nil {
+			return fmt.Errorf("bad -dims %q (want NXxNYxNZ)", dims)
+		}
+	}
+	dev := dfg.CPU
+	if device == "gpu" {
+		dev = dfg.GPU
+	} else if device != "cpu" {
+		return fmt.Errorf("bad -device %q", device)
+	}
+
+	var (
+		m     *dfg.Mesh
+		field *dfg.Field
+		err   error
+	)
+	if bovIn != "" {
+		m, field, err = loadBOVField(bovIn)
+		if err != nil {
+			return err
+		}
+		d = m.Dims
+	} else {
+		m, err = dfg.NewUniformMesh(d, 1.0/float32(d.NX), 1.0/float32(d.NY), 1.0/float32(d.NZ))
+		if err != nil {
+			return err
+		}
+		field = dfg.GenerateRT(m, seed)
+	}
+
+	eng, err := dfg.New(dfg.Config{Device: dev, Strategy: strat, MemScale: memScale})
+	if err != nil {
+		return err
+	}
+	res, err := eng.EvalOnMesh(text, m, dfg.FieldInputs(field))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("device:    %s\n", eng.Device())
+	fmt.Printf("strategy:  %s\n", eng.Strategy())
+	fmt.Printf("grid:      %v (%d cells)\n", d, d.Cells())
+	fmt.Printf("profile:   %s\n", res.Profile)
+	fmt.Printf("peak mem:  %d bytes of device global memory\n", res.PeakDeviceBytes)
+
+	if stats {
+		min, max := math.Inf(1), math.Inf(-1)
+		var sum float64
+		for _, v := range res.Data {
+			f := float64(v)
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+			sum += f
+		}
+		fmt.Printf("result:    %d values, min %.6g, max %.6g, mean %.6g\n",
+			len(res.Data), min, max, sum/float64(len(res.Data)))
+	}
+
+	if vtkOut != "" {
+		if res.Width != 1 {
+			return fmt.Errorf("-vtk supports scalar results, got width %d", res.Width)
+		}
+		out, err := os.Create(vtkOut)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		g := vtkio.Grid{Mesh: m, Fields: map[string][]float32{"derived": res.Data}}
+		if err := vtkio.Write(out, "dfg derived field", g); err != nil {
+			return err
+		}
+		fmt.Printf("vtk:       wrote %s (load it in VisIt or ParaView)\n", vtkOut)
+	}
+
+	if bovOut != "" {
+		if res.Width != 1 {
+			return fmt.Errorf("-bov-out supports scalar results, got width %d", res.Width)
+		}
+		h := bovio.Header{
+			Size:      d,
+			Variable:  "derived",
+			Origin:    [3]float32{m.X[0], m.Y[0], m.Z[0]},
+			BrickSize: [3]float32{m.X[d.NX] - m.X[0], m.Y[d.NY] - m.Y[0], m.Z[d.NZ] - m.Z[0]},
+		}
+		if err := bovio.Write(bovOut, h, res.Data); err != nil {
+			return err
+		}
+		fmt.Printf("bov:       wrote %s\n", bovOut)
+	}
+
+	if traceOut != "" {
+		out, err := os.Create(traceOut)
+		return writeTraceFile(out, err, eng.Device(), res.Events)
+	}
+	return nil
+}
+
+// loadBOVField reads u.bov, v.bov and w.bov from a directory and builds
+// the mesh from the first header (all three must describe one brick).
+func loadBOVField(dir string) (*dfg.Mesh, *dfg.Field, error) {
+	var (
+		m    *dfg.Mesh
+		data [3][]float32
+	)
+	for i, name := range []string{"u", "v", "w"} {
+		h, vals, err := bovio.Read(filepath.Join(dir, name+".bov"))
+		if err != nil {
+			return nil, nil, err
+		}
+		bm, err := h.Mesh()
+		if err != nil {
+			return nil, nil, err
+		}
+		if m == nil {
+			m = bm
+		} else if bm.Dims != m.Dims {
+			return nil, nil, fmt.Errorf("dfg: %s.bov brick %v does not match %v", name, bm.Dims, m.Dims)
+		}
+		data[i] = vals
+	}
+	return m, &dfg.Field{Mesh: m, U: data[0], V: data[1], W: data[2]}, nil
+}
+
+// writeTraceFile finishes the -trace flag's work.
+func writeTraceFile(out *os.File, err error, device string, events []dfg.Event) error {
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	if err := metrics.WriteTrace(out, device, events); err != nil {
+		return err
+	}
+	fmt.Printf("trace:     wrote %s (open in chrome://tracing or Perfetto)\n", out.Name())
+	return nil
+}
+
+// listDevices prints the simulated Edge node's platforms and devices in
+// the familiar clinfo layout.
+func listDevices(memScale int64) {
+	for _, p := range ocl.EdgeNodePlatforms(memScale) {
+		fmt.Printf("Platform Name     %s\n", p.Name)
+		fmt.Printf("Platform Vendor   %s\n", p.Vendor)
+		fmt.Printf("Platform Version  %s\n", p.Version)
+		for i, d := range p.Devices {
+			s := d.Spec()
+			fmt.Printf("  Device #%d\n", i)
+			fmt.Printf("    Name             %s\n", s.Name)
+			fmt.Printf("    Type             %s\n", s.Type)
+			fmt.Printf("    Compute Units    %d\n", s.ComputeUnits)
+			fmt.Printf("    Clock            %d MHz\n", s.ClockMHz)
+			fmt.Printf("    Global Memory    %d MiB\n", s.GlobalMemSize>>20)
+			fmt.Printf("    Max Allocation   %d MiB\n", s.MaxAllocSize>>20)
+		}
+		fmt.Println()
+	}
+}

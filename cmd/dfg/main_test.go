@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dfg"
+	"dfg/internal/bovio"
+	"dfg/internal/mesh"
+)
+
+func TestRunPresets(t *testing.T) {
+	for _, preset := range []string{"velmag", "vortmag", "qcrit"} {
+		if err := run("", preset, "8x8x8", "cpu", "fusion", 1, 64, false, "", "", "", ""); err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+	}
+}
+
+func TestRunCustomExpression(t *testing.T) {
+	if err := run("a = u*u + 1", "", "4x4x4", "gpu", "staged", 1, 64, true, "", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	vtk := filepath.Join(dir, "out.vtk")
+	trace := filepath.Join(dir, "trace.json")
+	if err := run("", "qcrit", "8x8x8", "cpu", "fusion", 1, 64, false, vtk, trace, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	vb, err := os.ReadFile(vtk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(vb), "# vtk DataFile") {
+		t.Fatal("vtk artifact malformed")
+	}
+	tb, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(tb), "[{") {
+		t.Fatal("trace artifact malformed")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		expr, preset, dims, device, strat string
+	}{
+		{"", "nope", "8x8x8", "cpu", "fusion"},   // bad preset
+		{"", "velmag", "8x8", "cpu", "fusion"},   // bad dims
+		{"", "velmag", "8x8x8", "tpu", "fusion"}, // bad device
+		{"", "velmag", "8x8x8", "cpu", "warp"},   // bad strategy
+		{"a = $", "", "8x8x8", "cpu", "fusion"},  // bad expression
+		{"", "velmag", "0x8x8", "cpu", "fusion"}, // zero dim
+	}
+	for i, c := range cases {
+		if err := run(c.expr, c.preset, c.dims, c.device, c.strat, 1, 64, false, "", "", "", ""); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestRunWithBOVData(t *testing.T) {
+	dir := t.TempDir()
+	// Write a tiny BOV triplet, evaluate Q-criterion on it, and write
+	// the derived field back out as BOV.
+	d := mesh.Dims{NX: 6, NY: 6, NZ: 6}
+	m, _ := dfg.NewUniformMesh(d, 1.0/6, 1.0/6, 1.0/6)
+	f := dfg.GenerateRT(m, 3)
+	for name, data := range map[string][]float32{"u": f.U, "v": f.V, "w": f.W} {
+		h := bovio.Header{Size: d, Variable: name, BrickSize: [3]float32{1, 1, 1}}
+		if err := bovio.Write(filepath.Join(dir, name+".bov"), h, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "q.bov")
+	if err := run("", "qcrit", "ignored-when-bov", "cpu", "fusion", 1, 64, false, "", "", dir, out); err != nil {
+		t.Fatal(err)
+	}
+	h, data, err := bovio.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size != d || len(data) != d.Cells() {
+		t.Fatalf("derived BOV wrong shape: %+v", h)
+	}
+	// Must match evaluating the same data directly.
+	eng, _ := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "fusion", MemScale: 64})
+	want, err := eng.EvalOnMesh(dfg.QCriterionExpr, m, dfg.FieldInputs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if data[i] != want.Data[i] {
+			t.Fatalf("BOV-path result differs at %d", i)
+		}
+	}
+	// Mismatched bricks fail.
+	bad := bovio.Header{Size: mesh.Dims{NX: 2, NY: 2, NZ: 2}, BrickSize: [3]float32{1, 1, 1}}
+	bovio.Write(filepath.Join(dir, "w.bov"), bad, make([]float32, 8))
+	if err := run("", "qcrit", "x", "cpu", "fusion", 1, 64, false, "", "", dir, ""); err == nil {
+		t.Fatal("mismatched bricks must fail")
+	}
+}

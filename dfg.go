@@ -1,0 +1,308 @@
+// Package dfg is a dynamic derived field generation framework for
+// many-core architectures — a Go reproduction of the system described in
+// "Efficient Dynamic Derived Field Generation on Many-Core Architectures
+// Using Python" (Harrison, Navrátil, Moussalem, Jiang, Childs — SC 2012).
+//
+// Derived field generation creates new fields from the fields already in
+// simulation data ("v_mag = sqrt(u*u + v*v + w*w)"). The framework has
+// three parts, mirroring the paper's architecture:
+//
+//   - an expression parser (LALR(1), like the original's PLY parser)
+//     that turns user expression text into a dataflow network
+//     specification, pooling constants and eliminating common
+//     sub-expressions;
+//   - a dataflow network executed on an OpenCL-style device by one of
+//     three execution strategies — roundtrip, staged, or fusion (a
+//     dynamic kernel generator that fuses the whole network into a
+//     single generated kernel); and
+//   - this host interface, through which a host application hands in
+//     expression text plus named input arrays and receives the derived
+//     field, with per-run device profiling (transfer/kernel counts and
+//     times) and the device-memory high-water mark.
+//
+// The device substrate is a simulated OpenCL runtime (see internal/ocl):
+// kernels really execute data-parallel on the host, while transfers,
+// kernel launches and memory capacity follow a calibrated model of the
+// paper's Intel Xeon X5660 CPU and NVIDIA Tesla M2050 GPU devices.
+//
+// Quick start:
+//
+//	eng, _ := dfg.New(dfg.Config{Device: dfg.GPU, Strategy: "fusion"})
+//	res, err := eng.Eval("v_mag = sqrt(u*u + v*v + w*w)",
+//	    len(u), map[string][]float32{"u": u, "v": v, "w": w})
+//	// res.Data holds the derived field; res.Profile the device events.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/expr"
+	"dfg/internal/mesh"
+	"dfg/internal/ocl"
+	"dfg/internal/strategy"
+)
+
+// Re-exported mesh types: the public API speaks the same rectilinear
+// mesh language as the internals.
+type (
+	// Mesh is a 3-D rectilinear mesh with cell-centered fields.
+	Mesh = mesh.Mesh
+	// Dims is a mesh's cell extent.
+	Dims = mesh.Dims
+	// Profile aggregates a run's device events: transfer and kernel
+	// counts (the paper's Table II), bytes, and modeled device times.
+	Profile = ocl.Profile
+	// Event is one profiled device operation.
+	Event = ocl.Event
+)
+
+// NewUniformMesh builds a mesh with uniform spacing (see mesh.NewUniform).
+func NewUniformMesh(d Dims, dx, dy, dz float32) (*Mesh, error) {
+	return mesh.NewUniform(d, dx, dy, dz)
+}
+
+// NewRectilinearMesh builds a mesh from explicit, strictly increasing
+// per-axis point coordinate arrays.
+func NewRectilinearMesh(x, y, z []float32) (*Mesh, error) {
+	return mesh.NewRectilinear(x, y, z)
+}
+
+// DeviceKind selects a target architecture on the simulated Edge node.
+type DeviceKind int
+
+const (
+	// CPU targets the Intel Xeon X5660 OpenCL CPU device.
+	CPU DeviceKind = iota
+	// GPU targets an NVIDIA Tesla M2050 (3 GB global memory).
+	GPU
+)
+
+// String names the device kind.
+func (k DeviceKind) String() string {
+	if k == GPU {
+		return "GPU"
+	}
+	return "CPU"
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Device picks the target architecture. Default CPU.
+	Device DeviceKind
+	// Strategy is one of "roundtrip", "staged" or "fusion".
+	// Default "fusion" (the paper's fastest strategy).
+	Strategy string
+	// MemScale divides the simulated device's memory capacity, for
+	// running the paper's memory-constraint experiments at laptop
+	// scale (grids scaled by s in each dimension pair with MemScale =
+	// s^3). Default 1: the real 96 GB / 3 GB capacities.
+	MemScale int64
+}
+
+// Engine is the host interface: it owns one device environment and one
+// execution strategy, and evaluates expression programs against host
+// arrays. An Engine is not safe for concurrent use; create one per
+// goroutine (as the paper runs one framework instance per MPI task).
+type Engine struct {
+	cfg   Config
+	env   *ocl.Env
+	strat strategy.Strategy
+
+	// defs is the engine's named-expression database (the expression
+	// list a visualization tool maintains); see Define.
+	defs map[string]string
+	// cache maps expression text to its compiled network.
+	cache map[string]*dataflow.Network
+}
+
+// New builds an engine on a fresh simulated device.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Strategy == "" {
+		cfg.Strategy = "fusion"
+	}
+	strat, err := strategy.ForName(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MemScale < 1 {
+		cfg.MemScale = 1
+	}
+	var spec ocl.DeviceSpec
+	switch cfg.Device {
+	case CPU:
+		spec = ocl.XeonX5660Spec(cfg.MemScale)
+	case GPU:
+		spec = ocl.TeslaM2050Spec(cfg.MemScale)
+	default:
+		return nil, fmt.Errorf("dfg: unknown device kind %d", cfg.Device)
+	}
+	return &Engine{
+		cfg:   cfg,
+		env:   ocl.NewEnv(ocl.NewDevice(spec)),
+		strat: strat,
+		cache: make(map[string]*dataflow.Network),
+	}, nil
+}
+
+// NewOn builds an engine on an existing device (used by the distributed
+// runner, where two engines share a node but each owns one GPU).
+func NewOn(dev *ocl.Device, strategyName string) (*Engine, error) {
+	if strategyName == "" {
+		strategyName = "fusion"
+	}
+	strat, err := strategy.ForName(strategyName)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:   Config{Strategy: strategyName},
+		env:   ocl.NewEnv(dev),
+		strat: strat,
+		cache: make(map[string]*dataflow.Network),
+	}, nil
+}
+
+// Device describes the engine's target device, e.g. "NVIDIA Tesla M2050".
+func (e *Engine) Device() string { return e.env.Device().Name() }
+
+// Strategy returns the engine's execution strategy name.
+func (e *Engine) Strategy() string { return e.strat.Name() }
+
+// Result is a derived field along with the run's device profile.
+type Result struct {
+	// Data is the derived field, Width float32 components per element.
+	Data  []float32
+	Width int
+	// Profile aggregates the run's device events.
+	Profile Profile
+	// PeakDeviceBytes is the device global-memory high-water mark.
+	PeakDeviceBytes int64
+	// Events is the raw device event log in enqueue order.
+	Events []Event
+}
+
+// Define registers a named expression in the engine's expression
+// database, like the expression lists visualization tools maintain.
+// Subsequent Eval calls may reference the name; it expands inline with
+// its own local namespace. Definitions may reference other definitions
+// (cycles are rejected at Eval time). Redefinition replaces the previous
+// text; the compile cache is invalidated either way.
+func (e *Engine) Define(name, text string) error {
+	if name == "" {
+		return fmt.Errorf("dfg: definition needs a name")
+	}
+	if _, err := expr.Parse(text); err != nil {
+		return fmt.Errorf("dfg: definition %q: %w", name, err)
+	}
+	if e.defs == nil {
+		e.defs = make(map[string]string)
+	}
+	e.defs[name] = text
+	e.cache = make(map[string]*dataflow.Network)
+	return nil
+}
+
+// Definitions lists the names in the engine's expression database.
+func (e *Engine) Definitions() []string {
+	out := make([]string, 0, len(e.defs))
+	for name := range e.defs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compile parses expression text to an optimized network, caching by
+// text (pipelines re-execute the same expression every time step).
+func (e *Engine) compile(text string) (*dataflow.Network, error) {
+	if net, ok := e.cache[text]; ok {
+		return net, nil
+	}
+	net, err := expr.CompileWithDefinitions(text, e.defs)
+	if err != nil {
+		return nil, err
+	}
+	e.cache[text] = net
+	return net, nil
+}
+
+// Eval evaluates an expression program over n elements with the given
+// named input arrays. The last statement's value is returned.
+func (e *Engine) Eval(text string, n int, inputs map[string][]float32) (*Result, error) {
+	net, err := e.compile(text)
+	if err != nil {
+		return nil, err
+	}
+	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs))}
+	for name, data := range inputs {
+		bind.Sources[name] = strategy.Source{Data: data, Width: 1}
+	}
+	return e.run(net, bind)
+}
+
+// EvalOnMesh evaluates an expression over cell-centered fields on a
+// mesh, automatically binding the mesh-derived sources the gradient
+// primitive needs: dims and the per-cell coordinate arrays x, y, z.
+func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (*Result, error) {
+	net, err := e.compile(text)
+	if err != nil {
+		return nil, err
+	}
+	bind, err := strategy.BindMesh(m, fields)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(net, bind)
+}
+
+// run executes a compiled network.
+func (e *Engine) run(net *dataflow.Network, bind strategy.Bindings) (*Result, error) {
+	res, err := e.strat.Execute(e.env, net, bind)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Data:            res.Data,
+		Width:           res.Width,
+		Profile:         res.Profile,
+		PeakDeviceBytes: res.PeakBytes,
+		Events:          res.Events,
+	}, nil
+}
+
+// FusedSource returns the OpenCL C source the fusion strategy's dynamic
+// kernel generator emits for an expression — an inspection hook, also
+// exposed by cmd/dfg-fuse.
+func (e *Engine) FusedSource(text string) (string, error) {
+	net, err := e.compile(text)
+	if err != nil {
+		return "", err
+	}
+	return strategy.GeneratedSource(net, "expr")
+}
+
+// NetworkScript parses an expression and renders the dataflow
+// network-definition API calls that realize it (the paper's optional
+// user-inspectable script).
+func NetworkScript(text string) (string, error) {
+	net, err := expr.Compile(text)
+	if err != nil {
+		return "", err
+	}
+	return net.Script(), nil
+}
+
+// NetworkDot parses an expression and renders its dataflow network in
+// Graphviz DOT form (the layout behind the paper's Figure 4).
+func NetworkDot(text string) (string, error) {
+	net, err := expr.Compile(text)
+	if err != nil {
+		return "", err
+	}
+	return net.Dot(), nil
+}
+
+// Strategies lists the built-in execution strategy names.
+func Strategies() []string { return strategy.Names() }

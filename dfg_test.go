@@ -1,0 +1,243 @@
+package dfg
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"dfg/internal/ocl"
+	"dfg/internal/vortex"
+)
+
+func TestQuickstartEval(t *testing.T) {
+	eng, err := New(Config{Device: CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []float32{3, 1, 0}
+	v := []float32{4, 2, 0}
+	w := []float32{0, 2, 5}
+	res, err := eng.Eval(VelocityMagnitudeExpr, 3, map[string][]float32{"u": u, "v": v, "w": w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{5, 3, 5} {
+		if math.Abs(float64(res.Data[i])-want) > 1e-6 {
+			t.Fatalf("v_mag[%d] = %v want %v", i, res.Data[i], want)
+		}
+	}
+	if res.Profile.Kernels != 1 {
+		t.Fatalf("fusion should dispatch 1 kernel, got %d", res.Profile.Kernels)
+	}
+}
+
+func TestEvalOnMeshAllExpressionsAllStrategiesBothDevices(t *testing.T) {
+	m, err := NewUniformMesh(Dims{NX: 12, NY: 10, NZ: 8}, 0.1, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := GenerateRT(m, 11)
+	golden := map[string][]float32{
+		VelocityMagnitudeExpr:  vortex.VelocityMagnitude(f.U, f.V, f.W),
+		VorticityMagnitudeExpr: vortex.VorticityMagnitude(f.U, f.V, f.W, m),
+		QCriterionExpr:         vortex.QCriterion(f.U, f.V, f.W, m),
+	}
+	tol := map[string]float64{
+		VelocityMagnitudeExpr:  1e-5,
+		VorticityMagnitudeExpr: 1e-2,
+		QCriterionExpr:         0.5, // Q is O(100) on this mesh; float32 chains
+	}
+	for _, dev := range []DeviceKind{CPU, GPU} {
+		for _, strat := range Strategies() {
+			eng, err := New(Config{Device: dev, Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for text, want := range golden {
+				res, err := eng.EvalOnMesh(text, m, FieldInputs(f))
+				if err != nil {
+					t.Fatalf("%v/%s: %v", dev, strat, err)
+				}
+				for i := range want {
+					if d := math.Abs(float64(res.Data[i] - want[i])); d > tol[text] {
+						t.Fatalf("%v/%s: cell %d: %v vs %v", dev, strat, i, res.Data[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEngineCachesCompiledNetworks(t *testing.T) {
+	eng, _ := New(Config{})
+	if _, err := eng.compile(VelocityMagnitudeExpr); err != nil {
+		t.Fatal(err)
+	}
+	n1 := eng.cache[VelocityMagnitudeExpr]
+	if _, err := eng.compile(VelocityMagnitudeExpr); err != nil {
+		t.Fatal(err)
+	}
+	if eng.cache[VelocityMagnitudeExpr] != n1 {
+		t.Fatal("repeat compile must hit the cache")
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := New(Config{Strategy: "warp"}); err == nil {
+		t.Error("bad strategy must fail")
+	}
+	if _, err := New(Config{Device: DeviceKind(9)}); err == nil {
+		t.Error("bad device must fail")
+	}
+	eng, _ := New(Config{})
+	if _, err := eng.Eval("a = $", 4, nil); err == nil {
+		t.Error("bad expression must fail")
+	}
+	if _, err := eng.Eval("a = u + v", 4, map[string][]float32{"u": make([]float32, 4)}); err == nil {
+		t.Error("missing input must fail")
+	}
+}
+
+func TestGPUMemoryFailureSurfaces(t *testing.T) {
+	// A GPU scaled to 1/4096 of the M2050's memory cannot hold the
+	// staged intermediates of Q-criterion on a big-enough grid.
+	m, _ := NewUniformMesh(Dims{NX: 32, NY: 32, NZ: 32}, 1, 1, 1)
+	f := GenerateRT(m, 1)
+	eng, _ := New(Config{Device: GPU, Strategy: "staged", MemScale: 4096})
+	_, err := eng.EvalOnMesh(QCriterionExpr, m, FieldInputs(f))
+	if !errors.Is(err, ocl.ErrOutOfDeviceMemory) {
+		t.Fatalf("want ErrOutOfDeviceMemory, got %v", err)
+	}
+}
+
+func TestFusedSource(t *testing.T) {
+	eng, _ := New(Config{})
+	src, err := eng.FusedSource(QCriterionExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"__kernel void kfused_expr", "dfg_grad3d", "0.5f"} {
+		if !strings.Contains(src, frag) {
+			t.Errorf("fused Q-criterion source missing %q", frag)
+		}
+	}
+}
+
+func TestNetworkScriptAndDot(t *testing.T) {
+	s, err := NetworkScript(VelocityMagnitudeExpr)
+	if err != nil || !strings.Contains(s, "net.add_source(\"u\")") {
+		t.Fatalf("script: %v\n%s", err, s)
+	}
+	d, err := NetworkDot(VelocityMagnitudeExpr)
+	if err != nil || !strings.Contains(d, "digraph dataflow") {
+		t.Fatalf("dot: %v\n%s", err, d)
+	}
+	if _, err := NetworkScript("$"); err == nil {
+		t.Error("bad expression must fail")
+	}
+	if _, err := NetworkDot("$"); err == nil {
+		t.Error("bad expression must fail")
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Fatal("device kind names wrong")
+	}
+}
+
+func TestNewOnSharesDevice(t *testing.T) {
+	dev := ocl.NewDevice(ocl.TeslaM2050Spec(64))
+	e1, err := NewOn(dev, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Strategy() != "fusion" {
+		t.Fatalf("default strategy should be fusion, got %q", e1.Strategy())
+	}
+	if e1.Device() != "NVIDIA Tesla M2050" {
+		t.Fatalf("device name %q", e1.Device())
+	}
+	if _, err := NewOn(dev, "bogus"); err == nil {
+		t.Fatal("bad strategy must fail")
+	}
+}
+
+func TestEngineStreamingStrategy(t *testing.T) {
+	// The future-work streaming strategy is selectable through the
+	// public API and matches fusion bitwise.
+	m, _ := NewUniformMesh(Dims{NX: 16, NY: 16, NZ: 24}, 1.0/16, 1.0/16, 1.0/24)
+	f := GenerateRT(m, 8)
+
+	fu, _ := New(Config{Device: GPU, Strategy: "fusion", MemScale: 64})
+	st, err := New(Config{Device: GPU, Strategy: "streaming", MemScale: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fu.EvalOnMesh(QCriterionExpr, m, FieldInputs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.EvalOnMesh(QCriterionExpr, m, FieldInputs(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("streaming differs from fusion at %d", i)
+		}
+	}
+	if got.Profile.Kernels <= want.Profile.Kernels {
+		t.Fatal("streaming should dispatch one kernel per tile")
+	}
+	if got.PeakDeviceBytes >= want.PeakDeviceBytes {
+		t.Fatal("streaming should reduce peak device memory")
+	}
+}
+
+func TestEngineDefinitions(t *testing.T) {
+	eng, _ := New(Config{})
+	if err := eng.Define("speed", "sqrt(u*u + v*v + w*w)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Define("ke", "0.5 * rho * speed * speed"); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.Definitions()
+	if len(got) != 2 || got[0] != "ke" || got[1] != "speed" {
+		t.Fatalf("definitions: %v", got)
+	}
+
+	u := []float32{3, 0}
+	v := []float32{4, 0}
+	w := []float32{0, 2}
+	rho := []float32{2, 10}
+	res, err := eng.Eval("e = ke", 2, map[string][]float32{"u": u, "v": v, "w": w, "rho": rho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ke = 0.5 * rho * |v|^2: 0.5*2*25 = 25; 0.5*10*4 = 20.
+	if res.Data[0] != 25 || res.Data[1] != 20 {
+		t.Fatalf("kinetic energy wrong: %v", res.Data)
+	}
+
+	if err := eng.Define("", "u"); err == nil {
+		t.Error("empty definition name must fail")
+	}
+	if err := eng.Define("bad", "$"); err == nil {
+		t.Error("unparseable definition must fail")
+	}
+
+	// Redefinition invalidates the cache and changes results.
+	if err := eng.Define("ke", "rho * speed"); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng.Eval("e = ke", 2, map[string][]float32{"u": u, "v": v, "w": w, "rho": rho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Data[0] != 10 || res2.Data[1] != 20 {
+		t.Fatalf("redefinition not picked up: %v", res2.Data)
+	}
+}

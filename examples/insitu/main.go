@@ -1,0 +1,62 @@
+// In situ: embed the framework in a host application's pipeline, the
+// way the paper runs inside VisIt via a custom Python Expression. The
+// host owns the simulation data and the render loop; the framework
+// computes derived fields once per time step, and every subsequent
+// rendering operation reuses the resulting mesh.
+//
+//	go run ./examples/insitu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dfg"
+	"dfg/internal/host"
+	"dfg/internal/mesh"
+)
+
+func main() {
+	m := mesh.MustUniform(mesh.Dims{NX: 32, NY: 32, NZ: 48}, 1.0/32, 1.0/32, 1.0/48)
+	eng, err := dfg.New(dfg.Config{Device: dfg.GPU, Strategy: "fusion", MemScale: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The host application ("VisIt"): reads time steps, runs a pipeline
+	// containing our Python-Expression-style stage, renders.
+	app, err := host.NewApp(m, 100, eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.AddExpression(host.PythonExpression{Name: "q_crit", Text: dfg.QCriterionExpr}); err != nil {
+		log.Fatal(err)
+	}
+	if err := app.AddExpression(host.PythonExpression{Name: "v_mag", Text: dfg.VelocityMagnitudeExpr}); err != nil {
+		log.Fatal(err)
+	}
+
+	for step := 0; step < 3; step++ {
+		app.LoadTimeStep(step)
+		// The analyst orbits the camera: many renders, one pipeline
+		// execution per time step.
+		for _, view := range []string{"front", "side", "top", "zoom"} {
+			fields, err := app.Render(view)
+			if err != nil {
+				log.Fatal(err)
+			}
+			q := fields["q_crit"]
+			pos := 0
+			for _, v := range q.Data {
+				if v > 0 {
+					pos++
+				}
+			}
+			fmt.Printf("t=%d view=%-5s  q_crit ready (%d/%d vortical cells)  pipeline executions so far: %d\n",
+				step, view, pos, len(q.Data), app.PipelineExecutions())
+		}
+	}
+
+	fmt.Printf("\n%d renders, %d pipeline executions (one per time step — the paper's contract)\n",
+		app.Renders(), app.PipelineExecutions())
+}

@@ -1,0 +1,69 @@
+// Strategies: the paper's central trade-off, demonstrated. Runs the
+// same Q-criterion dataflow network under all three execution strategies
+// on both simulated devices, printing runtime, data movement and the
+// device-memory high-water mark — then provokes the paper's GPU failure
+// mode by shrinking device memory until only some strategies survive.
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"dfg"
+	"dfg/internal/ocl"
+)
+
+func main() {
+	d := dfg.Dims{NX: 48, NY: 48, NZ: 64}
+	m, err := dfg.NewUniformMesh(d, 1.0/48, 1.0/48, 1.0/64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := dfg.GenerateRT(m, 3)
+
+	fmt.Printf("Q-criterion on %v (%d cells)\n\n", d, d.Cells())
+	fmt.Printf("%-7s  %-9s  %12s  %7s  %7s  %7s  %12s\n",
+		"device", "strategy", "device time", "Dev-W", "Dev-R", "K-Exe", "peak memory")
+
+	for _, dev := range []dfg.DeviceKind{dfg.CPU, dfg.GPU} {
+		for _, strat := range dfg.Strategies() {
+			eng, err := dfg.New(dfg.Config{Device: dev, Strategy: strat, MemScale: 64})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := eng.EvalOnMesh(dfg.QCriterionExpr, m, dfg.FieldInputs(field))
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := res.Profile
+			fmt.Printf("%-7s  %-9s  %12v  %7d  %7d  %7d  %9.2f MiB\n",
+				dev, strat, p.DeviceTime().Round(1000), p.Writes, p.Reads, p.Kernels,
+				float64(res.PeakDeviceBytes)/(1<<20))
+		}
+	}
+
+	// The memory-constraint story: shrink the GPU until staged (the
+	// hungriest strategy) no longer fits. Roundtrip, which keeps
+	// intermediates in host memory, still runs — the paper's argument
+	// for supporting multiple strategies.
+	fmt.Println("\nshrinking GPU memory (scale 1/320 of the M2050's 3 GB -> ~9.6 MiB):")
+	for _, strat := range dfg.Strategies() {
+		eng, err := dfg.New(dfg.Config{Device: dfg.GPU, Strategy: strat, MemScale: 320})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, err = eng.EvalOnMesh(dfg.QCriterionExpr, m, dfg.FieldInputs(field))
+		var ae *ocl.AllocError
+		switch {
+		case err == nil:
+			fmt.Printf("  %-9s  ok\n", strat)
+		case errors.As(err, &ae):
+			fmt.Printf("  %-9s  FAILED: out of device global memory\n", strat)
+		default:
+			log.Fatal(err)
+		}
+	}
+}

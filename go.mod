@@ -1,0 +1,3 @@
+module dfg
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package bovio reads and writes BOV ("Brick of Values") data sets — the
+// minimal raw-brick format VisIt uses for exactly the kind of files the
+// paper's RT simulation data ships in: a small text header (.bov)
+// describing a binary brick of float32 values. Supporting BOV lets the
+// framework run on real user data instead of the synthetic generator.
+//
+// The supported subset is the common zonal float32 single-brick layout:
+//
+//	TIME: 0
+//	DATA_FILE: u.values
+//	DATA_SIZE: 192 192 256
+//	DATA_FORMAT: FLOAT
+//	VARIABLE: u
+//	DATA_ENDIAN: LITTLE
+//	CENTERING: zonal
+//	BRICK_ORIGIN: 0.0 0.0 0.0
+//	BRICK_SIZE: 1.0 1.0 1.333
+package bovio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"dfg/internal/mesh"
+)
+
+// Header is a BOV text header.
+type Header struct {
+	// DataFile is the binary brick's path, relative to the header file.
+	DataFile string
+	// Size is the brick's zone (cell) extent.
+	Size mesh.Dims
+	// Variable names the field.
+	Variable string
+	// Origin and BrickSize position the brick in physical space.
+	Origin    [3]float32
+	BrickSize [3]float32
+	// Time is the data set's time value.
+	Time float64
+}
+
+// ParseHeader reads a BOV header. Unknown keys are ignored (BOV headers
+// accumulate tool-specific keys); unsupported values of known keys fail.
+func ParseHeader(r io.Reader) (Header, error) {
+	h := Header{BrickSize: [3]float32{1, 1, 1}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, found := strings.Cut(line, ":")
+		if !found {
+			return h, fmt.Errorf("bovio: malformed header line %q", line)
+		}
+		key = strings.ToUpper(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "DATA_FILE":
+			h.DataFile = val
+		case "DATA_SIZE":
+			var d mesh.Dims
+			if _, err := fmt.Sscanf(val, "%d %d %d", &d.NX, &d.NY, &d.NZ); err != nil {
+				return h, fmt.Errorf("bovio: bad DATA_SIZE %q", val)
+			}
+			h.Size = d
+		case "DATA_FORMAT":
+			if !strings.EqualFold(val, "FLOAT") {
+				return h, fmt.Errorf("bovio: unsupported DATA_FORMAT %q (only FLOAT)", val)
+			}
+		case "VARIABLE":
+			h.Variable = strings.Trim(val, `"`)
+		case "DATA_ENDIAN":
+			if !strings.EqualFold(val, "LITTLE") {
+				return h, fmt.Errorf("bovio: unsupported DATA_ENDIAN %q (only LITTLE)", val)
+			}
+		case "CENTERING":
+			if !strings.EqualFold(val, "zonal") {
+				return h, fmt.Errorf("bovio: unsupported CENTERING %q (only zonal)", val)
+			}
+		case "BRICK_ORIGIN":
+			if err := parse3(val, &h.Origin); err != nil {
+				return h, fmt.Errorf("bovio: bad BRICK_ORIGIN %q", val)
+			}
+		case "BRICK_SIZE":
+			if err := parse3(val, &h.BrickSize); err != nil {
+				return h, fmt.Errorf("bovio: bad BRICK_SIZE %q", val)
+			}
+		case "TIME":
+			t, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return h, fmt.Errorf("bovio: bad TIME %q", val)
+			}
+			h.Time = t
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return h, err
+	}
+	if h.DataFile == "" {
+		return h, fmt.Errorf("bovio: header missing DATA_FILE")
+	}
+	if err := h.Size.Validate(); err != nil {
+		return h, fmt.Errorf("bovio: header missing or invalid DATA_SIZE: %w", err)
+	}
+	return h, nil
+}
+
+func parse3(val string, out *[3]float32) error {
+	_, err := fmt.Sscanf(val, "%f %f %f", &out[0], &out[1], &out[2])
+	return err
+}
+
+// Mesh builds the brick's uniform rectilinear mesh from the header's
+// origin and physical size.
+func (h Header) Mesh() (*mesh.Mesh, error) {
+	m, err := mesh.NewUniform(h.Size,
+		h.BrickSize[0]/float32(h.Size.NX),
+		h.BrickSize[1]/float32(h.Size.NY),
+		h.BrickSize[2]/float32(h.Size.NZ))
+	if err != nil {
+		return nil, err
+	}
+	for i := range m.X {
+		m.X[i] += h.Origin[0]
+	}
+	for j := range m.Y {
+		m.Y[j] += h.Origin[1]
+	}
+	for k := range m.Z {
+		m.Z[k] += h.Origin[2]
+	}
+	return m, nil
+}
+
+// Read loads a BOV data set: the header at headerPath plus its binary
+// brick (resolved relative to the header's directory).
+func Read(headerPath string) (Header, []float32, error) {
+	hf, err := os.Open(headerPath)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer hf.Close()
+	h, err := ParseHeader(hf)
+	if err != nil {
+		return h, nil, fmt.Errorf("%s: %w", headerPath, err)
+	}
+
+	dataPath := h.DataFile
+	if !filepath.IsAbs(dataPath) {
+		dataPath = filepath.Join(filepath.Dir(headerPath), dataPath)
+	}
+	raw, err := os.ReadFile(dataPath)
+	if err != nil {
+		return h, nil, err
+	}
+	n := h.Size.Cells()
+	if len(raw) != 4*n {
+		return h, nil, fmt.Errorf("bovio: %s holds %d bytes, brick needs %d", dataPath, len(raw), 4*n)
+	}
+	data := make([]float32, n)
+	for i := 0; i < n; i++ {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return h, data, nil
+}
+
+// Write stores a BOV data set: headerPath gets the text header and the
+// brick goes to the header's DataFile (or "<base>.values" if unset),
+// beside the header.
+func Write(headerPath string, h Header, data []float32) error {
+	if len(data) != h.Size.Cells() {
+		return fmt.Errorf("bovio: %d values for a %v brick", len(data), h.Size)
+	}
+	if h.DataFile == "" {
+		base := strings.TrimSuffix(filepath.Base(headerPath), filepath.Ext(headerPath))
+		h.DataFile = base + ".values"
+	}
+	if h.Variable == "" {
+		h.Variable = "field"
+	}
+	if h.BrickSize == ([3]float32{}) {
+		h.BrickSize = [3]float32{1, 1, 1}
+	}
+
+	var hdr strings.Builder
+	fmt.Fprintf(&hdr, "TIME: %g\n", h.Time)
+	fmt.Fprintf(&hdr, "DATA_FILE: %s\n", h.DataFile)
+	fmt.Fprintf(&hdr, "DATA_SIZE: %d %d %d\n", h.Size.NX, h.Size.NY, h.Size.NZ)
+	hdr.WriteString("DATA_FORMAT: FLOAT\n")
+	fmt.Fprintf(&hdr, "VARIABLE: %s\n", h.Variable)
+	hdr.WriteString("DATA_ENDIAN: LITTLE\nCENTERING: zonal\n")
+	fmt.Fprintf(&hdr, "BRICK_ORIGIN: %g %g %g\n", h.Origin[0], h.Origin[1], h.Origin[2])
+	fmt.Fprintf(&hdr, "BRICK_SIZE: %g %g %g\n", h.BrickSize[0], h.BrickSize[1], h.BrickSize[2])
+	if err := os.WriteFile(headerPath, []byte(hdr.String()), 0o644); err != nil {
+		return err
+	}
+
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return os.WriteFile(filepath.Join(filepath.Dir(headerPath), filepath.Base(h.DataFile)), raw, 0o644)
+}

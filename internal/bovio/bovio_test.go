@@ -1,0 +1,148 @@
+package bovio
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dfg/internal/mesh"
+)
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	h := Header{
+		Size:      mesh.Dims{NX: 6, NY: 5, NZ: 4},
+		Variable:  "u",
+		Origin:    [3]float32{1, 2, 3},
+		BrickSize: [3]float32{2, 2.5, 4},
+		Time:      7.5,
+	}
+	data := make([]float32, h.Size.Cells())
+	for i := range data {
+		data[i] = rng.Float32()*10 - 5
+	}
+	path := filepath.Join(dir, "u.bov")
+	if err := Write(path, h, data); err != nil {
+		t.Fatal(err)
+	}
+
+	back, got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Size != h.Size || back.Variable != "u" || back.Time != 7.5 {
+		t.Fatalf("header round trip: %+v", back)
+	}
+	if back.Origin != h.Origin || back.BrickSize != h.BrickSize {
+		t.Fatalf("geometry round trip: %+v", back)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("data[%d] = %v want %v (binary float32 must round-trip exactly)", i, got[i], data[i])
+		}
+	}
+}
+
+func TestHeaderMesh(t *testing.T) {
+	h := Header{
+		Size:      mesh.Dims{NX: 4, NY: 2, NZ: 2},
+		Origin:    [3]float32{10, 0, -1},
+		BrickSize: [3]float32{4, 1, 2},
+	}
+	m, err := h.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.X[0] != 10 || m.X[4] != 14 {
+		t.Fatalf("x coords: %v", m.X)
+	}
+	if m.Z[0] != -1 || m.Z[2] != 1 {
+		t.Fatalf("z coords: %v", m.Z)
+	}
+	if _, err := (Header{Size: mesh.Dims{NX: 0, NY: 1, NZ: 1}}).Mesh(); err == nil {
+		t.Fatal("invalid size must fail")
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // missing everything
+		"DATA_FILE: u.values\n",            // missing size
+		"DATA_SIZE: 2 2 2\n",               // missing data file
+		"garbage line without separator\n", // malformed
+		"DATA_FILE: u\nDATA_SIZE: x y z\n", // bad size
+		"DATA_FILE: u\nDATA_SIZE: 2 2 2\nDATA_FORMAT: DOUBLE\n", // unsupported format
+		"DATA_FILE: u\nDATA_SIZE: 2 2 2\nDATA_ENDIAN: BIG\n",    // unsupported endian
+		"DATA_FILE: u\nDATA_SIZE: 2 2 2\nCENTERING: nodal\n",    // unsupported centering
+		"DATA_FILE: u\nDATA_SIZE: 2 2 2\nTIME: soon\n",          // bad time
+		"DATA_FILE: u\nDATA_SIZE: 2 2 2\nBRICK_ORIGIN: a b c\n", // bad origin
+	}
+	for i, in := range cases {
+		if _, err := ParseHeader(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, in)
+		}
+	}
+}
+
+func TestParseHeaderIgnoresUnknownKeys(t *testing.T) {
+	in := "# comment\nTIME: 1\nDATA_FILE: u.values\nDATA_SIZE: 2 2 2\nBYTE_OFFSET: 0\n\n"
+	h, err := ParseHeader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size.Cells() != 8 {
+		t.Fatalf("header: %+v", h)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	dir := t.TempDir()
+	// Header pointing at a short brick.
+	hp := filepath.Join(dir, "u.bov")
+	os.WriteFile(hp, []byte("DATA_FILE: u.values\nDATA_SIZE: 2 2 2\n"), 0o644)
+	os.WriteFile(filepath.Join(dir, "u.values"), make([]byte, 12), 0o644)
+	if _, _, err := Read(hp); err == nil {
+		t.Fatal("short brick must fail")
+	}
+	// Missing brick file.
+	os.Remove(filepath.Join(dir, "u.values"))
+	if _, _, err := Read(hp); err == nil {
+		t.Fatal("missing brick must fail")
+	}
+	// Missing header.
+	if _, _, err := Read(filepath.Join(dir, "nope.bov")); err == nil {
+		t.Fatal("missing header must fail")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	dir := t.TempDir()
+	h := Header{Size: mesh.Dims{NX: 2, NY: 2, NZ: 2}}
+	if err := Write(filepath.Join(dir, "x.bov"), h, make([]float32, 3)); err == nil {
+		t.Fatal("wrong data length must fail")
+	}
+}
+
+func TestSpecialValuesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := Header{Size: mesh.Dims{NX: 4, NY: 1, NZ: 1}}
+	data := []float32{float32(math.Inf(1)), -0, 1e-38, float32(math.NaN())}
+	path := filepath.Join(dir, "s.bov")
+	if err := Write(path, h, data); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(got[0]), 1) || !math.IsNaN(float64(got[3])) {
+		t.Fatalf("special values lost: %v", got)
+	}
+	if math.Float32bits(got[1]) != math.Float32bits(data[1]) {
+		t.Fatal("negative zero lost")
+	}
+}

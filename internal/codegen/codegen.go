@@ -1,0 +1,297 @@
+// Package codegen implements the paper's dynamic kernel generator: it
+// fuses an entire dataflow network into a single generated OpenCL kernel
+// (the "fusion" execution strategy). The generator provides every
+// feature Section III-C.3 lists:
+//
+//   - per-element function calls for simple primitives (add, sub, ...),
+//   - direct access to device global memory arrays for operations with
+//     complex memory requirements (grad3d),
+//   - source-code level insertion of constants,
+//   - OpenCL vector types (float4) for operations returning multiple
+//     values per element, and
+//   - source-code level array-decompose as vector component selection
+//     (val.s0, val.s1, ...).
+//
+// Intermediate results live in device registers. The one exception is
+// the paper's Figure 2 scenario: when a stencil primitive consumes a
+// *computed* value, that value must be materialized in a global scratch
+// array before the stencil can read its neighbours. The generator then
+// splits the fused kernel into ordered passes with a device-wide barrier
+// between them — still a single kernel dispatch, at the cost of one
+// problem-sized scratch array, which is exactly the extra memory the
+// paper's Figure 2 charges to fusion.
+package codegen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/ocl"
+)
+
+// ArgKind classifies one buffer argument of a generated kernel.
+type ArgKind int
+
+const (
+	// ArgSource is a host-provided input array (uploaded once).
+	ArgSource ArgKind = iota
+	// ArgScratch is a device-only intermediate the strategy must
+	// allocate (problem-sized; never transferred).
+	ArgScratch
+	// ArgOut is the kernel's result array.
+	ArgOut
+)
+
+// String names the argument kind.
+func (k ArgKind) String() string {
+	switch k {
+	case ArgSource:
+		return "source"
+	case ArgScratch:
+		return "scratch"
+	case ArgOut:
+		return "out"
+	default:
+		return fmt.Sprintf("ArgKind(%d)", int(k))
+	}
+}
+
+// Arg describes one buffer argument of the generated kernel, in launch
+// order.
+type Arg struct {
+	Kind ArgKind
+	// Name is the source name ("u", "dims") or scratch label.
+	Name string
+	// Width is the element width in float32 components.
+	Width int
+}
+
+// Program is a generated fused kernel: its OpenCL C source, the
+// executable kernel for the simulated device, and the buffer argument
+// plan the execution strategy binds.
+type Program struct {
+	// Source is the complete generated OpenCL C source.
+	Source string
+	// Kernel executes the fusion (single dispatch; multiple passes only
+	// in the materialization case).
+	Kernel *ocl.Kernel
+	// Args is the kernel's buffer argument order.
+	Args []Arg
+	// NumPasses is 1 unless materialization forced pass splits.
+	NumPasses int
+	// OutWidth is the output element width.
+	OutWidth int
+}
+
+// opcodes of the executable plan.
+type opcode int
+
+const (
+	opLoad opcode = iota // dst <- buf[gid] (width from instr.width)
+	opConst
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMin
+	opMax
+	opSqrt
+	opNeg
+	opAbs
+	opExp
+	opLog
+	opSin
+	opCos
+	opPow
+	opGt
+	opLt
+	opGe
+	opLe
+	opEq
+	opNe
+	opSelect
+	opNorm
+	opDecomp
+	opGrad
+	opStore // buf[gid] <- a (width from instr.width)
+)
+
+// instr is one step of the per-element plan. Registers are slots of four
+// float32 lanes; scalar values use lane 0.
+type instr struct {
+	op      opcode
+	dst     int
+	a, b, c int     // register operands
+	buf     int     // buffer index for load/store
+	width   int     // element width for load/store
+	comp    int     // decompose component
+	val     float32 // constant value
+	gbufs   [5]int  // grad3d: field, dims, x, y, z buffer indices
+}
+
+// Fuse generates the fused kernel program for a validated network with a
+// designated output. name tags the generated kernel (e.g. "qcrit" gives
+// "kfused_qcrit"). The executable plan runs in the default blocked mode.
+func Fuse(net *dataflow.Network, name string) (*Program, error) {
+	return FuseWithMode(net, name, ModeBlocked)
+}
+
+// FuseWithMode is Fuse with an explicit execution mode for the plan
+// (the generated OpenCL source is identical either way; only the
+// simulated device's executable differs). ModeElementwise exists as the
+// ablation baseline for the blocked executor.
+func FuseWithMode(net *dataflow.Network, name string, mode Mode) (*Program, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	g := &generator{
+		net:    net,
+		name:   name,
+		mode:   mode,
+		order:  order,
+		pass:   make(map[string]int),
+		byID:   make(map[string]*dataflow.Node, len(order)),
+		reg:    make(map[string]int),
+		bufIdx: make(map[string]int),
+	}
+	for _, n := range order {
+		g.byID[n.ID] = n
+	}
+	if err := g.assignPasses(); err != nil {
+		return nil, err
+	}
+	g.planArgs()
+	g.allocRegisters()
+	return g.emit()
+}
+
+// generator holds the fusion state.
+type generator struct {
+	net   *dataflow.Network
+	name  string
+	mode  Mode
+	order []*dataflow.Node
+	byID  map[string]*dataflow.Node
+
+	pass        map[string]int // node ID -> pass index
+	numPasses   int
+	materialize map[string]bool // node IDs needing global scratch
+
+	args   []Arg
+	bufIdx map[string]int // source name / scratch label -> arg position
+
+	reg     map[string]int // node ID -> register slot
+	numRegs int
+}
+
+// scratchName labels the scratch buffer of a materialized node.
+func scratchName(id string) string { return "scratch_" + id }
+
+// assignPasses computes each node's pass and the materialization set.
+// A grad3d whose field input is computed must run at least one pass
+// after that input; any value consumed in a later pass than it is
+// computed in must be materialized to global scratch.
+func (g *generator) assignPasses() error {
+	g.materialize = make(map[string]bool)
+	for _, n := range g.order {
+		p := 0
+		for _, in := range n.Inputs {
+			if ip := g.pass[in]; ip > p {
+				p = ip
+			}
+		}
+		if n.Filter == "grad3d" {
+			field := g.byID[n.Inputs[0]]
+			for _, in := range n.Inputs[1:] {
+				if g.byID[in].Filter != "source" {
+					return fmt.Errorf("codegen: grad3d input %q must be a source array (dims/coords cannot be computed)", in)
+				}
+			}
+			if field.Filter != "source" {
+				// The stencil reads neighbours of a computed value:
+				// materialize it and synchronize before this pass.
+				g.materialize[field.ID] = true
+				if fp := g.pass[field.ID]; fp+1 > p {
+					p = fp + 1
+				}
+			}
+		}
+		g.pass[n.ID] = p
+	}
+	// Cross-pass consumption also forces materialization.
+	for _, n := range g.order {
+		for _, in := range n.Inputs {
+			src := g.byID[in]
+			if src.Filter == "source" || src.Filter == "const" {
+				continue // sources are global already; constants are literals
+			}
+			if g.pass[in] < g.pass[n.ID] {
+				g.materialize[in] = true
+			}
+		}
+	}
+	g.numPasses = g.pass[g.net.Output()] + 1
+	return nil
+}
+
+// planArgs fixes the kernel's buffer argument order: live sources in
+// network declaration order, then scratch buffers in topo order, then
+// the output.
+func (g *generator) planArgs() {
+	live := make(map[string]bool, len(g.order))
+	for _, n := range g.order {
+		live[n.ID] = true
+	}
+	for _, s := range g.net.Sources() {
+		if live[s.ID] {
+			g.bufIdx[s.ID] = len(g.args)
+			g.args = append(g.args, Arg{Kind: ArgSource, Name: s.ID, Width: s.Width})
+		}
+	}
+	for _, n := range g.order {
+		if g.materialize[n.ID] {
+			label := scratchName(n.ID)
+			g.bufIdx[label] = len(g.args)
+			g.args = append(g.args, Arg{Kind: ArgScratch, Name: label, Width: n.Width})
+		}
+	}
+	out := g.net.OutputNode()
+	g.bufIdx["__out__"] = len(g.args)
+	g.args = append(g.args, Arg{Kind: ArgOut, Name: "out", Width: out.Width})
+}
+
+// allocRegisters gives every live node a register slot. In the emitted
+// source, sources are read inline and constants are literals, but the
+// executable plan keeps each in a register so loads happen once per
+// element per pass.
+func (g *generator) allocRegisters() {
+	for _, n := range g.order {
+		if _, ok := g.reg[n.ID]; !ok {
+			g.reg[n.ID] = g.numRegs
+			g.numRegs++
+		}
+	}
+}
+
+// cTypeFor returns the OpenCL C scalar/vector type of a width.
+func cTypeFor(width int) string {
+	if width == 1 {
+		return "float"
+	}
+	return "float" + strconv.Itoa(width)
+}
+
+// cFloat renders a float constant as OpenCL C source.
+func cFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 32)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s + "f"
+}

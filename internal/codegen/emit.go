@@ -1,0 +1,411 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+)
+
+// emit renders the OpenCL C source and builds the executable plan.
+func (g *generator) emit() (*Program, error) {
+	out := g.net.OutputNode()
+
+	// Group live nodes by pass, preserving topological order.
+	passNodes := make([][]*dataflow.Node, g.numPasses)
+	for _, n := range g.order {
+		p := g.pass[n.ID]
+		passNodes[p] = append(passNodes[p], n)
+	}
+
+	var (
+		passFns []ocl.KernelFunc
+		bodies  []string
+		cost    ocl.Cost
+	)
+	for p := 0; p < g.numPasses; p++ {
+		body, fn, passCost, err := g.emitPass(p, passNodes[p], out)
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+		passFns = append(passFns, fn)
+		cost = cost.Add(passCost)
+	}
+
+	src := g.renderSource(bodies)
+	kname := "kfused_" + g.name
+	k := &ocl.Kernel{
+		Name:    kname,
+		Source:  src,
+		NumBufs: len(g.args),
+		Cost:    cost,
+		Passes:  passFns,
+	}
+	return &Program{
+		Source:    src,
+		Kernel:    k,
+		Args:      append([]Arg(nil), g.args...),
+		NumPasses: g.numPasses,
+		OutWidth:  out.Width,
+	}, nil
+}
+
+// emitPass produces one pass's C body, executable function and cost.
+func (g *generator) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) (string, ocl.KernelFunc, ocl.Cost, error) {
+	var (
+		stmts  []string
+		plan   []instr
+		cost   ocl.Cost
+		loaded = make(map[string]bool) // node IDs already in registers this pass
+	)
+
+	// operand resolves an input to (C expression, register) and appends
+	// any load instruction the plan needs.
+	operand := func(id string) (string, int, error) {
+		n := g.byID[id]
+		r := g.reg[id]
+		switch {
+		case n.Filter == "const":
+			if !loaded[id] {
+				plan = append(plan, instr{op: opConst, dst: r, val: float32(n.Value)})
+				loaded[id] = true
+			}
+			return cFloat(n.Value), r, nil
+		case n.Filter == "source":
+			if !loaded[id] {
+				plan = append(plan, instr{op: opLoad, dst: r, buf: g.bufIdx[id], width: 1})
+				loaded[id] = true
+				cost.LoadBytes += 4
+			}
+			return id + "[gid]", r, nil
+		case g.pass[id] < p:
+			// Computed in an earlier pass: read back from scratch.
+			label := scratchName(id)
+			if !loaded[id] {
+				plan = append(plan, instr{op: opLoad, dst: r, buf: g.bufIdx[label], width: n.Width})
+				loaded[id] = true
+				cost.LoadBytes += float64(4 * n.Width)
+			}
+			return label + "[gid]", r, nil
+		default:
+			return fmt.Sprintf("r%d", r), r, nil
+		}
+	}
+
+	for _, n := range nodes {
+		if n.Filter == "source" || n.Filter == "const" {
+			continue // realized on demand by operand()
+		}
+		r := g.reg[n.ID]
+		switch n.Filter {
+		case "grad3d":
+			field := g.byID[n.Inputs[0]]
+			fieldArg := field.ID
+			if field.Filter != "source" {
+				fieldArg = scratchName(field.ID)
+			}
+			var gb [5]int
+			gb[0] = g.bufIdx[fieldArg]
+			names := []string{fieldArg}
+			for i, in := range n.Inputs[1:] {
+				gb[i+1] = g.bufIdx[in]
+				names = append(names, in)
+			}
+			stmts = append(stmts, fmt.Sprintf("float4 r%d = dfg_grad3d(%s, gid);", r, strings.Join(names, ", ")))
+			plan = append(plan, instr{op: opGrad, dst: r, gbufs: gb})
+			cost = cost.Add(kernels.GradCost())
+			cost.StoreBytes -= 16 // the fused gradient stays in a register
+		case "decompose":
+			inExpr, a, err := operand(n.Inputs[0])
+			if err != nil {
+				return "", nil, cost, err
+			}
+			stmts = append(stmts, fmt.Sprintf("float r%d = %s.s%d;", r, inExpr, n.Comp))
+			plan = append(plan, instr{op: opDecomp, dst: r, a: a, comp: n.Comp})
+		case "norm":
+			inExpr, a, err := operand(n.Inputs[0])
+			if err != nil {
+				return "", nil, cost, err
+			}
+			stmts = append(stmts, fmt.Sprintf("float r%d = sqrt(%[2]s.s0*%[2]s.s0 + %[2]s.s1*%[2]s.s1 + %[2]s.s2*%[2]s.s2);", r, inExpr))
+			plan = append(plan, instr{op: opNorm, dst: r, a: a})
+			cost.Flops += 6
+		default:
+			tmpl, ok := kernels.ExprTemplate(n.Filter)
+			if !ok {
+				return "", nil, cost, fmt.Errorf("codegen: no fusion rule for filter %q", n.Filter)
+			}
+			exprs := make([]any, 0, len(n.Inputs))
+			regs := make([]int, 0, len(n.Inputs))
+			for _, in := range n.Inputs {
+				e, a, err := operand(in)
+				if err != nil {
+					return "", nil, cost, err
+				}
+				exprs = append(exprs, e)
+				regs = append(regs, a)
+			}
+			stmts = append(stmts, fmt.Sprintf("float r%d = %s;", r, fmt.Sprintf(tmpl, exprs...)))
+			in := instr{op: opFor(n.Filter), dst: r, a: regs[0]}
+			if len(regs) > 1 {
+				in.b = regs[1]
+			}
+			if len(regs) > 2 {
+				in.c = regs[2]
+			}
+			plan = append(plan, in)
+			cost.Flops++
+		}
+
+		if g.materialize[n.ID] {
+			label := scratchName(n.ID)
+			stmts = append(stmts, fmt.Sprintf("%s[gid] = r%d;", label, r))
+			plan = append(plan, instr{op: opStore, a: r, buf: g.bufIdx[label], width: n.Width})
+			cost.StoreBytes += float64(4 * n.Width)
+		}
+	}
+
+	if p == g.numPasses-1 {
+		// Final store of the network output.
+		expr, a, err := operand(out.ID)
+		if err != nil {
+			return "", nil, cost, err
+		}
+		stmts = append(stmts, fmt.Sprintf("out[gid] = %s;", expr))
+		plan = append(plan, instr{op: opStore, a: a, buf: g.bufIdx["__out__"], width: out.Width})
+		cost.StoreBytes += float64(4 * out.Width)
+	}
+
+	var b strings.Builder
+	for _, s := range stmts {
+		b.WriteString("    ")
+		b.WriteString(s)
+		b.WriteString("\n")
+	}
+	fn := makeBlockPassFn(plan, g.numRegs)
+	if g.mode == ModeElementwise {
+		fn = makePassFn(plan, g.numRegs)
+	}
+	return b.String(), fn, cost, nil
+}
+
+// opFor maps an elementwise filter name to its opcode.
+func opFor(filter string) opcode {
+	switch filter {
+	case "add":
+		return opAdd
+	case "sub":
+		return opSub
+	case "mul":
+		return opMul
+	case "div":
+		return opDiv
+	case "min":
+		return opMin
+	case "max":
+		return opMax
+	case "sqrt":
+		return opSqrt
+	case "neg":
+		return opNeg
+	case "abs":
+		return opAbs
+	case "exp":
+		return opExp
+	case "log":
+		return opLog
+	case "sin":
+		return opSin
+	case "cos":
+		return opCos
+	case "pow":
+		return opPow
+	case "gt":
+		return opGt
+	case "lt":
+		return opLt
+	case "ge":
+		return opGe
+	case "le":
+		return opLe
+	case "eq":
+		return opEq
+	case "ne":
+		return opNe
+	case "select":
+		return opSelect
+	default:
+		panic("codegen: opFor on non-elementwise filter " + filter)
+	}
+}
+
+// renderSource assembles the complete OpenCL C source: the shared
+// primitive functions, then one kernel entry per pass (a single entry in
+// the common fully-fused case).
+func (g *generator) renderSource(bodies []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// fused derived-field kernel %q generated by dfg/codegen\n", g.name)
+	fmt.Fprintf(&b, "// %d pass(es); intermediate results in device registers\n", len(bodies))
+	if g.usesGrad() {
+		b.WriteString("\n")
+		b.WriteString(kernels.Grad3DFunction)
+	}
+	params := g.renderParams()
+	for p, body := range bodies {
+		name := "kfused_" + g.name
+		if len(bodies) > 1 {
+			name = fmt.Sprintf("%s_pass%d", name, p)
+			fmt.Fprintf(&b, "\n// pass %d (device-wide barrier before the next pass;\n", p)
+			b.WriteString("// the runtime dispatches all passes as one fused launch)\n")
+		} else {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "__kernel void %s(\n%s)\n{\n    int gid = get_global_id(0);\n", name, params)
+		b.WriteString(body)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// renderParams renders the kernel parameter list from the arg plan.
+func (g *generator) renderParams() string {
+	lines := make([]string, len(g.args))
+	for i, a := range g.args {
+		qual := "__global const "
+		if a.Kind != ArgSource {
+			qual = "__global " // scratch is written then read; out is written
+		}
+		lines[i] = fmt.Sprintf("    %s%s *%s", qual, cTypeFor(a.Width), a.Name)
+	}
+	return strings.Join(lines, ",\n")
+}
+
+// usesGrad reports whether any live node is a gradient.
+func (g *generator) usesGrad() bool {
+	for _, n := range g.order {
+		if n.Filter == "grad3d" {
+			return true
+		}
+	}
+	return false
+}
+
+// sqrt32 is a float32 square root (math.Sqrt round-trips exactly for
+// float32 inputs).
+func sqrt32(v float32) float32 {
+	return float32(math.Sqrt(float64(v)))
+}
+
+// cmp2f encodes a comparison result as the 1.0/0.0 convention shared
+// with the standalone comparison kernels.
+func cmp2f(b bool) float32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// makePassFn compiles one pass's plan into an executable kernel body.
+func makePassFn(plan []instr, numRegs int) ocl.KernelFunc {
+	return func(lo, hi int, bufs []ocl.View, _ []float64) {
+		regs := make([]float32, numRegs*4)
+		for gid := lo; gid < hi; gid++ {
+			for _, in := range plan {
+				switch in.op {
+				case opLoad:
+					if in.width == 1 {
+						regs[in.dst*4] = bufs[in.buf].Data[gid]
+					} else {
+						copy(regs[in.dst*4:in.dst*4+in.width], bufs[in.buf].Data[gid*in.width:gid*in.width+in.width])
+					}
+				case opConst:
+					regs[in.dst*4] = in.val
+				case opAdd:
+					regs[in.dst*4] = regs[in.a*4] + regs[in.b*4]
+				case opSub:
+					regs[in.dst*4] = regs[in.a*4] - regs[in.b*4]
+				case opMul:
+					regs[in.dst*4] = regs[in.a*4] * regs[in.b*4]
+				case opDiv:
+					regs[in.dst*4] = regs[in.a*4] / regs[in.b*4]
+				case opMin:
+					a, b := regs[in.a*4], regs[in.b*4]
+					if b < a {
+						a = b
+					}
+					regs[in.dst*4] = a
+				case opMax:
+					a, b := regs[in.a*4], regs[in.b*4]
+					if b > a {
+						a = b
+					}
+					regs[in.dst*4] = a
+				case opSqrt:
+					regs[in.dst*4] = sqrt32(regs[in.a*4])
+				case opNeg:
+					regs[in.dst*4] = -regs[in.a*4]
+				case opAbs:
+					v := regs[in.a*4]
+					if v < 0 {
+						v = -v
+					}
+					regs[in.dst*4] = v
+				case opExp:
+					regs[in.dst*4] = float32(math.Exp(float64(regs[in.a*4])))
+				case opLog:
+					regs[in.dst*4] = float32(math.Log(float64(regs[in.a*4])))
+				case opSin:
+					regs[in.dst*4] = float32(math.Sin(float64(regs[in.a*4])))
+				case opCos:
+					regs[in.dst*4] = float32(math.Cos(float64(regs[in.a*4])))
+				case opPow:
+					regs[in.dst*4] = float32(math.Pow(float64(regs[in.a*4]), float64(regs[in.b*4])))
+				case opGt:
+					regs[in.dst*4] = cmp2f(regs[in.a*4] > regs[in.b*4])
+				case opLt:
+					regs[in.dst*4] = cmp2f(regs[in.a*4] < regs[in.b*4])
+				case opGe:
+					regs[in.dst*4] = cmp2f(regs[in.a*4] >= regs[in.b*4])
+				case opLe:
+					regs[in.dst*4] = cmp2f(regs[in.a*4] <= regs[in.b*4])
+				case opEq:
+					regs[in.dst*4] = cmp2f(regs[in.a*4] == regs[in.b*4])
+				case opNe:
+					regs[in.dst*4] = cmp2f(regs[in.a*4] != regs[in.b*4])
+				case opSelect:
+					if regs[in.a*4] != 0 {
+						regs[in.dst*4] = regs[in.b*4]
+					} else {
+						regs[in.dst*4] = regs[in.c*4]
+					}
+				case opNorm:
+					x, y, z := float64(regs[in.a*4]), float64(regs[in.a*4+1]), float64(regs[in.a*4+2])
+					regs[in.dst*4] = float32(math.Sqrt(x*x + y*y + z*z))
+				case opDecomp:
+					regs[in.dst*4] = regs[in.a*4+in.comp]
+				case opGrad:
+					field := bufs[in.gbufs[0]].Data
+					dims := bufs[in.gbufs[1]].Data
+					x := bufs[in.gbufs[2]].Data
+					y := bufs[in.gbufs[3]].Data
+					z := bufs[in.gbufs[4]].Data
+					gx, gy, gz := kernels.GradAt(field, x, y, z, int(dims[0]), int(dims[1]), int(dims[2]), gid)
+					regs[in.dst*4] = gx
+					regs[in.dst*4+1] = gy
+					regs[in.dst*4+2] = gz
+					regs[in.dst*4+3] = 0
+				case opStore:
+					if in.width == 1 {
+						bufs[in.buf].Data[gid] = regs[in.a*4]
+					} else {
+						copy(bufs[in.buf].Data[gid*in.width:gid*in.width+in.width], regs[in.a*4:in.a*4+in.width])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package dataflow
+
+// EliminateCommonSubexpressions reduces the network the way the paper's
+// parser does: common constants collapse to single source filters, and
+// structurally identical filter invocations (same primitive, same
+// parameters, same inputs in the same order) are computed once. The
+// elimination is "limited" — it does not exploit commutativity, so
+// add(a, b) and add(b, a) stay distinct, matching the paper's Table II
+// event counts.
+//
+// Nodes are kept in construction (topological) order, so one forward
+// pass reaches the fixpoint: by the time a node is examined, all of its
+// inputs are already canonical. The network output and user aliases are
+// remapped. The number of eliminated nodes is returned.
+func (nw *Network) EliminateCommonSubexpressions() int {
+	canon := make(map[string]string, len(nw.nodes)) // structural key -> node ID
+	remap := make(map[string]string)                // duplicate ID -> canonical ID
+	kept := nw.nodes[:0]
+	eliminated := 0
+
+	for _, n := range nw.nodes {
+		for i, in := range n.Inputs {
+			if r, ok := remap[in]; ok {
+				n.Inputs[i] = r
+			}
+		}
+		key := n.key()
+		if n.Filter == "source" {
+			// Sources are identified by name, never merged across names.
+			key = "source:" + n.ID
+		}
+		if id, ok := canon[key]; ok {
+			remap[n.ID] = id
+			delete(nw.byID, n.ID)
+			eliminated++
+			continue
+		}
+		canon[key] = n.ID
+		kept = append(kept, n)
+	}
+	nw.nodes = kept
+
+	if r, ok := remap[nw.output]; ok {
+		nw.output = r
+	}
+	for name, id := range nw.aliases {
+		if r, ok := remap[id]; ok {
+			nw.aliases[name] = r
+		}
+	}
+	return eliminated
+}

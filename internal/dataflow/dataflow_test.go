@@ -1,0 +1,438 @@
+package dataflow
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildVelMag constructs the velocity-magnitude network by hand:
+// v_mag = sqrt(u*u + v*v + w*w).
+func buildVelMag(t *testing.T) *Network {
+	t.Helper()
+	nw := NewNetwork()
+	for _, s := range []string{"u", "v", "w"} {
+		if _, err := nw.AddSource(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	uu, err := nw.AddFilter("mul", "u", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vv, _ := nw.AddFilter("mul", "v", "v")
+	ww, _ := nw.AddFilter("mul", "w", "w")
+	s1, _ := nw.AddFilter("add", uu, vv)
+	s2, _ := nw.AddFilter("add", s1, ww)
+	out, _ := nw.AddFilter("sqrt", s2)
+	if err := nw.Alias("v_mag", out); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetOutput("v_mag"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildVelMagNetwork(t *testing.T) {
+	nw := buildVelMag(t)
+	if nw.Len() != 9 {
+		t.Fatalf("velmag network should have 9 nodes (3 sources + 6 ops), got %d", nw.Len())
+	}
+	if len(nw.Sources()) != 3 {
+		t.Fatalf("want 3 sources, got %d", len(nw.Sources()))
+	}
+	if nw.OutputNode().Filter != "sqrt" {
+		t.Fatalf("output should be the sqrt node, got %q", nw.OutputNode().Filter)
+	}
+	// Alias resolves to the same node.
+	if nw.Node("v_mag") != nw.OutputNode() {
+		t.Fatal("alias v_mag should resolve to the output node")
+	}
+}
+
+func TestTopoOrderRespectsDependencies(t *testing.T) {
+	nw := buildVelMag(t)
+	order, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, n := range order {
+		pos[n.ID] = i
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n.ID] {
+				t.Fatalf("node %q scheduled before its input %q", n.ID, in)
+			}
+		}
+	}
+	if len(order) != 9 {
+		t.Fatalf("all 9 nodes are live, got %d", len(order))
+	}
+}
+
+func TestTopoOrderPrunesDeadNodes(t *testing.T) {
+	nw := buildVelMag(t)
+	// A dangling computation that does not reach the output.
+	dead, _ := nw.AddFilter("mul", "u", "v")
+	_ = dead
+	order, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range order {
+		if n.ID == dead {
+			t.Fatal("dead node must not be scheduled")
+		}
+	}
+	if len(order) != 9 {
+		t.Fatalf("want 9 live nodes, got %d", len(order))
+	}
+}
+
+func TestTopoOrderRequiresOutput(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSource("u")
+	if _, err := nw.TopoOrder(); err == nil {
+		t.Fatal("topo order without an output must fail")
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	nw := buildVelMag(t)
+	// Hand-corrupt the spec into a cycle (impossible via the API).
+	out := nw.OutputNode()
+	sq := nw.Node(out.Inputs[0])
+	sq.Inputs[0] = out.ID
+	if _, err := nw.TopoOrder(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+func TestConsumersRefcounts(t *testing.T) {
+	nw := buildVelMag(t)
+	c := nw.Consumers()
+	if c["u"] != 2 {
+		t.Fatalf("u feeds mul(u,u) twice: want 2 consumers, got %d", c["u"])
+	}
+	if c[nw.Output()] != 1 {
+		t.Fatalf("output node should count its sink: got %d", c[nw.Output()])
+	}
+	// Total connections: each op node contributes len(Inputs).
+	total := 0
+	for _, n := range nw.Nodes() {
+		total += len(n.Inputs)
+	}
+	sum := 0
+	for _, v := range c {
+		sum += v
+	}
+	if sum != total+1 { // +1 for the sink
+		t.Fatalf("consumer conservation: %d vs %d", sum, total+1)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	nw := NewNetwork()
+	if _, err := nw.AddSource(""); err == nil {
+		t.Error("empty source name must fail")
+	}
+	nw.AddSource("u")
+	if _, err := nw.AddSource("u"); err == nil {
+		t.Error("duplicate source must fail")
+	}
+	if _, err := nw.AddFilter("bogus", "u"); err == nil {
+		t.Error("unknown filter must fail")
+	}
+	if _, err := nw.AddFilter("add", "u"); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if _, err := nw.AddFilter("add", "u", "nope"); err == nil {
+		t.Error("missing input must fail")
+	}
+	if _, err := nw.AddFilter("source"); err == nil {
+		t.Error("AddFilter(source) must fail")
+	}
+	if _, err := nw.AddFilter("const"); err == nil {
+		t.Error("AddFilter(const) must fail")
+	}
+	if _, err := nw.AddFilter("decompose", "u"); err == nil {
+		t.Error("AddFilter(decompose) must redirect to AddDecompose")
+	}
+	if _, err := nw.AddDecompose("u", 0); err == nil {
+		t.Error("decomposing a scalar must fail")
+	}
+	if err := nw.Alias("a", "missing"); err == nil {
+		t.Error("alias to missing node must fail")
+	}
+	if err := nw.Alias("u", "u"); err == nil {
+		t.Error("alias colliding with node id must fail")
+	}
+	if err := nw.SetOutput("missing"); err == nil {
+		t.Error("output to missing node must fail")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	nw := NewNetwork()
+	for _, s := range []string{"u", "dims", "x", "y", "z"} {
+		nw.AddSource(s)
+	}
+	g, err := nw.AddFilter("grad3d", "u", "dims", "x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Node(g).Width != 4 {
+		t.Fatalf("grad3d output width = %d, want 4 (OpenCL float4)", nw.Node(g).Width)
+	}
+	d, err := nw.AddDecompose(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Node(d).Width != 1 || nw.Node(d).Comp != 2 {
+		t.Fatalf("decompose node wrong: %+v", nw.Node(d))
+	}
+	if _, err := nw.AddDecompose(g, 4); err == nil {
+		t.Error("component out of range must fail")
+	}
+	if _, err := nw.AddDecompose(g, -1); err == nil {
+		t.Error("negative component must fail")
+	}
+	nw.SetOutput(d)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vector values must not flow into elementwise math directly.
+	if _, err := nw.AddFilter("sqrt", g); err == nil {
+		// AddFilter doesn't width-check; Validate must catch it.
+		if err := nw.Validate(); err == nil {
+			t.Error("vector input to sqrt must fail validation")
+		}
+	}
+}
+
+func TestCSEDeduplicatesConstantsAndDecomposes(t *testing.T) {
+	nw := NewNetwork()
+	for _, s := range []string{"u", "dims", "x", "y", "z"} {
+		nw.AddSource(s)
+	}
+	g1, _ := nw.AddFilter("grad3d", "u", "dims", "x", "y", "z")
+	g2, _ := nw.AddFilter("grad3d", "u", "dims", "x", "y", "z") // duplicate
+	c1 := nw.AddConst(0.5)
+	c2 := nw.AddConst(0.5) // duplicate constant
+	c3 := nw.AddConst(2.0) // distinct constant survives
+	d1, _ := nw.AddDecompose(g1, 1)
+	d2, _ := nw.AddDecompose(g2, 1) // duplicate after g2 -> g1
+	d3, _ := nw.AddDecompose(g1, 2) // distinct component survives
+	m1, _ := nw.AddFilter("mul", c1, d1)
+	m2, _ := nw.AddFilter("mul", c2, d2) // duplicate after remaps
+	a, _ := nw.AddFilter("add", m1, m2)
+	b, _ := nw.AddFilter("mul", c3, d3)
+	out, _ := nw.AddFilter("add", a, b)
+	nw.SetOutput(out)
+
+	n := nw.EliminateCommonSubexpressions()
+	// Eliminated: g2, c2, d2, m2 = 4 nodes.
+	if n != 4 {
+		t.Fatalf("want 4 eliminated nodes, got %d", n)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// add(m1, m2) must now read m1 twice.
+	addNode := nw.Node(a)
+	if addNode.Inputs[0] != addNode.Inputs[1] {
+		t.Fatalf("duplicate mul should collapse: %v", addNode.Inputs)
+	}
+	order, err := nw.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grads, consts, decs := 0, 0, 0
+	for _, nd := range order {
+		switch nd.Filter {
+		case "grad3d":
+			grads++
+		case "const":
+			consts++
+		case "decompose":
+			decs++
+		}
+	}
+	if grads != 1 || consts != 2 || decs != 2 {
+		t.Fatalf("after CSE: grads=%d consts=%d decs=%d, want 1/2/2", grads, consts, decs)
+	}
+}
+
+func TestCSEIsOrderSensitive(t *testing.T) {
+	// The paper's "limited" CSE must NOT merge add(a, b) with add(b, a):
+	// Q-criterion's s_1 and s_3 stay distinct kernels in Table II.
+	nw := NewNetwork()
+	nw.AddSource("a")
+	nw.AddSource("b")
+	x, _ := nw.AddFilter("add", "a", "b")
+	y, _ := nw.AddFilter("add", "b", "a")
+	out, _ := nw.AddFilter("mul", x, y)
+	nw.SetOutput(out)
+	if n := nw.EliminateCommonSubexpressions(); n != 0 {
+		t.Fatalf("commuted adds must not merge, eliminated %d", n)
+	}
+}
+
+func TestCSERemapsOutputAndAliases(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSource("a")
+	x, _ := nw.AddFilter("sqrt", "a")
+	y, _ := nw.AddFilter("sqrt", "a")
+	nw.Alias("first", x)
+	nw.Alias("second", y)
+	nw.SetOutput(y)
+	if n := nw.EliminateCommonSubexpressions(); n != 1 {
+		t.Fatalf("want 1 eliminated, got %d", n)
+	}
+	if nw.Output() != x {
+		t.Fatalf("output should remap to %q, got %q", x, nw.Output())
+	}
+	if nw.Node("second") != nw.Node("first") {
+		t.Fatal("alias should remap to the surviving node")
+	}
+}
+
+func TestScriptGolden(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSource("u")
+	c := nw.AddConst(0.5)
+	m, _ := nw.AddFilter("mul", c, "u")
+	nw.Alias("half_u", m)
+	nw.SetOutput(m)
+	want := `# dataflow network specification (generated)
+net = dfg.Network()
+net.add_source("u")
+t0 = net.add_const(0.5)
+t1 = net.add_filter("mul", "t0", "u")
+net.alias("half_u", "t1")
+net.set_output("t1")
+`
+	if got := nw.Script(); got != want {
+		t.Fatalf("script mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestScriptRoundTripMentionsEveryNode(t *testing.T) {
+	nw := buildVelMag(t)
+	s := nw.Script()
+	for _, n := range nw.Nodes() {
+		if !strings.Contains(s, n.ID) {
+			t.Errorf("script missing node %q", n.ID)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	nw := buildVelMag(t)
+	dot := nw.Dot()
+	if !strings.HasPrefix(dot, "digraph dataflow {") {
+		t.Fatal("dot output must be a digraph")
+	}
+	for _, frag := range []string{`"u"`, `"v"`, `"w"`, "sqrt", "peripheries=2", "v_mag"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("dot output missing %q", frag)
+		}
+	}
+	// Edge count equals total input connections among live nodes.
+	if got, want := strings.Count(dot, "->"), 11; got != want {
+		t.Errorf("dot edges = %d, want %d", got, want)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(Filters()) < 10 {
+		t.Fatalf("registry too small: %v", Filters())
+	}
+	fi, ok := Lookup("grad3d")
+	if !ok || fi.Class != ClassStencil || fi.Arity != 5 || fi.OutWidth != 4 {
+		t.Fatalf("grad3d info wrong: %+v", fi)
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("unknown filter must not resolve")
+	}
+	if !IsCallable("sqrt") || IsCallable("source") || IsCallable("const") || IsCallable("decompose") {
+		t.Fatal("callability classification wrong")
+	}
+	for _, c := range []Class{ClassSource, ClassConst, ClassElementwise, ClassDecompose, ClassStencil} {
+		if c.String() == "" || strings.HasPrefix(c.String(), "Class(") {
+			t.Errorf("class %d must have a name", c)
+		}
+	}
+	if !strings.Contains(Class(42).String(), "42") {
+		t.Error("unknown class should embed the value")
+	}
+}
+
+// TestRandomNetworksScheduleValidly is a property test: randomly built
+// networks always topo-sort into an order where inputs precede users,
+// and CSE never invalidates the network.
+func TestRandomNetworksScheduleValidly(t *testing.T) {
+	elementwise := []string{"add", "sub", "mul", "div", "min", "max"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nw := NewNetwork()
+		ids := []string{}
+		for i := 0; i < 3; i++ {
+			id, _ := nw.AddSource(string(rune('a' + i)))
+			ids = append(ids, id)
+		}
+		for i := 0; i < 5+rng.Intn(25); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				ids = append(ids, nw.AddConst(float64(rng.Intn(4))))
+			case 1:
+				id, err := nw.AddFilter("sqrt", ids[rng.Intn(len(ids))])
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			default:
+				op := elementwise[rng.Intn(len(elementwise))]
+				id, err := nw.AddFilter(op, ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))])
+				if err != nil {
+					return false
+				}
+				ids = append(ids, id)
+			}
+		}
+		nw.SetOutput(ids[len(ids)-1])
+		if err := nw.Validate(); err != nil {
+			return false
+		}
+		nw.EliminateCommonSubexpressions()
+		if err := nw.Validate(); err != nil {
+			return false
+		}
+		order, err := nw.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n.ID] = i
+		}
+		for _, n := range order {
+			for _, in := range n.Inputs {
+				if pos[in] >= pos[n.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Node is one module of a dataflow network: a source, a constant, or a
+// filter invocation with named inputs.
+type Node struct {
+	// ID is the node's generic name ("t0", "t1", ...) or, for sources,
+	// the host-provided array name ("u", "dims", ...).
+	ID string
+	// Filter names the primitive ("source", "const", "add", "grad3d", ...).
+	Filter string
+	// Inputs are the IDs of this node's input nodes, in argument order.
+	Inputs []string
+	// Value is the scalar for const nodes.
+	Value float64
+	// Comp is the selected component for decompose nodes.
+	Comp int
+	// Width is the node's output width in float32 components.
+	Width int
+}
+
+// Info returns the node's filter metadata.
+func (n *Node) Info() FilterInfo {
+	fi, ok := Lookup(n.Filter)
+	if !ok {
+		panic(fmt.Sprintf("dataflow: node %q has unknown filter %q", n.ID, n.Filter))
+	}
+	return fi
+}
+
+// key returns the node's structural identity used by common
+// sub-expression elimination: filter, parameters and exact input order.
+// Input order matters — the paper's CSE is "limited" and does not exploit
+// commutativity, which is what keeps the Table II counts intact.
+func (n *Node) key() string {
+	k := n.Filter
+	if n.Filter == "const" {
+		k += ":" + strconv.FormatFloat(n.Value, 'g', -1, 64)
+	}
+	if n.Filter == "decompose" {
+		k += ":" + strconv.Itoa(n.Comp)
+	}
+	for _, in := range n.Inputs {
+		k += "|" + in
+	}
+	return k
+}
+
+// Network is a dataflow network specification: an ordered list of nodes
+// with exactly one designated output. Construction is "create and
+// connect": every input named when a node is added must already exist,
+// so a network is acyclic by construction (Validate re-checks anyway).
+type Network struct {
+	nodes   []*Node
+	byID    map[string]*Node
+	aliases map[string]string // user name -> node ID (assignment statements)
+	output  string
+	nextID  int
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		byID:    make(map[string]*Node),
+		aliases: make(map[string]string),
+	}
+}
+
+// genID mints the next generic node name.
+func (nw *Network) genID() string {
+	id := "t" + strconv.Itoa(nw.nextID)
+	nw.nextID++
+	return id
+}
+
+// AddSource declares a named host-provided input array and returns its
+// node ID (the source's own name).
+func (nw *Network) AddSource(name string) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("dataflow: source needs a name")
+	}
+	if _, dup := nw.byID[name]; dup {
+		return "", fmt.Errorf("dataflow: duplicate node id %q", name)
+	}
+	n := &Node{ID: name, Filter: "source", Width: 1}
+	nw.nodes = append(nw.nodes, n)
+	nw.byID[name] = n
+	return name, nil
+}
+
+// AddConst adds a scalar constant source and returns its node ID.
+func (nw *Network) AddConst(v float64) string {
+	n := &Node{ID: nw.genID(), Filter: "const", Value: v, Width: 1}
+	nw.nodes = append(nw.nodes, n)
+	nw.byID[n.ID] = n
+	return n.ID
+}
+
+// AddFilter adds a filter invocation on existing nodes and returns the
+// new node's generic ID. Input names may be user aliases; they are
+// resolved to node IDs.
+func (nw *Network) AddFilter(filter string, inputs ...string) (string, error) {
+	fi, ok := Lookup(filter)
+	if !ok {
+		return "", fmt.Errorf("dataflow: unknown filter %q", filter)
+	}
+	if fi.Class == ClassSource || fi.Class == ClassConst {
+		return "", fmt.Errorf("dataflow: use AddSource/AddConst for %q", filter)
+	}
+	if filter == "decompose" {
+		return "", fmt.Errorf("dataflow: use AddDecompose for component selection")
+	}
+	if len(inputs) != fi.Arity {
+		return "", fmt.Errorf("dataflow: filter %q takes %d inputs, got %d", filter, fi.Arity, len(inputs))
+	}
+	resolved, err := nw.resolveAll(filter, inputs)
+	if err != nil {
+		return "", err
+	}
+	n := &Node{ID: nw.genID(), Filter: filter, Inputs: resolved, Width: fi.OutWidth}
+	nw.nodes = append(nw.nodes, n)
+	nw.byID[n.ID] = n
+	return n.ID, nil
+}
+
+// AddDecompose adds a component selection of a vector-valued node
+// (the parser's translation of the bracket syntax, e.g. du[1]).
+func (nw *Network) AddDecompose(input string, comp int) (string, error) {
+	resolved, err := nw.resolve(input)
+	if err != nil {
+		return "", err
+	}
+	in := nw.byID[resolved]
+	if in.Width < 2 {
+		return "", fmt.Errorf("dataflow: cannot decompose scalar node %q", input)
+	}
+	if comp < 0 || comp >= in.Width {
+		return "", fmt.Errorf("dataflow: component %d out of range for %q (width %d)", comp, input, in.Width)
+	}
+	n := &Node{ID: nw.genID(), Filter: "decompose", Inputs: []string{resolved}, Comp: comp, Width: 1}
+	nw.nodes = append(nw.nodes, n)
+	nw.byID[n.ID] = n
+	return n.ID, nil
+}
+
+// Alias binds a user-provided name (the left side of an assignment
+// statement) to a node. Re-binding an existing alias is allowed, as in
+// sequential assignment semantics.
+func (nw *Network) Alias(name, id string) error {
+	resolved, err := nw.resolve(id)
+	if err != nil {
+		return err
+	}
+	if _, isNode := nw.byID[name]; isNode {
+		return fmt.Errorf("dataflow: alias %q collides with a node id", name)
+	}
+	nw.aliases[name] = resolved
+	return nil
+}
+
+// SetOutput designates the network's sink.
+func (nw *Network) SetOutput(name string) error {
+	resolved, err := nw.resolve(name)
+	if err != nil {
+		return err
+	}
+	nw.output = resolved
+	return nil
+}
+
+// Output returns the node ID of the designated sink ("" if unset).
+func (nw *Network) Output() string { return nw.output }
+
+// OutputNode returns the sink node, or nil if unset.
+func (nw *Network) OutputNode() *Node {
+	if nw.output == "" {
+		return nil
+	}
+	return nw.byID[nw.output]
+}
+
+// resolve maps a name (node ID or user alias) to a node ID.
+func (nw *Network) resolve(name string) (string, error) {
+	if _, ok := nw.byID[name]; ok {
+		return name, nil
+	}
+	if id, ok := nw.aliases[name]; ok {
+		return id, nil
+	}
+	return "", fmt.Errorf("dataflow: unknown node or alias %q", name)
+}
+
+func (nw *Network) resolveAll(filter string, names []string) ([]string, error) {
+	out := make([]string, len(names))
+	for i, nm := range names {
+		id, err := nw.resolve(nm)
+		if err != nil {
+			return nil, fmt.Errorf("%w (input %d of %q)", err, i, filter)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+// Node returns the node with the given ID or alias, or nil.
+func (nw *Network) Node(name string) *Node {
+	id, err := nw.resolve(name)
+	if err != nil {
+		return nil
+	}
+	return nw.byID[id]
+}
+
+// NodeByID returns the node with exactly the given ID (no alias
+// fallback), or nil.
+func (nw *Network) NodeByID(id string) *Node { return nw.byID[id] }
+
+// Nodes returns the nodes in construction order (a valid topological
+// order, since inputs must exist when a node is added).
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// Sources returns the source nodes in construction order.
+func (nw *Network) Sources() []*Node {
+	var out []*Node
+	for _, n := range nw.nodes {
+		if n.Filter == "source" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Aliases returns a copy of the user-name bindings, sorted by name.
+func (nw *Network) Aliases() [][2]string {
+	out := make([][2]string, 0, len(nw.aliases))
+	for name, id := range nw.aliases {
+		out = append(out, [2]string{name, id})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Consumers returns, for every node ID, how many input connections read
+// it, with the network output counted as one extra consumer of the sink.
+// Strategies use these counts to release intermediate device buffers as
+// soon as they drain — the paper's reference-counting design.
+func (nw *Network) Consumers() map[string]int {
+	counts := make(map[string]int, len(nw.nodes))
+	for _, n := range nw.nodes {
+		for _, in := range n.Inputs {
+			counts[in]++
+		}
+	}
+	if nw.output != "" {
+		counts[nw.output]++
+	}
+	return counts
+}
+
+// TopoOrder returns the live nodes (those that reach the output) in a
+// valid execution order, using Kahn's algorithm over the dependency
+// graph. The order is stable with respect to construction order. An
+// error is reported if the output is unset or a cycle is detected
+// (impossible through the builder API, but specs may be hand-built).
+func (nw *Network) TopoOrder() ([]*Node, error) {
+	if nw.output == "" {
+		return nil, fmt.Errorf("dataflow: network has no output")
+	}
+	live := nw.liveSet()
+
+	// Build edge lists in construction order so the schedule — and
+	// everything derived from it, like generated kernel source — is
+	// deterministic.
+	indeg := make(map[string]int, len(live))
+	dependents := make(map[string][]string, len(live))
+	for _, n := range nw.nodes {
+		if !live[n.ID] {
+			continue
+		}
+		for _, in := range n.Inputs {
+			if live[in] {
+				indeg[n.ID]++
+				dependents[in] = append(dependents[in], n.ID)
+			}
+		}
+	}
+	var order []*Node
+	// Ready queue in construction order for stability.
+	for _, n := range nw.nodes {
+		if live[n.ID] && indeg[n.ID] == 0 {
+			order = append(order, n)
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for _, dep := range dependents[order[i].ID] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				order = append(order, nw.byID[dep])
+			}
+		}
+	}
+	liveCount := len(live)
+	if len(order) != liveCount {
+		return nil, fmt.Errorf("dataflow: cycle detected (%d of %d nodes schedulable)", len(order), liveCount)
+	}
+	return order, nil
+}
+
+// liveSet marks every node reachable backwards from the output.
+func (nw *Network) liveSet() map[string]bool {
+	live := make(map[string]bool)
+	var visit func(id string)
+	visit = func(id string) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		n := nw.byID[id]
+		if n == nil {
+			return
+		}
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+	}
+	if nw.output != "" {
+		visit(nw.output)
+	}
+	return live
+}
+
+// Validate checks structural integrity: known filters, existing inputs,
+// correct arities, width agreement, and an acyclic live graph.
+func (nw *Network) Validate() error {
+	for _, n := range nw.nodes {
+		fi, ok := Lookup(n.Filter)
+		if !ok {
+			return fmt.Errorf("dataflow: node %q: unknown filter %q", n.ID, n.Filter)
+		}
+		if len(n.Inputs) != fi.Arity {
+			return fmt.Errorf("dataflow: node %q: filter %q takes %d inputs, got %d", n.ID, n.Filter, fi.Arity, len(n.Inputs))
+		}
+		for _, in := range n.Inputs {
+			inNode, ok := nw.byID[in]
+			if !ok {
+				return fmt.Errorf("dataflow: node %q: missing input %q", n.ID, in)
+			}
+			// Vector-typed values flow only into decompose and vector
+			// ops; elementwise math and stencil inputs (field, dims,
+			// coords) are scalar.
+			switch fi.Class {
+			case ClassElementwise, ClassStencil:
+				if inNode.Width != 1 {
+					return fmt.Errorf("dataflow: node %q: input %q has width %d, want 1", n.ID, in, inNode.Width)
+				}
+			case ClassVectorOp:
+				if inNode.Width < 2 {
+					return fmt.Errorf("dataflow: node %q: %s needs a vector-typed input, %q has width %d", n.ID, n.Filter, in, inNode.Width)
+				}
+			}
+		}
+		if n.Filter == "decompose" {
+			in := nw.byID[n.Inputs[0]]
+			if n.Comp < 0 || n.Comp >= in.Width {
+				return fmt.Errorf("dataflow: node %q: component %d out of range (width %d)", n.ID, n.Comp, in.Width)
+			}
+		}
+	}
+	if nw.output != "" {
+		if _, err := nw.TopoOrder(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

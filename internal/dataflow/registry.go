@@ -1,0 +1,126 @@
+// Package dataflow implements the framework's dataflow network: the
+// specification produced by the expression parser and consumed by the
+// execution strategies. Networks are "create and connect" pipelines of
+// sources, filters and one sink, with topological scheduling, reference
+// counting of intermediates, constant pooling and limited common
+// sub-expression elimination — the design described in Section III-B of
+// the paper.
+package dataflow
+
+import "fmt"
+
+// Class partitions filters by the execution machinery they need. The
+// distinction drives Table II's event counts: decompose is free on the
+// host (roundtrip) but needs a kernel on the device (staged); constants
+// are host-filled buffers (roundtrip), device fill kernels (staged) or
+// source literals (fusion); stencil filters need whole global arrays.
+type Class int
+
+const (
+	// ClassSource is a named input array provided by the host
+	// application (a mesh field, coordinate array, or dims descriptor).
+	ClassSource Class = iota
+	// ClassConst is a scalar constant source.
+	ClassConst
+	// ClassElementwise is a pure per-element function of its inputs.
+	ClassElementwise
+	// ClassDecompose selects one component of a vector-typed value.
+	ClassDecompose
+	// ClassStencil reads neighbouring elements of a global array
+	// (grad3d); its array input must live in device global memory.
+	ClassStencil
+	// ClassVectorOp is a per-element function of one vector-typed value
+	// (norm); like decompose, it bridges vector results back to scalars.
+	ClassVectorOp
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassSource:
+		return "source"
+	case ClassConst:
+		return "const"
+	case ClassElementwise:
+		return "elementwise"
+	case ClassDecompose:
+		return "decompose"
+	case ClassStencil:
+		return "stencil"
+	case ClassVectorOp:
+		return "vectorop"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// FilterInfo describes one primitive in the building-block library.
+type FilterInfo struct {
+	Name     string
+	Class    Class
+	Arity    int // number of input connections
+	OutWidth int // float32 components per output element (1, 2 or 4)
+}
+
+// registry is the library of supported primitives — the paper's "subset
+// of operations necessary to support the expressions explored": basic
+// math, square root, vector decomposition and the 3-D rectilinear mesh
+// field gradient, plus a few cheap extensions (neg, div, min, max, abs).
+var registry = map[string]FilterInfo{
+	"source":    {Name: "source", Class: ClassSource, Arity: 0, OutWidth: 1},
+	"const":     {Name: "const", Class: ClassConst, Arity: 0, OutWidth: 1},
+	"add":       {Name: "add", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"sub":       {Name: "sub", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"mul":       {Name: "mul", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"div":       {Name: "div", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"min":       {Name: "min", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"max":       {Name: "max", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"sqrt":      {Name: "sqrt", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"neg":       {Name: "neg", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"abs":       {Name: "abs", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"decompose": {Name: "decompose", Class: ClassDecompose, Arity: 1, OutWidth: 1},
+	// grad3d(field, dims, x, y, z) -> float4 gradient per cell.
+	"grad3d": {Name: "grad3d", Class: ClassStencil, Arity: 5, OutWidth: 4},
+	// Comparisons produce 1.0 or 0.0, feeding select — the conditional
+	// support the paper's introduction example sketches.
+	"gt": {Name: "gt", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"lt": {Name: "lt", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"ge": {Name: "ge", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"le": {Name: "le", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"eq": {Name: "eq", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	"ne": {Name: "ne", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	// select(cond, a, b) = cond != 0 ? a : b.
+	"select": {Name: "select", Class: ClassElementwise, Arity: 3, OutWidth: 1},
+	// Transcendental functions, rounding out the calculator set users
+	// of VisIt-style expression languages expect.
+	"exp": {Name: "exp", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"log": {Name: "log", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"sin": {Name: "sin", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"cos": {Name: "cos", Class: ClassElementwise, Arity: 1, OutWidth: 1},
+	"pow": {Name: "pow", Class: ClassElementwise, Arity: 2, OutWidth: 1},
+	// norm(v) = length of a vector-typed value's leading 3 lanes.
+	"norm": {Name: "norm", Class: ClassVectorOp, Arity: 1, OutWidth: 1},
+}
+
+// Lookup returns the filter info for a primitive name.
+func Lookup(name string) (FilterInfo, bool) {
+	fi, ok := registry[name]
+	return fi, ok
+}
+
+// Filters returns the names of all registered primitives (unordered).
+func Filters() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	return out
+}
+
+// IsCallable reports whether name is a primitive users may invoke as a
+// function in expressions (sources and consts are created by the parser,
+// not called).
+func IsCallable(name string) bool {
+	fi, ok := registry[name]
+	return ok && fi.Class != ClassSource && fi.Class != ClassConst && fi.Class != ClassDecompose
+}

@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"testing"
+
+	"dfg/internal/vortex"
+)
+
+// FuzzParse drives the lexer, the LALR driver, and the network builder
+// with arbitrary input: nothing may panic, and every accepted program
+// must compile into a valid network. `go test` exercises the seed
+// corpus; `go test -fuzz=FuzzParse ./internal/expr` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		vortex.VelMagExpr,
+		vortex.VortMagExpr,
+		vortex.QCritExpr,
+		vortex.EnstrophyExpr,
+		"a = if (norm(grad3d(b,dims,x,y,z)) > 5) then (c*c) else (-c*c)",
+		"a = 1e10 + .5 * u[0]",
+		"a=b;c=d\n\n#comment\ne=f",
+		"a = pow(u, 2) >= exp(v)",
+		"((((((((((",
+		"= = = =",
+		"a = u u u",
+		"\x00\xff",
+		"a = -----u",
+		"t0 = u\nb = t0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		net, err := BuildNetwork(p)
+		if err != nil {
+			return
+		}
+		net.EliminateCommonSubexpressions()
+		if err := net.Validate(); err != nil {
+			t.Fatalf("accepted program failed validation: %v\ninput: %q", err, input)
+		}
+		if _, err := net.TopoOrder(); err != nil {
+			t.Fatalf("accepted program failed scheduling: %v\ninput: %q", err, input)
+		}
+	})
+}

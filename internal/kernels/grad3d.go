@@ -1,0 +1,149 @@
+package kernels
+
+import "dfg/internal/ocl"
+
+// Grad3DFunction is the shared OpenCL C source function implementing the
+// 3-D rectilinear mesh field gradient — the paper's example of a complex
+// multi-line primitive ("requires over 50 lines of OpenCL source code").
+// It is written once and included both by the standalone kgrad3d kernel
+// (roundtrip/staged) and by generated fusion kernels, which call it
+// directly against device global memory.
+//
+// The field f is cell-centered. x, y and z are problem-sized coordinate
+// field arrays carrying each cell's center coordinates — the form a host
+// application hands coordinate data to the framework (the paper's "3
+// additional input field arrays"). Interior cells use a central
+// difference across neighbouring cell centers; boundary cells use a
+// one-sided difference; a degenerate (single-cell) axis has zero
+// gradient.
+const Grad3DFunction = `// dfg primitive: grad3d (3D rectilinear mesh field gradient)
+//
+// f is a cell-centered scalar field; x, y, z are per-cell center
+// coordinate arrays; dims packs the cell extents (nx, ny, nz).
+// Interior cells difference across neighbouring cell centers along each
+// axis; boundary cells fall back to one-sided differences; a single-cell
+// axis contributes zero. Returns (df/dx, df/dy, df/dz, 0) as a float4.
+inline float dfg_axis_diff(__global const float *f,
+                           __global const float *coord,
+                           int idx, int p, int n, int stride)
+{
+    if (n == 1) {
+        return 0.0f;
+    }
+    if (p == 0) {
+        return (f[idx + stride] - f[idx])
+             / (coord[idx + stride] - coord[idx]);
+    }
+    if (p == n - 1) {
+        return (f[idx] - f[idx - stride])
+             / (coord[idx] - coord[idx - stride]);
+    }
+    return (f[idx + stride] - f[idx - stride])
+         / (coord[idx + stride] - coord[idx - stride]);
+}
+
+// dfg_grad3d decomposes the linear cell index into (i, j, k) and
+// differences the field along each axis; the result packs the three
+// partial derivatives into a float4 (the .s3 lane is unused padding).
+inline float4 dfg_grad3d(__global const float *f,
+                         __global const float *dims,
+                         __global const float *x,
+                         __global const float *y,
+                         __global const float *z,
+                         int idx)
+{
+    int nx = (int)dims[0];
+    int ny = (int)dims[1];
+    int nz = (int)dims[2];
+
+    int i = idx % nx;
+    int rest = idx / nx;
+    int j = rest % ny;
+    int k = rest / ny;
+
+    float4 g;
+    g.s0 = dfg_axis_diff(f, x, idx, i, nx, 1);
+    g.s1 = dfg_axis_diff(f, y, idx, j, ny, nx);
+    g.s2 = dfg_axis_diff(f, z, idx, k, nz, nx * ny);
+    g.s3 = 0.0f;
+    return g;
+}
+`
+
+// grad3DKernelSrc wraps the shared function as a standalone kernel for
+// the roundtrip and staged strategies.
+const grad3DKernelSrc = Grad3DFunction + `
+__kernel void kgrad3d(__global const float *f,
+                      __global const float *dims,
+                      __global const float *x,
+                      __global const float *y,
+                      __global const float *z,
+                      __global float4 *out)
+{
+    int gid = get_global_id(0);
+    out[gid] = dfg_grad3d(f, dims, x, y, z, gid);
+}
+`
+
+// gradAxisDiff is the executable equivalent of dfg_axis_diff: coord is a
+// per-cell center coordinate array varying along the axis with the given
+// stride.
+func gradAxisDiff(f, coord []float32, idx, p, n, stride int) float32 {
+	switch {
+	case n == 1:
+		return 0
+	case p == 0:
+		return (f[idx+stride] - f[idx]) / (coord[idx+stride] - coord[idx])
+	case p == n-1:
+		return (f[idx] - f[idx-stride]) / (coord[idx] - coord[idx-stride])
+	default:
+		return (f[idx+stride] - f[idx-stride]) / (coord[idx+stride] - coord[idx-stride])
+	}
+}
+
+// GradAt is the executable equivalent of dfg_grad3d: the gradient of the
+// cell-centered field at linear cell idx. x, y and z are problem-sized
+// per-cell center coordinate arrays. The fusion generator calls this per
+// element against the source arrays in device global memory.
+func GradAt(field, x, y, z []float32, nx, ny, nz, idx int) (gx, gy, gz float32) {
+	i := idx % nx
+	rest := idx / nx
+	j := rest % ny
+	k := rest / ny
+	gx = gradAxisDiff(field, x, idx, i, nx, 1)
+	gy = gradAxisDiff(field, y, idx, j, ny, nx)
+	gz = gradAxisDiff(field, z, idx, k, nz, nx*ny)
+	return
+}
+
+// Grad3D builds the standalone gradient kernel.
+// Buffers: field, dims (nx, ny, nz as floats), x, y, z (per-cell center
+// coordinates), out (width 4).
+func Grad3D() *ocl.Kernel {
+	return &ocl.Kernel{
+		Name:    "kgrad3d",
+		Source:  grad3DKernelSrc,
+		NumBufs: 6,
+		Cost:    costGrad3D,
+		Fn: func(lo, hi int, bufs []ocl.View, _ []float64) {
+			field := bufs[0].Data
+			dims := bufs[1].Data
+			x, y, z := bufs[2].Data, bufs[3].Data, bufs[4].Data
+			out := bufs[5].Data
+			nx, ny, nz := int(dims[0]), int(dims[1]), int(dims[2])
+			for idx := lo; idx < hi; idx++ {
+				gx, gy, gz := GradAt(field, x, y, z, nx, ny, nz, idx)
+				out[4*idx+0] = gx
+				out[4*idx+1] = gy
+				out[4*idx+2] = gz
+				out[4*idx+3] = 0
+			}
+		},
+	}
+}
+
+// DimsArray packs mesh extents into the 4-float "dims" source array the
+// gradient kernels read (the paper's grad3d(u, dims, x, y, z) argument).
+func DimsArray(nx, ny, nz int) []float32 {
+	return []float32{float32(nx), float32(ny), float32(nz), 0}
+}

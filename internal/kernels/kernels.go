@@ -1,0 +1,357 @@
+// Package kernels is the framework's library of derived-field primitive
+// building blocks. Each primitive is written once — as a small OpenCL C
+// source function plus the equivalent executable body for the simulated
+// device — and shared by all execution strategies, exactly as in the
+// paper: roundtrip and staged dispatch the standalone kernels below,
+// while the fusion code generator composes the same primitives into a
+// single generated kernel (see internal/codegen).
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"dfg/internal/ocl"
+)
+
+// Costs per element for the simulated device's timing model.
+var (
+	costBinary    = ocl.Cost{Flops: 1, LoadBytes: 8, StoreBytes: 4}
+	costUnary     = ocl.Cost{Flops: 2, LoadBytes: 4, StoreBytes: 4}
+	costDecompose = ocl.Cost{Flops: 0, LoadBytes: 16, StoreBytes: 4}
+	costConstFill = ocl.Cost{Flops: 0, LoadBytes: 0, StoreBytes: 4}
+	// grad3d: three axes of neighbour loads plus coordinate lookups and
+	// a float4 store.
+	costGrad3D = ocl.Cost{Flops: 15, LoadBytes: 40, StoreBytes: 16}
+)
+
+// GradCost exposes the gradient's per-element cost to the fusion
+// generator, which sums primitive costs when composing kernels.
+func GradCost() ocl.Cost { return costGrad3D }
+
+// BinaryCost, UnaryCost, DecomposeCost and ConstFillCost likewise expose
+// the element costs of the simple primitives.
+func BinaryCost() ocl.Cost    { return costBinary }
+func UnaryCost() ocl.Cost     { return costUnary }
+func DecomposeCost() ocl.Cost { return costDecompose }
+func ConstFillCost() ocl.Cost { return costConstFill }
+
+// binarySrc renders the OpenCL C source of a two-input elementwise
+// kernel whose body is the given C expression over a[i] and b[i].
+func binarySrc(name, expr string) string {
+	return fmt.Sprintf(`// dfg primitive: %[1]s
+__kernel void k%[1]s(__global const float *a,
+                     __global const float *b,
+                     __global float *out)
+{
+    int gid = get_global_id(0);
+    out[gid] = %[2]s;
+}
+`, name, expr)
+}
+
+// unarySrc renders the OpenCL C source of a one-input elementwise kernel.
+func unarySrc(name, expr string) string {
+	return fmt.Sprintf(`// dfg primitive: %[1]s
+__kernel void k%[1]s(__global const float *a,
+                     __global float *out)
+{
+    int gid = get_global_id(0);
+    out[gid] = %[2]s;
+}
+`, name, expr)
+}
+
+// binary builds a standalone two-input elementwise kernel.
+// Buffers: a, b, out.
+func binary(name, srcExpr string, f func(a, b float32) float32) *ocl.Kernel {
+	return &ocl.Kernel{
+		Name:    "k" + name,
+		Source:  binarySrc(name, srcExpr),
+		NumBufs: 3,
+		Cost:    costBinary,
+		Fn: func(lo, hi int, bufs []ocl.View, _ []float64) {
+			a, b, out := bufs[0].Data, bufs[1].Data, bufs[2].Data
+			for i := lo; i < hi; i++ {
+				out[i] = f(a[i], b[i])
+			}
+		},
+	}
+}
+
+// unary builds a standalone one-input elementwise kernel.
+// Buffers: a, out.
+func unary(name, srcExpr string, f func(a float32) float32) *ocl.Kernel {
+	return &ocl.Kernel{
+		Name:    "k" + name,
+		Source:  unarySrc(name, srcExpr),
+		NumBufs: 2,
+		Cost:    costUnary,
+		Fn: func(lo, hi int, bufs []ocl.View, _ []float64) {
+			a, out := bufs[0].Data, bufs[1].Data
+			for i := lo; i < hi; i++ {
+				out[i] = f(a[i])
+			}
+		},
+	}
+}
+
+// Decompose builds the component-selection kernel used by the staged
+// strategy to move one lane of a vector-typed intermediate into a scalar
+// array on the device. Buffers: in (vector-typed), out (scalar).
+// Scalars: [0] = component index.
+func Decompose() *ocl.Kernel {
+	return &ocl.Kernel{
+		Name: "kdecompose",
+		Source: `// dfg primitive: decompose (vector component selection)
+__kernel void kdecompose(__global const float4 *a,
+                         __global float *out,
+                         const int comp)
+{
+    int gid = get_global_id(0);
+    float4 v = a[gid];
+    switch (comp) {
+    case 0: out[gid] = v.s0; break;
+    case 1: out[gid] = v.s1; break;
+    case 2: out[gid] = v.s2; break;
+    default: out[gid] = v.s3; break;
+    }
+}
+`,
+		NumBufs: 2,
+		Cost:    costDecompose,
+		Fn: func(lo, hi int, bufs []ocl.View, scalars []float64) {
+			in, out := bufs[0], bufs[1].Data
+			comp := int(scalars[0])
+			w := in.Width
+			for i := lo; i < hi; i++ {
+				out[i] = in.Data[i*w+comp]
+			}
+		},
+	}
+}
+
+// ConstFill builds the device fill kernel the staged strategy uses to
+// realize a constant source without a host transfer. Buffers: out.
+// Scalars: [0] = the constant.
+func ConstFill() *ocl.Kernel {
+	return &ocl.Kernel{
+		Name: "kconst_fill",
+		Source: `// dfg primitive: constant source fill
+__kernel void kconst_fill(__global float *out, const float value)
+{
+    out[get_global_id(0)] = value;
+}
+`,
+		NumBufs: 1,
+		Cost:    costConstFill,
+		Fn: func(lo, hi int, bufs []ocl.View, scalars []float64) {
+			out := bufs[0].Data
+			v := float32(scalars[0])
+			for i := lo; i < hi; i++ {
+				out[i] = v
+			}
+		},
+	}
+}
+
+// ForFilter returns a fresh standalone kernel for the named dataflow
+// primitive, or an error for names with no standalone kernel (sources
+// have no kernel; decompose and const have dedicated constructors but
+// are also returned here for convenience).
+func ForFilter(name string) (*ocl.Kernel, error) {
+	switch name {
+	case "add":
+		return binary("add", "a[gid] + b[gid]", func(a, b float32) float32 { return a + b }), nil
+	case "sub":
+		return binary("sub", "a[gid] - b[gid]", func(a, b float32) float32 { return a - b }), nil
+	case "mul":
+		return binary("mul", "a[gid] * b[gid]", func(a, b float32) float32 { return a * b }), nil
+	case "div":
+		return binary("div", "a[gid] / b[gid]", func(a, b float32) float32 { return a / b }), nil
+	case "min":
+		return binary("min", "fmin(a[gid], b[gid])", func(a, b float32) float32 {
+			return float32(math.Min(float64(a), float64(b)))
+		}), nil
+	case "max":
+		return binary("max", "fmax(a[gid], b[gid])", func(a, b float32) float32 {
+			return float32(math.Max(float64(a), float64(b)))
+		}), nil
+	case "sqrt":
+		return unary("sqrt", "sqrt(a[gid])", func(a float32) float32 {
+			return float32(math.Sqrt(float64(a)))
+		}), nil
+	case "neg":
+		return unary("neg", "-a[gid]", func(a float32) float32 { return -a }), nil
+	case "abs":
+		return unary("abs", "fabs(a[gid])", func(a float32) float32 {
+			return float32(math.Abs(float64(a)))
+		}), nil
+	case "gt":
+		return binary("gt", "(a[gid] > b[gid]) ? 1.0f : 0.0f", func(a, b float32) float32 { return b2f(a > b) }), nil
+	case "lt":
+		return binary("lt", "(a[gid] < b[gid]) ? 1.0f : 0.0f", func(a, b float32) float32 { return b2f(a < b) }), nil
+	case "ge":
+		return binary("ge", "(a[gid] >= b[gid]) ? 1.0f : 0.0f", func(a, b float32) float32 { return b2f(a >= b) }), nil
+	case "le":
+		return binary("le", "(a[gid] <= b[gid]) ? 1.0f : 0.0f", func(a, b float32) float32 { return b2f(a <= b) }), nil
+	case "eq":
+		return binary("eq", "(a[gid] == b[gid]) ? 1.0f : 0.0f", func(a, b float32) float32 { return b2f(a == b) }), nil
+	case "ne":
+		return binary("ne", "(a[gid] != b[gid]) ? 1.0f : 0.0f", func(a, b float32) float32 { return b2f(a != b) }), nil
+	case "exp":
+		return unary("exp", "exp(a[gid])", func(a float32) float32 {
+			return float32(math.Exp(float64(a)))
+		}), nil
+	case "log":
+		return unary("log", "log(a[gid])", func(a float32) float32 {
+			return float32(math.Log(float64(a)))
+		}), nil
+	case "sin":
+		return unary("sin", "sin(a[gid])", func(a float32) float32 {
+			return float32(math.Sin(float64(a)))
+		}), nil
+	case "cos":
+		return unary("cos", "cos(a[gid])", func(a float32) float32 {
+			return float32(math.Cos(float64(a)))
+		}), nil
+	case "pow":
+		return binary("pow", "pow(a[gid], b[gid])", func(a, b float32) float32 {
+			return float32(math.Pow(float64(a), float64(b)))
+		}), nil
+	case "select":
+		return Select(), nil
+	case "norm":
+		return Norm(), nil
+	case "decompose":
+		return Decompose(), nil
+	case "const":
+		return ConstFill(), nil
+	case "grad3d":
+		return Grad3D(), nil
+	default:
+		return nil, fmt.Errorf("kernels: no standalone kernel for filter %q", name)
+	}
+}
+
+// b2f encodes a comparison result as the framework's 1.0/0.0 convention.
+func b2f(b bool) float32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Select builds the conditional-choice kernel select(cond, a, b):
+// out = cond != 0 ? a : b. Buffers: cond, a, b, out.
+func Select() *ocl.Kernel {
+	return &ocl.Kernel{
+		Name: "kselect",
+		Source: `// dfg primitive: select (conditional choice)
+__kernel void kselect(__global const float *cond,
+                      __global const float *a,
+                      __global const float *b,
+                      __global float *out)
+{
+    int gid = get_global_id(0);
+    out[gid] = (cond[gid] != 0.0f) ? a[gid] : b[gid];
+}
+`,
+		NumBufs: 4,
+		Cost:    ocl.Cost{Flops: 1, LoadBytes: 12, StoreBytes: 4},
+		Fn: func(lo, hi int, bufs []ocl.View, _ []float64) {
+			cond, a, b, out := bufs[0].Data, bufs[1].Data, bufs[2].Data, bufs[3].Data
+			for i := lo; i < hi; i++ {
+				if cond[i] != 0 {
+					out[i] = a[i]
+				} else {
+					out[i] = b[i]
+				}
+			}
+		},
+	}
+}
+
+// Norm builds the vector-length kernel over a vector-typed value's
+// leading three lanes (the paper's intro sketches norm(grad(b))).
+// Buffers: in (vector-typed), out (scalar).
+func Norm() *ocl.Kernel {
+	return &ocl.Kernel{
+		Name: "knorm",
+		Source: `// dfg primitive: norm (vector length of the leading 3 lanes)
+__kernel void knorm(__global const float4 *a, __global float *out)
+{
+    int gid = get_global_id(0);
+    float4 v = a[gid];
+    out[gid] = sqrt(v.s0*v.s0 + v.s1*v.s1 + v.s2*v.s2);
+}
+`,
+		NumBufs: 2,
+		Cost:    ocl.Cost{Flops: 6, LoadBytes: 16, StoreBytes: 4},
+		Fn: func(lo, hi int, bufs []ocl.View, _ []float64) {
+			in, out := bufs[0], bufs[1].Data
+			w := in.Width
+			for i := lo; i < hi; i++ {
+				var s float64
+				for c := 0; c < 3 && c < w; c++ {
+					v := float64(in.Data[i*w+c])
+					s += v * v
+				}
+				out[i] = float32(math.Sqrt(s))
+			}
+		},
+	}
+}
+
+// ExprTemplate returns the OpenCL C expression template the fusion
+// generator uses for a simple per-element primitive, with one %s per
+// input. Complex primitives (grad3d) and non-computational nodes return
+// ok = false — the generator handles those specially.
+func ExprTemplate(filter string) (tmpl string, ok bool) {
+	switch filter {
+	case "add":
+		return "(%s + %s)", true
+	case "sub":
+		return "(%s - %s)", true
+	case "mul":
+		return "(%s * %s)", true
+	case "div":
+		return "(%s / %s)", true
+	case "min":
+		return "fmin(%s, %s)", true
+	case "max":
+		return "fmax(%s, %s)", true
+	case "sqrt":
+		return "sqrt(%s)", true
+	case "neg":
+		return "(-%s)", true
+	case "abs":
+		return "fabs(%s)", true
+	case "gt":
+		return "((%s > %s) ? 1.0f : 0.0f)", true
+	case "lt":
+		return "((%s < %s) ? 1.0f : 0.0f)", true
+	case "ge":
+		return "((%s >= %s) ? 1.0f : 0.0f)", true
+	case "le":
+		return "((%s <= %s) ? 1.0f : 0.0f)", true
+	case "eq":
+		return "((%s == %s) ? 1.0f : 0.0f)", true
+	case "ne":
+		return "((%s != %s) ? 1.0f : 0.0f)", true
+	case "select":
+		return "((%s != 0.0f) ? %s : %s)", true
+	case "exp":
+		return "exp(%s)", true
+	case "log":
+		return "log(%s)", true
+	case "sin":
+		return "sin(%s)", true
+	case "cos":
+		return "cos(%s)", true
+	case "pow":
+		return "pow(%s, %s)", true
+	default:
+		return "", false
+	}
+}

@@ -1,0 +1,307 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/mesh"
+	"dfg/internal/ocl"
+)
+
+func testEnv() *ocl.Env {
+	return ocl.NewEnv(ocl.NewDevice(ocl.XeonX5660Spec(64)))
+}
+
+func close32(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestElementwiseKernels(t *testing.T) {
+	a := []float32{1, -4, 9, 2.5, 0}
+	b := []float32{2, 2, 3, -0.5, 1}
+	cases := []struct {
+		filter string
+		inputs int
+		want   func(a, b float32) float64
+	}{
+		{"add", 2, func(a, b float32) float64 { return float64(a) + float64(b) }},
+		{"sub", 2, func(a, b float32) float64 { return float64(a) - float64(b) }},
+		{"mul", 2, func(a, b float32) float64 { return float64(a) * float64(b) }},
+		{"div", 2, func(a, b float32) float64 { return float64(a) / float64(b) }},
+		{"min", 2, func(a, b float32) float64 { return math.Min(float64(a), float64(b)) }},
+		{"max", 2, func(a, b float32) float64 { return math.Max(float64(a), float64(b)) }},
+		{"sqrt", 1, func(a, _ float32) float64 { return math.Sqrt(math.Abs(float64(a))) }},
+		{"neg", 1, func(a, _ float32) float64 { return -float64(a) }},
+		{"abs", 1, func(a, _ float32) float64 { return math.Abs(float64(a)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.filter, func(t *testing.T) {
+			env := testEnv()
+			k, err := ForFilter(tc.filter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := a
+			if tc.filter == "sqrt" {
+				in = []float32{1, 4, 9, 2.5, 0} // keep sqrt inputs non-negative
+			}
+			ba, _ := env.Upload("a", in, 1)
+			out := env.Context().MustBuffer("out", len(in), 1)
+			bufs := []*ocl.Buffer{ba, out}
+			if tc.inputs == 2 {
+				bb, _ := env.Upload("b", b, 1)
+				bufs = []*ocl.Buffer{ba, bb, out}
+			}
+			if err := env.Run(k, len(in), bufs, nil); err != nil {
+				t.Fatal(err)
+			}
+			got, _ := env.Download(out)
+			for i := range got {
+				want := tc.want(in[i], b[i])
+				if !close32(float64(got[i]), want, 1e-6) {
+					t.Fatalf("%s[%d] = %v want %v", tc.filter, i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestForFilterErrors(t *testing.T) {
+	if _, err := ForFilter("source"); err == nil {
+		t.Error("source has no standalone kernel")
+	}
+	if _, err := ForFilter("bogus"); err == nil {
+		t.Error("unknown filter must fail")
+	}
+}
+
+func TestKernelSourcesWellFormed(t *testing.T) {
+	// Every callable primitive ships real OpenCL C source with a kernel
+	// entry point named after the filter.
+	for _, name := range []string{"add", "sub", "mul", "div", "min", "max", "sqrt", "neg", "abs", "decompose", "const", "grad3d"} {
+		k, err := ForFilter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(k.Source, "__kernel void "+k.Name) {
+			t.Errorf("%s: source missing kernel entry point %q:\n%s", name, k.Name, k.Source)
+		}
+		if !strings.Contains(k.Source, "get_global_id(0)") {
+			t.Errorf("%s: source does not index the ND-range", name)
+		}
+		if k.Cost == (ocl.Cost{}) {
+			t.Errorf("%s: kernel must declare a cost model", name)
+		}
+	}
+}
+
+func TestDecomposeKernel(t *testing.T) {
+	env := testEnv()
+	const n = 100
+	vec := make([]float32, 4*n)
+	for i := 0; i < n; i++ {
+		for c := 0; c < 4; c++ {
+			vec[4*i+c] = float32(10*i + c)
+		}
+	}
+	in, err := env.Upload("vec", vec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for comp := 0; comp < 4; comp++ {
+		out := env.Context().MustBuffer("out", n, 1)
+		if err := env.Run(Decompose(), n, []*ocl.Buffer{in, out}, []float64{float64(comp)}); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := env.Download(out)
+		for i := 0; i < n; i++ {
+			if got[i] != float32(10*i+comp) {
+				t.Fatalf("decompose comp %d at %d: got %v want %v", comp, i, got[i], float32(10*i+comp))
+			}
+		}
+		out.Release()
+	}
+}
+
+func TestConstFillKernel(t *testing.T) {
+	env := testEnv()
+	const n = 64
+	out := env.Context().MustBuffer("out", n, 1)
+	if err := env.Run(ConstFill(), n, []*ocl.Buffer{out}, []float64{0.5}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := env.Download(out)
+	for i := range got {
+		if got[i] != 0.5 {
+			t.Fatalf("const fill at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestGrad3DKernelMatchesMeshGradient(t *testing.T) {
+	// Cross-validates the kernel's inline-centers stencil against the
+	// independently written mesh.Gradient3D on a non-uniform mesh.
+	rng := rand.New(rand.NewSource(3))
+	x := []float32{0, 0.3, 1.0, 1.2, 2.0, 2.9, 3.1}
+	y := []float32{0, 0.5, 1.5, 2.0, 3.3}
+	z := []float32{-2, -1, 0.5, 1}
+	m, err := mesh.NewRectilinear(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Cells()
+	field := make([]float32, n)
+	for i := range field {
+		field[i] = rng.Float32()*4 - 2
+	}
+	want := mesh.Gradient3D(field, m)
+
+	env := testEnv()
+	bf, _ := env.Upload("f", field, 1)
+	bd, _ := env.Upload("dims", DimsArray(m.Dims.NX, m.Dims.NY, m.Dims.NZ), 1)
+	cx, cy, cz := m.CellCenterFields()
+	bx, _ := env.Upload("x", cx, 1)
+	by, _ := env.Upload("y", cy, 1)
+	bz, _ := env.Upload("z", cz, 1)
+	out := env.Context().MustBuffer("out", n, 4)
+	if err := env.Run(Grad3D(), n, []*ocl.Buffer{bf, bd, bx, by, bz, out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := env.Download(out)
+	for i := 0; i < 4*n; i++ {
+		if !close32(float64(got[i]), float64(want[i]), 1e-4) {
+			t.Fatalf("gradient mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGradAtDegenerateAxes(t *testing.T) {
+	// 1x1x1 mesh: all gradient components must be zero.
+	gx, gy, gz := GradAt([]float32{5}, []float32{0.5}, []float32{0.5}, []float32{0.5}, 1, 1, 1, 0)
+	if gx != 0 || gy != 0 || gz != 0 {
+		t.Fatalf("degenerate gradient must be zero: %v %v %v", gx, gy, gz)
+	}
+}
+
+func TestDimsArray(t *testing.T) {
+	d := DimsArray(3, 5, 7)
+	if len(d) != 4 || d[0] != 3 || d[1] != 5 || d[2] != 7 || d[3] != 0 {
+		t.Fatalf("dims array wrong: %v", d)
+	}
+}
+
+func TestExprTemplateCoversElementwisePrimitives(t *testing.T) {
+	// The fusion generator must have a template for every elementwise
+	// primitive in the dataflow registry, and only those.
+	for _, name := range dataflow.Filters() {
+		fi, _ := dataflow.Lookup(name)
+		tmpl, ok := ExprTemplate(name)
+		if fi.Class == dataflow.ClassElementwise {
+			if !ok {
+				t.Errorf("elementwise filter %q has no expression template", name)
+				continue
+			}
+			if strings.Count(tmpl, "%s") != fi.Arity {
+				t.Errorf("template %q for %q must have %d operands", tmpl, name, fi.Arity)
+			}
+		} else if ok {
+			t.Errorf("non-elementwise filter %q should not have a template", name)
+		}
+	}
+}
+
+func TestGrad3DSourceSharedWithKernel(t *testing.T) {
+	// The standalone kernel source embeds the shared primitive function
+	// verbatim — "written once and shared by all execution strategies".
+	k := Grad3D()
+	if !strings.Contains(k.Source, Grad3DFunction) {
+		t.Fatal("kgrad3d source must embed the shared Grad3DFunction")
+	}
+	if c := strings.Count(Grad3DFunction, "\n"); c < 50 {
+		t.Fatalf("the paper says grad3d needs over 50 lines of OpenCL source; got %d", c)
+	}
+}
+
+func TestComparisonKernels(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	b := []float32{2, 2, 2, 2}
+	want := map[string][]float32{
+		"gt": {0, 0, 1, 1},
+		"lt": {1, 0, 0, 0},
+		"ge": {0, 1, 1, 1},
+		"le": {1, 1, 0, 0},
+		"eq": {0, 1, 0, 0},
+		"ne": {1, 0, 1, 1},
+	}
+	for name, expect := range want {
+		env := testEnv()
+		k, err := ForFilter(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, _ := env.Upload("a", a, 1)
+		bb, _ := env.Upload("b", b, 1)
+		out := env.Context().MustBuffer("out", len(a), 1)
+		if err := env.Run(k, len(a), []*ocl.Buffer{ba, bb, out}, nil); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := env.Download(out)
+		for i := range expect {
+			if got[i] != expect[i] {
+				t.Fatalf("%s[%d] = %v want %v", name, i, got[i], expect[i])
+			}
+		}
+	}
+}
+
+func TestSelectKernel(t *testing.T) {
+	env := testEnv()
+	cond := []float32{1, 0, 1, 0}
+	a := []float32{10, 20, 30, 40}
+	b := []float32{-1, -2, -3, -4}
+	bc, _ := env.Upload("c", cond, 1)
+	ba, _ := env.Upload("a", a, 1)
+	bb, _ := env.Upload("b", b, 1)
+	out := env.Context().MustBuffer("out", 4, 1)
+	if err := env.Run(Select(), 4, []*ocl.Buffer{bc, ba, bb, out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := env.Download(out)
+	for i, want := range []float32{10, -2, 30, -4} {
+		if got[i] != want {
+			t.Fatalf("select[%d] = %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestNormKernel(t *testing.T) {
+	env := testEnv()
+	vec := []float32{3, 4, 0, 0 /*|.|=5*/, 1, 2, 2, 9 /*|.|=3, s3 ignored*/}
+	in, _ := env.Upload("v", vec, 4)
+	out := env.Context().MustBuffer("out", 2, 1)
+	if err := env.Run(Norm(), 2, []*ocl.Buffer{in, out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := env.Download(out)
+	if !close32(float64(got[0]), 5, 1e-6) || !close32(float64(got[1]), 3, 1e-6) {
+		t.Fatalf("norm = %v, want [5 3] (s3 lane must be ignored)", got)
+	}
+}
+
+func TestCostAccessors(t *testing.T) {
+	for name, c := range map[string]ocl.Cost{
+		"grad":      GradCost(),
+		"binary":    BinaryCost(),
+		"unary":     UnaryCost(),
+		"decompose": DecomposeCost(),
+		"constfill": ConstFillCost(),
+	} {
+		if c.StoreBytes <= 0 {
+			t.Errorf("%s cost must store at least its output: %+v", name, c)
+		}
+	}
+	if GradCost().Flops <= BinaryCost().Flops {
+		t.Error("the gradient must cost more than an add")
+	}
+}

@@ -1,0 +1,140 @@
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// item is one LR(0) item: a production with a dot position.
+type item struct {
+	prod, dot int
+}
+
+// itemSet is a sorted set of LR(0) items.
+type itemSet []item
+
+func (s itemSet) sort() {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].prod != s[j].prod {
+			return s[i].prod < s[j].prod
+		}
+		return s[i].dot < s[j].dot
+	})
+}
+
+// key returns a canonical identity string for the set.
+func (s itemSet) key() string {
+	var b strings.Builder
+	for _, it := range s {
+		fmt.Fprintf(&b, "%d.%d;", it.prod, it.dot)
+	}
+	return b.String()
+}
+
+// state is one LR(0) automaton state: its kernel items plus the goto
+// transition map.
+type state struct {
+	kernel itemSet
+	gotos  map[string]int // symbol -> state index
+}
+
+// automaton is the canonical LR(0) collection.
+type automaton struct {
+	c      *compiled
+	states []*state
+	index  map[string]int // kernel key -> state index
+}
+
+// symbolAfterDot returns the symbol after an item's dot, or "" at the end.
+func (c *compiled) symbolAfterDot(it item) string {
+	p := c.prods[it.prod]
+	if it.dot >= len(p.Rhs) {
+		return ""
+	}
+	return p.Rhs[it.dot]
+}
+
+// closure0 expands an item set with all items A -> .gamma for every
+// nonterminal A after a dot.
+func (c *compiled) closure0(kernel itemSet) itemSet {
+	seen := make(map[item]bool, len(kernel))
+	var out itemSet
+	var stack []item
+	for _, it := range kernel {
+		if !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+			stack = append(stack, it)
+		}
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sym := c.symbolAfterDot(it)
+		if !c.nonterm[sym] {
+			continue
+		}
+		for _, pi := range c.byLhs[sym] {
+			ni := item{prod: pi, dot: 0}
+			if !seen[ni] {
+				seen[ni] = true
+				out = append(out, ni)
+				stack = append(stack, ni)
+			}
+		}
+	}
+	out.sort()
+	return out
+}
+
+// goto0 computes the kernel of GOTO(I, X).
+func (c *compiled) goto0(closed itemSet, sym string) itemSet {
+	var out itemSet
+	for _, it := range closed {
+		if c.symbolAfterDot(it) == sym {
+			out = append(out, item{prod: it.prod, dot: it.dot + 1})
+		}
+	}
+	out.sort()
+	return out
+}
+
+// buildAutomaton constructs the canonical LR(0) collection from the
+// augmented start item.
+func buildAutomaton(c *compiled) *automaton {
+	a := &automaton{c: c, index: make(map[string]int)}
+	start := itemSet{{prod: 0, dot: 0}}
+	a.add(start)
+	for i := 0; i < len(a.states); i++ {
+		st := a.states[i]
+		closed := c.closure0(st.kernel)
+		// Collect transition symbols in deterministic order.
+		var syms []string
+		seen := make(map[string]bool)
+		for _, it := range closed {
+			if s := c.symbolAfterDot(it); s != "" && !seen[s] {
+				seen[s] = true
+				syms = append(syms, s)
+			}
+		}
+		sort.Strings(syms)
+		for _, sym := range syms {
+			kernel := c.goto0(closed, sym)
+			st.gotos[sym] = a.add(kernel)
+		}
+	}
+	return a
+}
+
+// add interns a kernel, returning its state index.
+func (a *automaton) add(kernel itemSet) int {
+	k := kernel.key()
+	if idx, ok := a.index[k]; ok {
+		return idx
+	}
+	idx := len(a.states)
+	a.index[k] = idx
+	a.states = append(a.states, &state{kernel: kernel, gotos: make(map[string]int)})
+	return idx
+}

@@ -1,0 +1,408 @@
+package lalr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tok makes a test token.
+func tok(sym string, val any) Token { return Token{Sym: sym, Text: sym, Val: val, Line: 1} }
+
+// lexNums builds a token stream from a tiny arithmetic string where
+// every digit is a num token and everything else is an operator symbol.
+func lexNums(s string) *SliceLexer {
+	var toks []Token
+	col := 0
+	for _, r := range s {
+		col++
+		t := Token{Text: string(r), Line: 1, Col: col}
+		switch {
+		case r >= '0' && r <= '9':
+			t.Sym = "num"
+			t.Val = float64(r - '0')
+		case r == ' ':
+			continue
+		default:
+			t.Sym = string(r)
+		}
+		toks = append(toks, t)
+	}
+	return &SliceLexer{Tokens: toks}
+}
+
+// binop builds the usual arithmetic action.
+func binop(f func(a, b float64) float64) func([]any) any {
+	return func(v []any) any { return f(v[0].(float64), v[2].(float64)) }
+}
+
+func num(v []any) any { return v[0].(Token).Val }
+
+// unambiguousCalc is the textbook expr/term/factor grammar.
+func unambiguousCalc(t *testing.T) *Table {
+	t.Helper()
+	g := NewGrammar("expr")
+	g.Rule("expr : expr + term", binop(func(a, b float64) float64 { return a + b }))
+	g.Rule("expr : expr - term", binop(func(a, b float64) float64 { return a - b }))
+	g.Rule("expr : term", nil)
+	g.Rule("term : term * factor", binop(func(a, b float64) float64 { return a * b }))
+	g.Rule("term : term / factor", binop(func(a, b float64) float64 { return a / b }))
+	g.Rule("term : factor", nil)
+	g.Rule("factor : ( expr )", func(v []any) any { return v[1] })
+	g.Rule("factor : num", num)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Conflicts) != 0 {
+		t.Fatalf("unambiguous grammar should have no conflicts: %v", tbl.Conflicts)
+	}
+	return tbl
+}
+
+func evalWith(t *testing.T, tbl *Table, input string) float64 {
+	t.Helper()
+	v, err := tbl.Parse(lexNums(input))
+	if err != nil {
+		t.Fatalf("parse %q: %v", input, err)
+	}
+	return v.(float64)
+}
+
+func TestUnambiguousCalculator(t *testing.T) {
+	tbl := unambiguousCalc(t)
+	cases := map[string]float64{
+		"1":           1,
+		"1+2":         3,
+		"2*3+4":       10,
+		"2+3*4":       14,
+		"(2+3)*4":     20,
+		"8-2-3":       3, // left associative
+		"8/2/2":       2,
+		"1+2*(3+4)-5": 10,
+	}
+	for in, want := range cases {
+		if got := evalWith(t, tbl, in); got != want {
+			t.Errorf("%q = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestAmbiguousGrammarResolvedByPrecedence(t *testing.T) {
+	// The yacc-classic ambiguous grammar: E : E+E | E-E | E*E | E/E.
+	// Precedence declarations must resolve every shift/reduce conflict.
+	g := NewGrammar("e")
+	g.Left("+", "-")
+	g.Left("*", "/")
+	g.Rule("e : e + e", binop(func(a, b float64) float64 { return a + b }))
+	g.Rule("e : e - e", binop(func(a, b float64) float64 { return a - b }))
+	g.Rule("e : e * e", binop(func(a, b float64) float64 { return a * b }))
+	g.Rule("e : e / e", binop(func(a, b float64) float64 { return a / b }))
+	g.Rule("e : ( e )", func(v []any) any { return v[1] })
+	g.Rule("e : num", num)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatalf("precedence should resolve all conflicts: %v", err)
+	}
+	if len(tbl.Conflicts) == 0 {
+		t.Fatal("the ambiguous grammar must report (resolved) conflicts")
+	}
+	for _, c := range tbl.Conflicts {
+		if !c.Resolved {
+			t.Fatalf("unresolved conflict remained: %+v", c)
+		}
+	}
+	cases := map[string]float64{
+		"2+3*4": 14, // * binds tighter
+		"2*3+4": 10,
+		"2-3-4": -5, // left assoc
+		"8/2*2": 8,
+	}
+	for in, want := range cases {
+		if got := evalWith(t, tbl, in); got != want {
+			t.Errorf("%q = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRightAssociativity(t *testing.T) {
+	g := NewGrammar("e")
+	g.Right("^")
+	g.Rule("e : e ^ e", binop(func(a, b float64) float64 {
+		r := 1.0
+		for i := 0; i < int(b); i++ {
+			r *= a
+		}
+		return r
+	}))
+	g.Rule("e : num", num)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right associative: 2^3^2 = 2^(3^2) = 512, not (2^3)^2 = 64.
+	if got := evalWith(t, tbl, "2^3^2"); got != 512 {
+		t.Fatalf("2^3^2 = %v, want 512 (right assoc)", got)
+	}
+}
+
+func TestNonassoc(t *testing.T) {
+	g := NewGrammar("e")
+	g.Nonassoc("<")
+	g.Rule("e : e < e", func(v []any) any { return v[0] })
+	g.Rule("e : num", num)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Parse(lexNums("1<2")); err != nil {
+		t.Fatalf("single comparison must parse: %v", err)
+	}
+	if _, err := tbl.Parse(lexNums("1<2<3")); err == nil {
+		t.Fatal("chained nonassoc comparison must be a syntax error")
+	}
+}
+
+func TestUnresolvedConflictFailsBuild(t *testing.T) {
+	// Ambiguous grammar with no precedence: Build must fail but still
+	// return a usable table with yacc default resolutions.
+	g := NewGrammar("e")
+	g.Rule("e : e + e", binop(func(a, b float64) float64 { return a + b }))
+	g.Rule("e : num", num)
+	tbl, err := Build(g)
+	if err == nil {
+		t.Fatal("unresolved shift/reduce must fail Build")
+	}
+	if tbl == nil {
+		t.Fatal("Build must return the default-resolved table alongside the error")
+	}
+	// Default resolution is shift -> right associativity.
+	v, perr := tbl.Parse(lexNums("1+2+3"))
+	if perr != nil || v.(float64) != 6 {
+		t.Fatalf("default-resolved parse: %v, %v", v, perr)
+	}
+}
+
+func TestReduceReduceConflict(t *testing.T) {
+	g := NewGrammar("s")
+	g.Rule("s : a", nil)
+	g.Rule("s : b", nil)
+	g.Rule("a : x", func(v []any) any { return "a" })
+	g.Rule("b : x", func(v []any) any { return "b" })
+	tbl, err := Build(g)
+	if err == nil || !strings.Contains(err.Error(), "reduce/reduce") {
+		t.Fatalf("want reduce/reduce failure, got %v", err)
+	}
+	// yacc default: earlier production wins.
+	v, perr := tbl.Parse(&SliceLexer{Tokens: []Token{tok("x", nil)}})
+	if perr != nil || v != "a" {
+		t.Fatalf("default resolution should pick the earlier rule: %v, %v", v, perr)
+	}
+}
+
+func TestEpsilonProductions(t *testing.T) {
+	// list : list item | <empty> — counts items.
+	g := NewGrammar("list")
+	g.Rule("list : list item", func(v []any) any { return v[0].(int) + 1 })
+	g.Rule("list :", func(v []any) any { return 0 })
+	g.Rule("item : x", nil)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= 5; n++ {
+		toks := make([]Token, n)
+		for i := range toks {
+			toks[i] = tok("x", nil)
+		}
+		v, err := tbl.Parse(&SliceLexer{Tokens: toks})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if v.(int) != n {
+			t.Fatalf("n=%d: counted %v", n, v)
+		}
+	}
+}
+
+// TestLALRButNotSLR uses the textbook grammar that SLR(1) cannot handle
+// (it has a shift/reduce conflict on "=" under SLR) but LALR(1) can:
+//
+//	S -> L = R | R;  L -> * R | id;  R -> L
+//
+// Building it without conflicts proves the generator computes genuine
+// LALR lookaheads rather than SLR FOLLOW sets.
+func TestLALRButNotSLR(t *testing.T) {
+	g := NewGrammar("s")
+	g.Rule("s : l = r", func(v []any) any { return "assign" })
+	g.Rule("s : r", func(v []any) any { return "rvalue" })
+	g.Rule("l : * r", nil)
+	g.Rule("l : id", nil)
+	g.Rule("r : l", nil)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatalf("grammar is LALR(1); Build failed: %v", err)
+	}
+	if len(tbl.Conflicts) != 0 {
+		t.Fatalf("LALR(1) grammar must build conflict-free, got %v", tbl.Conflicts)
+	}
+	v, err := tbl.Parse(&SliceLexer{Tokens: []Token{tok("*", nil), tok("id", nil), tok("=", nil), tok("id", nil)}})
+	if err != nil || v != "assign" {
+		t.Fatalf("*id = id: %v, %v", v, err)
+	}
+	v, err = tbl.Parse(&SliceLexer{Tokens: []Token{tok("id", nil)}})
+	if err != nil || v != "rvalue" {
+		t.Fatalf("id: %v, %v", v, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tbl := unambiguousCalc(t)
+
+	_, err := tbl.Parse(lexNums("1+"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Token.Sym != EOF {
+		t.Fatalf("failing token should be EOF, got %q", pe.Token.Sym)
+	}
+	if len(pe.Expected) == 0 {
+		t.Fatal("parse error should list expected terminals")
+	}
+	if !strings.Contains(pe.Error(), "end of input") {
+		t.Fatalf("EOF error message: %q", pe.Error())
+	}
+
+	_, err = tbl.Parse(lexNums("1 2"))
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Token.Col != 3 {
+		t.Fatalf("error column = %d, want 3", pe.Token.Col)
+	}
+	if !strings.Contains(pe.Error(), "line 1") {
+		t.Fatalf("error message should carry the location: %q", pe.Error())
+	}
+}
+
+func TestUnknownTerminalRejected(t *testing.T) {
+	tbl := unambiguousCalc(t)
+	_, err := tbl.Parse(&SliceLexer{Tokens: []Token{tok("WAT", nil)}})
+	if err == nil || !strings.Contains(err.Error(), "unknown terminal") {
+		t.Fatalf("unknown terminal must be rejected: %v", err)
+	}
+}
+
+func TestGrammarValidation(t *testing.T) {
+	g := NewGrammar("s")
+	if _, err := Build(g); err == nil {
+		t.Error("empty grammar must fail")
+	}
+
+	g = NewGrammar("s")
+	g.Rule("nonsense", nil) // malformed
+	g.Rule("s : x", nil)
+	if _, err := Build(g); err == nil {
+		t.Error("malformed rule must fail")
+	}
+
+	g = NewGrammar("s")
+	g.Rule("t : x", nil) // start symbol never defined
+	if _, err := Build(g); err == nil {
+		t.Error("missing start symbol must fail")
+	}
+
+	g = NewGrammar("s")
+	g.Left("+")
+	g.Left("+") // duplicate precedence declaration
+	g.Rule("s : x", nil)
+	if _, err := Build(g); err == nil {
+		t.Error("duplicate precedence must fail")
+	}
+
+	g = NewGrammar("s")
+	g.Rule("s : "+EOF, nil)
+	if _, err := Build(g); err == nil {
+		t.Error("reserved EOF symbol in a rule must fail")
+	}
+
+	g = NewGrammar("s")
+	g.Rule("lhs with spaces : x", nil)
+	if _, err := Build(g); err == nil {
+		t.Error("multi-word LHS must fail")
+	}
+}
+
+func TestProdString(t *testing.T) {
+	p := &Prod{Lhs: "e", Rhs: []string{"e", "+", "t"}}
+	if p.String() != "e -> e + t" {
+		t.Fatalf("prod string: %q", p.String())
+	}
+	if (&Prod{Lhs: "e"}).String() != "e -> <empty>" {
+		t.Fatal("empty prod string wrong")
+	}
+}
+
+func TestTableIntrospection(t *testing.T) {
+	tbl := unambiguousCalc(t)
+	if tbl.States() < 10 {
+		t.Fatalf("calculator automaton suspiciously small: %d states", tbl.States())
+	}
+	if len(tbl.Productions()) != 8 {
+		t.Fatalf("want 8 productions, got %d", len(tbl.Productions()))
+	}
+}
+
+func TestDefaultActionPassesFirstValue(t *testing.T) {
+	g := NewGrammar("s")
+	g.Rule("s : num", nil) // nil action: value of first symbol (the Token)
+	tbl, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tbl.Parse(lexNums("7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tokv, ok := v.(Token); !ok || tokv.Val.(float64) != 7 {
+		t.Fatalf("default action should pass through the token, got %#v", v)
+	}
+}
+
+func TestReport(t *testing.T) {
+	tbl := unambiguousCalc(t)
+	rep := tbl.Report()
+	for _, frag := range []string{
+		"Grammar",
+		"Rule 0   $accept -> expr",
+		"Rule 1   expr -> expr + term",
+		"Terminals:",
+		"Nonterminals:",
+		"state 0",
+		"shift, go to state",
+		"reduce using rule",
+		"accept",
+		"go to state",
+	} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	if strings.Contains(rep, "Conflicts") {
+		t.Error("unambiguous grammar must not report conflicts")
+	}
+
+	// A grammar with precedence-resolved conflicts reports them.
+	g := NewGrammar("e")
+	g.Left("+")
+	g.Rule("e : e + e", nil)
+	g.Rule("e : num", nil)
+	tbl2, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl2.Report(), "resolved by precedence") {
+		t.Error("report should show resolved conflicts")
+	}
+}

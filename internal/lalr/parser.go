@@ -1,0 +1,130 @@
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Token is one lexeme handed to the parser. Sym must be a grammar
+// terminal (or EOF); Text and position fields feed error messages; Val
+// carries an optional pre-parsed semantic value (e.g. a float for a
+// NUMBER token).
+type Token struct {
+	Sym  string
+	Text string
+	Pos  int // byte offset in the input
+	Line int // 1-based line number
+	Col  int // 1-based column
+	Val  any
+}
+
+// Lexer produces the token stream. Next returns EOF-symbol tokens
+// forever once input is exhausted.
+type Lexer interface {
+	Next() (Token, error)
+}
+
+// ParseError is a syntax error with location and expectation context.
+type ParseError struct {
+	Token    Token
+	Expected []string // terminals acceptable in the failing state
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	where := e.Token.Text
+	if e.Token.Sym == EOF {
+		where = "end of input"
+	} else {
+		where = fmt.Sprintf("%q", where)
+	}
+	msg := fmt.Sprintf("syntax error at line %d, column %d: unexpected %s", e.Token.Line, e.Token.Col, where)
+	if len(e.Expected) > 0 {
+		msg += fmt.Sprintf(" (expected %s)", strings.Join(e.Expected, ", "))
+	}
+	return msg
+}
+
+// Parse runs the table-driven shift-reduce parser over the lexer's
+// tokens and returns the start symbol's semantic value.
+func (t *Table) Parse(lx Lexer) (any, error) {
+	states := []int{0}
+	values := []any{nil}
+
+	tok, err := lx.Next()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		s := states[len(states)-1]
+		act, ok := t.actions[s][tok.Sym]
+		if !ok || act.typ == actErr || act.typ == actNone {
+			if _, known := t.c.terms[tok.Sym]; !known && tok.Sym != EOF {
+				return nil, fmt.Errorf("lalr: lexer produced unknown terminal %q at line %d", tok.Sym, tok.Line)
+			}
+			return nil, &ParseError{Token: tok, Expected: t.expected(s)}
+		}
+		switch act.typ {
+		case actShift:
+			states = append(states, act.target)
+			values = append(values, tok)
+			if tok, err = lx.Next(); err != nil {
+				return nil, err
+			}
+		case actReduce:
+			p := t.c.prods[act.target]
+			n := len(p.Rhs)
+			args := make([]any, n)
+			copy(args, values[len(values)-n:])
+			states = states[:len(states)-n]
+			values = values[:len(values)-n]
+
+			var v any
+			if p.Action != nil {
+				v = p.Action(args)
+			} else if n > 0 {
+				v = args[0]
+			}
+			top := states[len(states)-1]
+			next, ok := t.gotos[top][p.Lhs]
+			if !ok {
+				return nil, fmt.Errorf("lalr: internal error: no goto from state %d on %q", top, p.Lhs)
+			}
+			states = append(states, next)
+			values = append(values, v)
+		case actAccept:
+			return values[len(values)-1], nil
+		}
+	}
+}
+
+// expected lists the terminals with actions in a state, sorted, for
+// error messages.
+func (t *Table) expected(state int) []string {
+	var out []string
+	for term, a := range t.actions[state] {
+		if a.typ == actShift || a.typ == actReduce || a.typ == actAccept {
+			out = append(out, term)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SliceLexer adapts a pre-tokenized slice to the Lexer interface,
+// appending EOF; useful in tests.
+type SliceLexer struct {
+	Tokens []Token
+	i      int
+}
+
+// Next returns the next token, then EOF forever.
+func (s *SliceLexer) Next() (Token, error) {
+	if s.i < len(s.Tokens) {
+		t := s.Tokens[s.i]
+		s.i++
+		return t, nil
+	}
+	return Token{Sym: EOF}, nil
+}

@@ -1,0 +1,82 @@
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report renders a human-readable description of the compiled grammar
+// and parse table, in the spirit of yacc's y.output / PLY's parser.out:
+// the numbered productions, per-state kernel items with their actions,
+// and any conflicts. It exists for grammar debugging and is pinned by
+// tests so table construction stays explainable.
+func (t *Table) Report() string {
+	var b strings.Builder
+
+	b.WriteString("Grammar\n\n")
+	for i, p := range t.c.prods {
+		fmt.Fprintf(&b, "Rule %-3d %s\n", i, p)
+	}
+
+	fmt.Fprintf(&b, "\nTerminals: %s\n", joinSorted(keys(t.c.terms)))
+	fmt.Fprintf(&b, "Nonterminals: %s\n", joinSorted(keys(t.c.nonterm)))
+
+	fmt.Fprintf(&b, "\nStates: %d\n", t.numStates)
+	for s := 0; s < t.numStates; s++ {
+		fmt.Fprintf(&b, "\nstate %d\n", s)
+		var terms []string
+		for term := range t.actions[s] {
+			terms = append(terms, term)
+		}
+		sort.Strings(terms)
+		for _, term := range terms {
+			a := t.actions[s][term]
+			switch a.typ {
+			case actShift:
+				fmt.Fprintf(&b, "    %-12s shift, go to state %d\n", term, a.target)
+			case actReduce:
+				fmt.Fprintf(&b, "    %-12s reduce using rule %d (%s)\n", term, a.target, t.c.prods[a.target])
+			case actAccept:
+				fmt.Fprintf(&b, "    %-12s accept\n", term)
+			case actErr:
+				fmt.Fprintf(&b, "    %-12s error (nonassoc)\n", term)
+			}
+		}
+		var nts []string
+		for nt := range t.gotos[s] {
+			nts = append(nts, nt)
+		}
+		sort.Strings(nts)
+		for _, nt := range nts {
+			fmt.Fprintf(&b, "    %-12s go to state %d\n", nt, t.gotos[s][nt])
+		}
+	}
+
+	if len(t.Conflicts) > 0 {
+		fmt.Fprintf(&b, "\nConflicts: %d\n", len(t.Conflicts))
+		for _, c := range t.Conflicts {
+			status := "UNRESOLVED"
+			if c.Resolved {
+				status = "resolved by precedence"
+			}
+			fmt.Fprintf(&b, "    state %d on %q: %s (%s) — %s\n", c.State, c.Terminal, c.Kind, c.Detail, status)
+		}
+	}
+	return b.String()
+}
+
+// keys collects a set's members.
+func keys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// joinSorted renders a sorted, space-joined list.
+func joinSorted(items []string) string {
+	sort.Strings(items)
+	return strings.Join(items, " ")
+}

@@ -1,0 +1,69 @@
+package lalr
+
+// computeFirst computes nullability and FIRST sets for all symbols by
+// fixpoint iteration. FIRST of a terminal is itself; FIRST of a
+// nonterminal is the union over its productions of the FIRST of their
+// right sides.
+func (c *compiled) computeFirst() {
+	c.nullable = make(map[string]bool)
+	c.first = make(map[string]map[string]bool)
+	for t := range c.terms {
+		c.first[t] = map[string]bool{t: true}
+	}
+	for nt := range c.nonterm {
+		c.first[nt] = make(map[string]bool)
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, p := range c.prods {
+			// Nullability: every RHS symbol nullable.
+			allNullable := true
+			for _, s := range p.Rhs {
+				if !c.nullable[s] {
+					allNullable = false
+					break
+				}
+			}
+			if allNullable && !c.nullable[p.Lhs] {
+				c.nullable[p.Lhs] = true
+				changed = true
+			}
+			// FIRST: add FIRST of each prefix symbol while the prefix
+			// before it is nullable.
+			dst := c.first[p.Lhs]
+			for _, s := range p.Rhs {
+				for t := range c.first[s] {
+					if !dst[t] {
+						dst[t] = true
+						changed = true
+					}
+				}
+				if !c.nullable[s] {
+					break
+				}
+			}
+		}
+	}
+}
+
+// firstOfSeq computes FIRST of a symbol sequence followed by a lookahead
+// terminal: the terminals that can begin seq, plus la if seq is
+// nullable. Used by the LR(1) closure during lookahead computation.
+func (c *compiled) firstOfSeq(seq []string, la string) map[string]bool {
+	out := make(map[string]bool)
+	nullable := true
+	for _, s := range seq {
+		for t := range c.first[s] {
+			out[t] = true
+		}
+		if !c.nullable[s] {
+			nullable = false
+			break
+		}
+	}
+	if nullable {
+		out[la] = true
+	}
+	return out
+}

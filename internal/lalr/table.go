@@ -1,0 +1,184 @@
+package lalr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// actType discriminates parse actions.
+type actType int
+
+const (
+	actNone actType = iota
+	actShift
+	actReduce
+	actAccept
+	actErr // explicit error from a nonassoc conflict
+)
+
+// action is one ACTION table entry.
+type action struct {
+	typ    actType
+	target int // shift: next state; reduce: production index
+}
+
+// Conflict records a parse-table conflict and how it was settled.
+type Conflict struct {
+	State    int
+	Terminal string
+	Kind     string // "shift/reduce" or "reduce/reduce"
+	Resolved bool   // true if precedence declarations settled it
+	Detail   string
+}
+
+// Table is a compiled LALR(1) parse table ready to drive Parse.
+type Table struct {
+	c       *compiled
+	actions []map[string]action
+	gotos   []map[string]int
+	// Conflicts lists every conflict encountered during construction,
+	// including those resolved by precedence declarations.
+	Conflicts []Conflict
+	numStates int
+}
+
+// States returns the number of automaton states.
+func (t *Table) States() int { return t.numStates }
+
+// Productions returns the grammar's productions (excluding the
+// augmented start rule), for diagnostics.
+func (t *Table) Productions() []*Prod { return t.c.prods[1:] }
+
+// Build compiles the grammar into an LALR(1) parse table. Conflicts not
+// resolved by precedence declarations make Build fail; the returned
+// table (valid, with yacc-style default resolutions applied) accompanies
+// the error so callers can inspect it.
+func Build(g *Grammar) (*Table, error) {
+	c, err := g.compile()
+	if err != nil {
+		return nil, err
+	}
+	a := buildAutomaton(c)
+	las := computeLookaheads(a)
+
+	t := &Table{c: c, numStates: len(a.states)}
+	t.actions = make([]map[string]action, len(a.states))
+	t.gotos = make([]map[string]int, len(a.states))
+
+	// prodPrec resolves a production's precedence: the explicit %prec
+	// terminal if given, else the last terminal of the right side.
+	prodPrec := func(p *Prod) (prec, bool) {
+		name := p.precTerm
+		if name == "" {
+			for i := len(p.Rhs) - 1; i >= 0; i-- {
+				if c.terms[p.Rhs[i]] {
+					name = p.Rhs[i]
+					break
+				}
+			}
+		}
+		pr, ok := g.precs[name]
+		return pr, ok
+	}
+
+	for si, st := range a.states {
+		acts := make(map[string]action)
+		gts := make(map[string]int)
+		t.actions[si] = acts
+		t.gotos[si] = gts
+
+		// Shifts and gotos from the LR(0) transitions.
+		for sym, target := range st.gotos {
+			if c.nonterm[sym] {
+				gts[sym] = target
+			} else {
+				acts[sym] = action{typ: actShift, target: target}
+			}
+		}
+
+		// Reduces from the LR(1) closure of the kernel with its LALR
+		// lookaheads (this also covers epsilon items, which are
+		// non-kernel).
+		var seed []laItem
+		for _, k := range st.kernel {
+			for la := range las[kernelRef{si, k}] {
+				seed = append(seed, laItem{it: k, la: la})
+			}
+		}
+		closed := c.closure1(seed)
+		sort.Slice(closed, func(i, j int) bool {
+			if closed[i].it.prod != closed[j].it.prod {
+				return closed[i].it.prod < closed[j].it.prod
+			}
+			return closed[i].la < closed[j].la
+		})
+		for _, li := range closed {
+			p := c.prods[li.it.prod]
+			if li.it.dot != len(p.Rhs) {
+				continue // not a reduce item
+			}
+			if li.it.prod == 0 {
+				if li.la == EOF {
+					acts[EOF] = action{typ: actAccept}
+				}
+				continue
+			}
+			red := action{typ: actReduce, target: li.it.prod}
+			existing, ok := acts[li.la]
+			if !ok {
+				acts[li.la] = red
+				continue
+			}
+			switch existing.typ {
+			case actShift:
+				// shift/reduce: try precedence.
+				tPrec, tOK := g.precs[li.la]
+				pPrec, pOK := prodPrec(p)
+				conf := Conflict{State: si, Terminal: li.la, Kind: "shift/reduce",
+					Detail: fmt.Sprintf("shift vs reduce %v", p)}
+				if tOK && pOK {
+					conf.Resolved = true
+					switch {
+					case pPrec.level > tPrec.level:
+						acts[li.la] = red
+					case pPrec.level < tPrec.level:
+						// keep shift
+					default:
+						switch tPrec.assoc {
+						case AssocLeft:
+							acts[li.la] = red
+						case AssocRight:
+							// keep shift
+						case AssocNonassoc:
+							acts[li.la] = action{typ: actErr}
+						}
+					}
+				}
+				// Unresolved: keep the shift (yacc's default).
+				t.Conflicts = append(t.Conflicts, conf)
+			case actReduce:
+				// reduce/reduce: earlier production wins (yacc default).
+				conf := Conflict{State: si, Terminal: li.la, Kind: "reduce/reduce",
+					Detail: fmt.Sprintf("%v vs %v", c.prods[existing.target], p)}
+				if p2 := existing.target; li.it.prod < p2 {
+					acts[li.la] = red
+				}
+				t.Conflicts = append(t.Conflicts, conf)
+			case actAccept, actErr:
+				// Accept is only on EOF for the start rule; ignore.
+			}
+		}
+	}
+
+	var unresolved []string
+	for _, cf := range t.Conflicts {
+		if !cf.Resolved {
+			unresolved = append(unresolved, fmt.Sprintf("state %d on %q: %s (%s)", cf.State, cf.Terminal, cf.Kind, cf.Detail))
+		}
+	}
+	if len(unresolved) > 0 {
+		return t, fmt.Errorf("lalr: %d unresolved conflict(s):\n  %s", len(unresolved), strings.Join(unresolved, "\n  "))
+	}
+	return t, nil
+}

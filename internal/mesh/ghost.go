@@ -1,0 +1,134 @@
+package mesh
+
+import "fmt"
+
+// Extent is a half-open box of cells [Lo, Hi) in the global cell index
+// space of a larger mesh. The distributed-memory evaluation decomposes
+// the paper's 3072^3 mesh into 3072 such sub-grids and grows each by a
+// ghost stencil so gradients are correct at block boundaries.
+type Extent struct {
+	Lo, Hi [3]int
+}
+
+// Dims returns the cell extent of the box.
+func (e Extent) Dims() Dims {
+	return Dims{NX: e.Hi[0] - e.Lo[0], NY: e.Hi[1] - e.Lo[1], NZ: e.Hi[2] - e.Lo[2]}
+}
+
+// Cells returns the number of cells in the box.
+func (e Extent) Cells() int { return e.Dims().Cells() }
+
+// Contains reports whether the global cell (i, j, k) lies in the box.
+func (e Extent) Contains(i, j, k int) bool {
+	return i >= e.Lo[0] && i < e.Hi[0] &&
+		j >= e.Lo[1] && j < e.Hi[1] &&
+		k >= e.Lo[2] && k < e.Hi[2]
+}
+
+// Grow expands the box by g ghost layers on every face, clipped to the
+// global domain — exactly what VisIt's ghost-data generation hands the
+// framework: interior cells plus a stencil of duplicated neighbour cells.
+func (e Extent) Grow(g int, domain Dims) Extent {
+	max := [3]int{domain.NX, domain.NY, domain.NZ}
+	out := e
+	for a := 0; a < 3; a++ {
+		out.Lo[a] -= g
+		if out.Lo[a] < 0 {
+			out.Lo[a] = 0
+		}
+		out.Hi[a] += g
+		if out.Hi[a] > max[a] {
+			out.Hi[a] = max[a]
+		}
+	}
+	return out
+}
+
+// LocalTo translates the box into the local cell index space of an
+// enclosing box (typically the ghost-grown block), so a rank can find its
+// interior region inside its haloed arrays.
+func (e Extent) LocalTo(outer Extent) Extent {
+	var out Extent
+	for a := 0; a < 3; a++ {
+		out.Lo[a] = e.Lo[a] - outer.Lo[a]
+		out.Hi[a] = e.Hi[a] - outer.Lo[a]
+	}
+	return out
+}
+
+// Decompose splits the domain into parts[0] x parts[1] x parts[2] boxes.
+// Extents need not divide evenly; earlier boxes get the extra cells.
+// Boxes are returned in X-fastest order.
+func Decompose(domain Dims, parts [3]int) ([]Extent, error) {
+	n := [3]int{domain.NX, domain.NY, domain.NZ}
+	for a := 0; a < 3; a++ {
+		if parts[a] < 1 || parts[a] > n[a] {
+			return nil, fmt.Errorf("mesh: cannot split extent %d into %d parts (axis %d)", n[a], parts[a], a)
+		}
+	}
+	cuts := func(extent, p int) []int {
+		c := make([]int, p+1)
+		base, rem := extent/p, extent%p
+		for i := 1; i <= p; i++ {
+			c[i] = c[i-1] + base
+			if i <= rem {
+				c[i]++
+			}
+		}
+		return c
+	}
+	cx, cy, cz := cuts(n[0], parts[0]), cuts(n[1], parts[1]), cuts(n[2], parts[2])
+	out := make([]Extent, 0, parts[0]*parts[1]*parts[2])
+	for k := 0; k < parts[2]; k++ {
+		for j := 0; j < parts[1]; j++ {
+			for i := 0; i < parts[0]; i++ {
+				out = append(out, Extent{
+					Lo: [3]int{cx[i], cy[j], cz[k]},
+					Hi: [3]int{cx[i+1], cy[j+1], cz[k+1]},
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExtractField copies the cells of box e out of a global cell-centered
+// field with extent gd into a new dense array in the box's local layout.
+// This is the "ghost data exchange": a rank's haloed input arrays are
+// extracted from the global arrays (in a real MPI run, the duplicated
+// cells come from neighbour ranks; the data is identical).
+func ExtractField(global []float32, gd Dims, e Extent) ([]float32, error) {
+	if len(global) != gd.Cells() {
+		return nil, fmt.Errorf("mesh: global field has %d cells, extent %v needs %d", len(global), gd, gd.Cells())
+	}
+	ld := e.Dims()
+	if err := ld.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]float32, ld.Cells())
+	for k := 0; k < ld.NZ; k++ {
+		for j := 0; j < ld.NY; j++ {
+			srcRow := gd.Index(e.Lo[0], e.Lo[1]+j, e.Lo[2]+k)
+			dstRow := ld.Index(0, j, k)
+			copy(out[dstRow:dstRow+ld.NX], global[srcRow:srcRow+ld.NX])
+		}
+	}
+	return out, nil
+}
+
+// Submesh slices a mesh down to box e: the sub-grid's coordinate arrays
+// are the corresponding windows of the parent's point coordinates.
+func Submesh(m *Mesh, e Extent) (*Mesh, error) {
+	d := m.Dims
+	for a, n := range [3]int{d.NX, d.NY, d.NZ} {
+		if e.Lo[a] < 0 || e.Hi[a] > n || e.Lo[a] >= e.Hi[a] {
+			return nil, fmt.Errorf("mesh: extent %v out of range of mesh %v (axis %d)", e, d, a)
+		}
+	}
+	return &Mesh{
+		Dims: e.Dims(),
+		X:    m.X[e.Lo[0] : e.Hi[0]+1],
+		Y:    m.Y[e.Lo[1] : e.Hi[1]+1],
+		Z:    m.Z[e.Lo[2] : e.Hi[2]+1],
+	}, nil
+}

@@ -1,0 +1,53 @@
+package mesh
+
+// Gradient3DRange computes the gradient of a cell-centered scalar field
+// on a rectilinear mesh for the linear cell range [lo, hi), writing one
+// float4 per cell into out (components .s0=d/dx, .s1=d/dy, .s2=d/dz,
+// .s3=0 — OpenCL aligns float3 like float4, which is how the paper's
+// grad3d kernel returns multiple values per element).
+//
+// Interior cells use a central difference across neighbouring cell
+// centers; boundary cells fall back to a one-sided difference. cx, cy, cz
+// are the per-axis cell-center coordinates (see Mesh.CellCenters).
+//
+// This is the stencil the grad3d primitive, the fused kernels and the
+// reference kernels all implement; internal/vortex carries an independent
+// golden formulation used to cross-check it.
+func Gradient3DRange(out, field []float32, d Dims, cx, cy, cz []float32, lo, hi int) {
+	nx, ny := d.NX, d.NY
+	for idx := lo; idx < hi; idx++ {
+		i := idx % nx
+		rest := idx / nx
+		j := rest % ny
+		k := rest / ny
+
+		out[4*idx+0] = axisDiff(field, cx, idx, i, nx, 1)
+		out[4*idx+1] = axisDiff(field, cy, idx, j, ny, nx)
+		out[4*idx+2] = axisDiff(field, cz, idx, k, d.NZ, nx*ny)
+		out[4*idx+3] = 0
+	}
+}
+
+// axisDiff differences the field along one axis at position p (0..n-1)
+// with linear stride between consecutive cells along that axis.
+func axisDiff(field, centers []float32, idx, p, n, stride int) float32 {
+	switch {
+	case n == 1:
+		return 0
+	case p == 0:
+		return (field[idx+stride] - field[idx]) / (centers[1] - centers[0])
+	case p == n-1:
+		return (field[idx] - field[idx-stride]) / (centers[n-1] - centers[n-2])
+	default:
+		return (field[idx+stride] - field[idx-stride]) / (centers[p+1] - centers[p-1])
+	}
+}
+
+// Gradient3D computes the full-mesh gradient of a cell-centered field,
+// returning a freshly allocated float4-per-cell array.
+func Gradient3D(field []float32, m *Mesh) []float32 {
+	out := make([]float32, 4*m.Cells())
+	cx, cy, cz := m.CellCenters()
+	Gradient3DRange(out, field, m.Dims, cx, cy, cz, 0, m.Cells())
+	return out
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import "fmt"
+
+// This file reproduces the paper's Figure 2: an analytical illustration
+// of the device-memory constraints each execution strategy needs to run
+// the same example dataflow network. The figure's network is schematic —
+// two filters, problem-sized arrays only — so the reproduction applies
+// the strategies' memory-accounting rules symbolically rather than
+// executing kernels.
+
+// SchemNode is one node of a schematic network. Sources have no inputs.
+type SchemNode struct {
+	ID     string
+	Inputs []string
+	// Stencil marks a filter with complex memory requirements (like
+	// grad3d): it must read its first input from device global memory.
+	Stencil bool
+}
+
+// SchematicMemory applies one strategy's memory rules to a schematic
+// network whose last node is the output, and returns the peak number of
+// problem-sized arrays resident on the device.
+//
+//   - roundtrip: one kernel per filter; peak = max over filters of
+//     inputs + output (intermediates live on the host).
+//   - staged: all sources upload up front; every filter output is a
+//     device array; arrays free when their last consumer has run.
+//   - fusion: sources + final output; plus a global scratch array for
+//     every value a stencil consumes that is not a source (the
+//     generator's materialization rule).
+func SchematicMemory(nodes []SchemNode, strategyName string) (int, error) {
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("metrics: empty schematic network")
+	}
+	byID := make(map[string]*SchemNode, len(nodes))
+	for i := range nodes {
+		byID[nodes[i].ID] = &nodes[i]
+		for _, in := range nodes[i].Inputs {
+			if byID[in] == nil {
+				return 0, fmt.Errorf("metrics: node %q references unknown input %q", nodes[i].ID, in)
+			}
+		}
+	}
+	isSource := func(n *SchemNode) bool { return len(n.Inputs) == 0 }
+	out := nodes[len(nodes)-1].ID
+
+	switch strategyName {
+	case "roundtrip":
+		peak := 0
+		for i := range nodes {
+			n := &nodes[i]
+			if isSource(n) {
+				continue
+			}
+			if need := len(n.Inputs) + 1; need > peak {
+				peak = need
+			}
+		}
+		return peak, nil
+
+	case "staged":
+		// Reference counts: one per consuming connection, +1 for the sink.
+		refs := make(map[string]int)
+		for i := range nodes {
+			for _, in := range nodes[i].Inputs {
+				refs[in]++
+			}
+		}
+		refs[out]++
+		live := 0
+		peak := 0
+		for i := range nodes {
+			if isSource(&nodes[i]) {
+				live++ // uploaded up front
+			}
+		}
+		if live > peak {
+			peak = live
+		}
+		for i := range nodes {
+			n := &nodes[i]
+			if isSource(n) {
+				continue
+			}
+			live++ // allocate the filter's output
+			if live > peak {
+				peak = live
+			}
+			for _, in := range n.Inputs {
+				refs[in]--
+				if refs[in] == 0 {
+					live--
+				}
+			}
+		}
+		return peak, nil
+
+	case "fusion":
+		arrays := 1 // the output
+		for i := range nodes {
+			n := &nodes[i]
+			if isSource(n) {
+				arrays++
+				continue
+			}
+			if n.Stencil && !isSource(byID[n.Inputs[0]]) {
+				arrays++ // materialized scratch for the stencil's input
+			}
+		}
+		return arrays, nil
+
+	default:
+		return 0, fmt.Errorf("metrics: unknown strategy %q", strategyName)
+	}
+}
+
+// Fig2Network is the paper's Figure 2 example: an elementwise filter
+// combining two inputs, feeding a stencil filter that also reads a third
+// input.
+func Fig2Network() []SchemNode {
+	return []SchemNode{
+		{ID: "A"},
+		{ID: "B"},
+		{ID: "C"},
+		{ID: "T", Inputs: []string{"A", "B"}},
+		{ID: "OUT", Inputs: []string{"T", "C"}, Stencil: true},
+	}
+}
+
+// Fig2 renders the Figure 2 comparison: problem-sized device arrays
+// needed by each strategy on the example network.
+func Fig2() (*Table, error) {
+	t := NewTable("Figure 2: device memory constraints on the example network (problem-sized arrays)",
+		"Strategy", "Arrays", "Why")
+	why := map[string]string{
+		"roundtrip": "intermediates stored in host memory; peak is one kernel's working set",
+		"staged":    "intermediate T held in device memory while the second filter executes",
+		"fusion":    "all inputs + output resident, plus global scratch for the stencil's computed input",
+	}
+	for _, s := range []string{"roundtrip", "staged", "fusion"} {
+		n, err := SchematicMemory(Fig2Network(), s)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(s, fmt.Sprintf("%d", n), why[s])
+	}
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dfg/internal/ocl"
+)
+
+// traceEvent is one Chrome-trace "complete" event (the chrome://tracing
+// and Perfetto JSON array format).
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteTrace renders a queue's device event log as Chrome-trace JSON, so
+// a run's modeled timeline (transfers vs kernels) can be inspected in
+// chrome://tracing or Perfetto. Each event category gets its own track:
+// tid 0 = host-to-device, tid 1 = kernels, tid 2 = device-to-host.
+func WriteTrace(w io.Writer, deviceName string, events []ocl.Event) error {
+	out := make([]traceEvent, 0, len(events))
+	for _, e := range events {
+		var cat string
+		var tid int
+		switch e.Kind {
+		case ocl.WriteEvent:
+			cat, tid = "host-to-device", 0
+		case ocl.KernelEvent:
+			cat, tid = "kernel", 1
+		case ocl.ReadEvent:
+			cat, tid = "device-to-host", 2
+		}
+		args := map[string]string{"device": deviceName}
+		if e.Bytes > 0 {
+			args["bytes"] = fmt.Sprintf("%d", e.Bytes)
+		}
+		if e.GlobalSize > 0 {
+			args["global_size"] = fmt.Sprintf("%d", e.GlobalSize)
+		}
+		out = append(out, traceEvent{
+			Name:  e.Name,
+			Cat:   cat,
+			Phase: "X",
+			TS:    float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:   float64(e.Duration().Nanoseconds()) / 1e3,
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

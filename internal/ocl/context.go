@@ -1,0 +1,196 @@
+package ocl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Context owns device buffer allocations, mirroring cl_context. It
+// enforces the device's global memory capacity and tracks the
+// high-water mark of allocated bytes — the quantity plotted in the
+// paper's Figure 6.
+type Context struct {
+	dev *Device
+
+	mu    sync.Mutex
+	used  int64
+	peak  int64
+	live  int
+	alloc int // total successful allocations (monotone)
+	// injectAfter counts down successful allocations until one injected
+	// failure (-1 = disabled). See InjectAllocFailure.
+	injectAfter int
+}
+
+// NewContext creates a context on the device.
+func NewContext(dev *Device) *Context {
+	return &Context{dev: dev, injectAfter: -1}
+}
+
+// InjectAllocFailure arms a one-shot fault: after n more successful
+// buffer allocations, the next allocation fails with
+// ErrOutOfDeviceMemory regardless of capacity. Real devices fail
+// allocations for reasons beyond raw capacity (fragmentation, runtime
+// reserves), and strategies must clean up wherever the failure lands;
+// the fault-injection tests sweep n across whole executions.
+func (c *Context) InjectAllocFailure(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.injectAfter = n
+}
+
+// Device returns the context's device.
+func (c *Context) Device() *Device { return c.dev }
+
+// Used returns the bytes currently allocated to live buffers.
+func (c *Context) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Peak returns the high-water mark of allocated bytes since the context
+// was created or ResetPeak was last called.
+func (c *Context) Peak() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+// LiveBuffers returns the number of unreleased buffers.
+func (c *Context) LiveBuffers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live
+}
+
+// Allocations returns the total number of successful buffer allocations.
+func (c *Context) Allocations() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alloc
+}
+
+// ResetPeak sets the high-water mark to the current usage, so a fresh
+// experiment can be measured on a long-lived context.
+func (c *Context) ResetPeak() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.peak = c.used
+}
+
+// Buffer is a device global-memory allocation, mirroring cl_mem. Elements
+// may be scalar (Width 1) or OpenCL vector typed (Width 2 or 4, as the
+// fusion code generator uses float2/float4).
+type Buffer struct {
+	ctx   *Context
+	label string
+	data  []float32
+	elems int
+	width int
+	bytes int64
+
+	mu       sync.Mutex
+	released bool
+}
+
+// NewBuffer allocates a device buffer of elems elements, each width
+// float32 components wide. The label is used in diagnostics and event
+// records. Allocation fails with an *AllocError if the buffer alone
+// exceeds the device's max allocation size or if it would push total
+// usage past global memory capacity.
+func (c *Context) NewBuffer(label string, elems, width int) (*Buffer, error) {
+	if elems < 0 || width < 1 {
+		return nil, fmt.Errorf("ocl: buffer %q: invalid shape %d x %d", label, elems, width)
+	}
+	bytes := int64(elems) * int64(width) * 4
+	spec := c.dev.spec
+
+	c.mu.Lock()
+	if c.injectAfter == 0 {
+		c.injectAfter = -1
+		err := &AllocError{Device: spec.Name, Buffer: label, Requested: bytes, InUse: c.used, Capacity: spec.GlobalMemSize, Err: ErrOutOfDeviceMemory}
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.injectAfter > 0 {
+		c.injectAfter--
+	}
+	if bytes > spec.MaxAllocSize {
+		err := &AllocError{Device: spec.Name, Buffer: label, Requested: bytes, InUse: c.used, Capacity: spec.GlobalMemSize, Err: ErrAllocTooLarge}
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.used+bytes > spec.GlobalMemSize {
+		err := &AllocError{Device: spec.Name, Buffer: label, Requested: bytes, InUse: c.used, Capacity: spec.GlobalMemSize, Err: ErrOutOfDeviceMemory}
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.used += bytes
+	if c.used > c.peak {
+		c.peak = c.used
+	}
+	c.live++
+	c.alloc++
+	c.mu.Unlock()
+
+	return &Buffer{
+		ctx:   c,
+		label: label,
+		data:  make([]float32, elems*width),
+		elems: elems,
+		width: width,
+		bytes: bytes,
+	}, nil
+}
+
+// MustBuffer is NewBuffer for tests and examples where allocation cannot
+// fail; it panics on error.
+func (c *Context) MustBuffer(label string, elems, width int) *Buffer {
+	b, err := c.NewBuffer(label, elems, width)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Release frees the buffer's device memory. Releasing twice is a no-op,
+// matching clReleaseMemObject reference semantics for a single owner.
+func (b *Buffer) Release() {
+	b.mu.Lock()
+	if b.released {
+		b.mu.Unlock()
+		return
+	}
+	b.released = true
+	b.mu.Unlock()
+
+	b.ctx.mu.Lock()
+	b.ctx.used -= b.bytes
+	b.ctx.live--
+	b.ctx.mu.Unlock()
+}
+
+// Released reports whether the buffer has been released.
+func (b *Buffer) Released() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.released
+}
+
+// Label returns the diagnostic label given at allocation.
+func (b *Buffer) Label() string { return b.label }
+
+// Elems returns the number of elements in the buffer.
+func (b *Buffer) Elems() int { return b.elems }
+
+// Width returns the number of float32 components per element.
+func (b *Buffer) Width() int { return b.width }
+
+// Bytes returns the buffer's size in bytes.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Data exposes the backing storage for kernel execution. It is the
+// simulated device memory; host code outside kernels should use the
+// queue's ReadBuffer/WriteBuffer so transfers are counted and costed.
+func (b *Buffer) Data() []float32 { return b.data }

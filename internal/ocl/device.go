@@ -1,0 +1,109 @@
+package ocl
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Device is a simulated OpenCL device. Kernels enqueued on the device
+// really execute, data-parallel across a host goroutine pool; the
+// device's spec supplies the cost model used for profiled (modeled)
+// timings and the memory capacity used for allocation failures.
+type Device struct {
+	spec DeviceSpec
+
+	// workers is the number of host goroutines used to execute kernels.
+	// It is a host execution detail; modeled timings use spec fields.
+	workers int
+}
+
+// NewDevice constructs a device from its spec. It panics if the spec is
+// invalid: specs are compiled-in constants, so an invalid one is a
+// programming error, not a runtime condition.
+func NewDevice(spec DeviceSpec) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > spec.ComputeUnits {
+		// A device never runs wider than its compute units; this keeps
+		// CPU-vs-GPU wall-time comparisons honest on large hosts.
+		w = spec.ComputeUnits
+	}
+	if w < 1 {
+		w = 1
+	}
+	return &Device{spec: spec, workers: w}
+}
+
+// Spec returns a copy of the device description.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Name returns the device name, e.g. "NVIDIA Tesla M2050".
+func (d *Device) Name() string { return d.spec.Name }
+
+// Type returns whether the device is a CPU or GPU device.
+func (d *Device) Type() DeviceType { return d.spec.Type }
+
+// GlobalMemSize returns the device's global memory capacity in bytes.
+func (d *Device) GlobalMemSize() int64 { return d.spec.GlobalMemSize }
+
+// minParallelGrain is the smallest per-worker slice of an ND-range worth
+// spawning a goroutine for; below it, fan-out overhead dominates.
+const minParallelGrain = 4096
+
+// execute runs fn over the global work range [0, n), split into
+// contiguous chunks across the device's worker pool, and returns the real
+// wall time taken. fn must be safe for concurrent invocation on disjoint
+// ranges.
+func (d *Device) execute(n int, fn func(lo, hi int)) time.Duration {
+	start := time.Now()
+	if n <= 0 {
+		return time.Since(start)
+	}
+	workers := d.workers
+	if max := (n + minParallelGrain - 1) / minParallelGrain; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return time.Since(start)
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// transferTime models one host<->device transfer of the given size.
+func (d *Device) transferTime(bytes int64) time.Duration {
+	s := float64(bytes) / d.spec.TransferBandwidth
+	return d.spec.TransferLatency + time.Duration(s*float64(time.Second))
+}
+
+// kernelTime models one kernel dispatch over n elements with the given
+// per-element cost: launch overhead plus a roofline over arithmetic
+// throughput and global-memory bandwidth.
+func (d *Device) kernelTime(n int, cost Cost) time.Duration {
+	flops := cost.Flops * float64(n)
+	bytes := (cost.LoadBytes + cost.StoreBytes) * float64(n)
+	tArith := flops / (d.spec.GFLOPS * 1e9)
+	tMem := bytes / d.spec.MemBandwidth
+	t := tArith
+	if tMem > t {
+		t = tMem
+	}
+	return d.spec.KernelLaunch + time.Duration(t*float64(time.Second))
+}

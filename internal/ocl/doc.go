@@ -1,0 +1,26 @@
+// Package ocl is a simulated OpenCL runtime used as the device substrate
+// for the derived-field-generation framework.
+//
+// The original system (Harrison et al., SC 2012) dispatches OpenCL kernels
+// through PyOpenCL onto an Intel CPU platform and an NVIDIA Tesla M2050
+// GPU. This package reproduces the subset of the OpenCL 1.1 host API the
+// framework needs — platforms, devices, contexts, buffers, command queues,
+// kernels and profiling events — with two properties:
+//
+//  1. Kernels really execute. Enqueued kernels run data-parallel across a
+//     goroutine worker pool on the host, so every result is numerically
+//     real and can be validated against golden implementations.
+//
+//  2. Device behaviour is modeled. Each device carries a finite global
+//     memory size (allocations beyond it fail, as on the 3 GB M2050) and
+//     a calibrated cost model (kernel launch overhead, arithmetic
+//     throughput, device memory bandwidth, host-device transfer bandwidth
+//     and latency). Profiling events report both the modeled device time
+//     and the real wall time, so experiments reproduce the shape of the
+//     paper's runtime and memory figures deterministically.
+//
+// The Env type mirrors the paper's "OpenCL environment interface": it
+// wraps a context and an in-order profiling queue, categorizes every
+// device event (host-to-device write, device-to-host read, kernel
+// execution) and tracks the global-memory high-water mark.
+package ocl

@@ -1,0 +1,77 @@
+package ocl
+
+// Env is the paper's "OpenCL environment interface": a device with one
+// context and one profiling in-order queue, categorizing every timing
+// event and managing buffer requests so the global-memory high-water mark
+// can be reported. Execution strategies run entirely through an Env.
+type Env struct {
+	dev *Device
+	ctx *Context
+	q   *Queue
+}
+
+// NewEnv builds an environment on the device.
+func NewEnv(dev *Device) *Env {
+	ctx := NewContext(dev)
+	return &Env{dev: dev, ctx: ctx, q: NewQueue(ctx)}
+}
+
+// Device returns the target device.
+func (e *Env) Device() *Device { return e.dev }
+
+// Context returns the environment's context.
+func (e *Env) Context() *Context { return e.ctx }
+
+// Queue returns the environment's profiling queue.
+func (e *Env) Queue() *Queue { return e.q }
+
+// NewBuffer allocates a device buffer (see Context.NewBuffer).
+func (e *Env) NewBuffer(label string, elems, width int) (*Buffer, error) {
+	return e.ctx.NewBuffer(label, elems, width)
+}
+
+// Upload allocates a device buffer and writes src into it, recording the
+// host-to-device event. On allocation failure no event is recorded.
+func (e *Env) Upload(label string, src []float32, width int) (*Buffer, error) {
+	if width < 1 {
+		width = 1
+	}
+	b, err := e.ctx.NewBuffer(label, len(src)/width, width)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.q.WriteBuffer(b, src); err != nil {
+		b.Release()
+		return nil, err
+	}
+	return b, nil
+}
+
+// Download reads the whole buffer back to a fresh host slice, recording
+// the device-to-host event.
+func (e *Env) Download(src *Buffer) ([]float32, error) {
+	dst := make([]float32, src.Elems()*src.Width())
+	if _, err := e.q.ReadBuffer(dst, src); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Run launches the kernel over n elements (see Queue.Run).
+func (e *Env) Run(k *Kernel, n int, bufs []*Buffer, scalars []float64) error {
+	_, err := e.q.Run(k, n, bufs, scalars)
+	return err
+}
+
+// Profile returns the queue's aggregated profile.
+func (e *Env) Profile() Profile { return e.q.Profile() }
+
+// PeakBytes returns the context's global-memory high-water mark.
+func (e *Env) PeakBytes() int64 { return e.ctx.Peak() }
+
+// Reset clears profiling state and the memory high-water mark. Live
+// buffers are unaffected.
+func (e *Env) Reset() {
+	e.q.Reset()
+	e.ctx.ResetPeak()
+}

@@ -1,0 +1,52 @@
+package ocl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfDeviceMemory is returned (wrapped in an *AllocError) when a
+// buffer allocation would exceed the device's global memory. It mirrors
+// OpenCL's CL_MEM_OBJECT_ALLOCATION_FAILURE, which is what terminated the
+// paper's failed GPU test cases.
+var ErrOutOfDeviceMemory = errors.New("ocl: out of device global memory")
+
+// ErrAllocTooLarge is returned (wrapped in an *AllocError) when a single
+// buffer exceeds the device's CL_DEVICE_MAX_MEM_ALLOC_SIZE. It mirrors
+// OpenCL's CL_INVALID_BUFFER_SIZE.
+var ErrAllocTooLarge = errors.New("ocl: buffer exceeds max allocation size")
+
+// AllocError describes a failed device buffer allocation.
+type AllocError struct {
+	Device    string // device name
+	Buffer    string // buffer label
+	Requested int64  // bytes requested
+	InUse     int64  // bytes already allocated on the device
+	Capacity  int64  // device global memory size
+	Err       error  // ErrOutOfDeviceMemory or ErrAllocTooLarge
+}
+
+// Error implements the error interface.
+func (e *AllocError) Error() string {
+	return fmt.Sprintf("%v: device %q: buffer %q needs %d B with %d B in use of %d B capacity",
+		e.Err, e.Device, e.Buffer, e.Requested, e.InUse, e.Capacity)
+}
+
+// Unwrap returns the sentinel cause so callers can use errors.Is.
+func (e *AllocError) Unwrap() error { return e.Err }
+
+// ErrReleasedBuffer is returned when a released buffer is used in a
+// transfer or kernel launch.
+var ErrReleasedBuffer = errors.New("ocl: use of released buffer")
+
+// ArgError describes a kernel launch with mismatched arguments.
+type ArgError struct {
+	Kernel string
+	Index  int
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ArgError) Error() string {
+	return fmt.Sprintf("ocl: kernel %q argument %d: %s", e.Kernel, e.Index, e.Reason)
+}

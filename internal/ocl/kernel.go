@@ -1,0 +1,66 @@
+package ocl
+
+// Cost is the per-element cost metadata of a kernel, used by the device
+// cost model to produce profiled timings. Primitive kernels declare their
+// cost once; the fusion code generator sums the costs of the primitives
+// it fuses (minus the global loads/stores that fusion keeps in
+// registers).
+type Cost struct {
+	// Flops is floating-point operations per output element.
+	Flops float64
+	// LoadBytes is bytes read from device global memory per element.
+	LoadBytes float64
+	// StoreBytes is bytes written to device global memory per element.
+	StoreBytes float64
+}
+
+// Add returns the component-wise sum of two costs.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		Flops:      c.Flops + o.Flops,
+		LoadBytes:  c.LoadBytes + o.LoadBytes,
+		StoreBytes: c.StoreBytes + o.StoreBytes,
+	}
+}
+
+// View is a kernel's window onto a device buffer: the raw component data
+// plus the element/width shape needed to index vector-typed arrays.
+type View struct {
+	Data  []float32
+	Elems int
+	Width int
+}
+
+// KernelFunc is the executable body of a kernel. It is invoked
+// concurrently on disjoint sub-ranges [lo, hi) of the global work size;
+// bufs follow the argument order of the launch, and scalars carry the
+// kernel's non-buffer arguments (compile-time constants in the fusion
+// strategy arrive through source instead and are absent here).
+type KernelFunc func(lo, hi int, bufs []View, scalars []float64)
+
+// Kernel pairs an OpenCL C source string with the executable equivalent
+// that the simulated device runs. The source is what a real OpenCL
+// runtime would JIT-compile; golden tests pin the generated source of
+// fused kernels, and the closure is what produces real results.
+type Kernel struct {
+	// Name is the kernel's entry-point name, e.g. "kadd" or the
+	// generated "kfused_qcrit".
+	Name string
+	// Source is the OpenCL C source of the kernel.
+	Source string
+	// NumBufs is the number of buffer arguments the kernel expects; a
+	// launch with a different count fails. Zero means "unchecked".
+	NumBufs int
+	// Cost is the per-element cost used for modeled timings.
+	Cost Cost
+	// Fn is the executable kernel body.
+	Fn KernelFunc
+	// Passes optionally splits the body into ordered phases with a
+	// device-wide barrier between them, all within ONE kernel dispatch.
+	// The fusion generator uses this when a stencil primitive (grad3d)
+	// consumes a computed value: the fused kernel first materializes
+	// that value to a global scratch buffer, synchronizes, then runs the
+	// stencil — the single-kernel, extra-array case of the paper's
+	// Figure 2. When Passes is non-empty it replaces Fn.
+	Passes []KernelFunc
+}

@@ -1,0 +1,75 @@
+package ocl
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile aggregates a queue's device events by category. Counts feed
+// Table II; modeled times feed Figure 5; Wall is the real host time spent
+// actually executing the simulated operations.
+type Profile struct {
+	Writes  int
+	Reads   int
+	Kernels int
+
+	WriteBytes int64
+	ReadBytes  int64
+
+	WriteTime  time.Duration // modeled host-to-device time
+	ReadTime   time.Duration // modeled device-to-host time
+	KernelTime time.Duration // modeled kernel execution time
+
+	Wall time.Duration // real host time across all events
+}
+
+// add folds one event into the profile.
+func (p *Profile) add(e Event) {
+	switch e.Kind {
+	case WriteEvent:
+		p.Writes++
+		p.WriteBytes += e.Bytes
+		p.WriteTime += e.Duration()
+	case ReadEvent:
+		p.Reads++
+		p.ReadBytes += e.Bytes
+		p.ReadTime += e.Duration()
+	case KernelEvent:
+		p.Kernels++
+		p.KernelTime += e.Duration()
+	}
+	p.Wall += e.Wall
+}
+
+// DeviceTime returns the total modeled device time: all transfers plus
+// all kernel executions — the quantity on the y-axes of Figure 5.
+func (p Profile) DeviceTime() time.Duration {
+	return p.WriteTime + p.ReadTime + p.KernelTime
+}
+
+// Events returns the total number of device events.
+func (p Profile) Events() int { return p.Writes + p.Reads + p.Kernels }
+
+// Add returns the component-wise sum of two profiles.
+func (p Profile) Add(o Profile) Profile {
+	return Profile{
+		Writes:     p.Writes + o.Writes,
+		Reads:      p.Reads + o.Reads,
+		Kernels:    p.Kernels + o.Kernels,
+		WriteBytes: p.WriteBytes + o.WriteBytes,
+		ReadBytes:  p.ReadBytes + o.ReadBytes,
+		WriteTime:  p.WriteTime + o.WriteTime,
+		ReadTime:   p.ReadTime + o.ReadTime,
+		KernelTime: p.KernelTime + o.KernelTime,
+		Wall:       p.Wall + o.Wall,
+	}
+}
+
+// String summarizes the profile on one line.
+func (p Profile) String() string {
+	return fmt.Sprintf("Dev-W=%d (%d B, %v)  Dev-R=%d (%d B, %v)  K-Exe=%d (%v)  device=%v wall=%v",
+		p.Writes, p.WriteBytes, p.WriteTime,
+		p.Reads, p.ReadBytes, p.ReadTime,
+		p.Kernels, p.KernelTime,
+		p.DeviceTime(), p.Wall)
+}

@@ -1,0 +1,198 @@
+package ocl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind categorizes a device event, matching the three categories the
+// paper's environment interface records and Table II counts.
+type EventKind int
+
+const (
+	// WriteEvent is a host-to-device transfer (Dev-W in Table II).
+	WriteEvent EventKind = iota
+	// ReadEvent is a device-to-host transfer (Dev-R in Table II).
+	ReadEvent
+	// KernelEvent is a kernel execution (K-Exe in Table II).
+	KernelEvent
+)
+
+// String names the event kind as in the paper's tables.
+func (k EventKind) String() string {
+	switch k {
+	case WriteEvent:
+		return "Dev-W"
+	case ReadEvent:
+		return "Dev-R"
+	case KernelEvent:
+		return "K-Exe"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one profiled device operation, mirroring the OpenCL device
+// profiling API (CL_PROFILING_COMMAND_QUEUED/START/END). Queued, Start
+// and End are offsets on the queue's simulated in-order timeline; Wall is
+// the real host time the simulated operation took to execute.
+type Event struct {
+	Kind       EventKind
+	Name       string // buffer label or kernel name
+	Bytes      int64  // bytes transferred (transfers only)
+	GlobalSize int    // ND-range size (kernels only)
+	Queued     time.Duration
+	Start      time.Duration
+	End        time.Duration
+	Wall       time.Duration
+}
+
+// Duration returns the modeled device time of the event.
+func (e Event) Duration() time.Duration { return e.End - e.Start }
+
+// Queue is a simulated in-order command queue with profiling enabled,
+// mirroring cl_command_queue. Every enqueue executes synchronously on the
+// host (the simulated device) and advances the queue's modeled timeline
+// by the cost model's duration for the operation.
+type Queue struct {
+	ctx *Context
+
+	mu     sync.Mutex
+	now    time.Duration
+	events []Event
+	prof   Profile
+}
+
+// NewQueue creates a profiling command queue on the context.
+func NewQueue(ctx *Context) *Queue {
+	return &Queue{ctx: ctx}
+}
+
+// Context returns the queue's context.
+func (q *Queue) Context() *Context { return q.ctx }
+
+// record appends the event and folds it into the running profile.
+func (q *Queue) record(kind EventKind, name string, bytes int64, n int, modeled, wall time.Duration) Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e := Event{
+		Kind:       kind,
+		Name:       name,
+		Bytes:      bytes,
+		GlobalSize: n,
+		Queued:     q.now,
+		Start:      q.now,
+		End:        q.now + modeled,
+		Wall:       wall,
+	}
+	q.now = e.End
+	q.events = append(q.events, e)
+	q.prof.add(e)
+	return e
+}
+
+// WriteBuffer copies src into the device buffer (clEnqueueWriteBuffer)
+// and records a host-to-device event. src must not exceed the buffer.
+func (q *Queue) WriteBuffer(dst *Buffer, src []float32) (Event, error) {
+	if dst.Released() {
+		return Event{}, fmt.Errorf("%w: write to %q", ErrReleasedBuffer, dst.label)
+	}
+	if len(src) > len(dst.data) {
+		return Event{}, fmt.Errorf("ocl: write to %q: %d floats exceed buffer size %d", dst.label, len(src), len(dst.data))
+	}
+	start := time.Now()
+	copy(dst.data, src)
+	wall := time.Since(start)
+	bytes := int64(len(src)) * 4
+	return q.record(WriteEvent, dst.label, bytes, 0, q.ctx.dev.transferTime(bytes), wall), nil
+}
+
+// ReadBuffer copies the device buffer into dst (clEnqueueReadBuffer) and
+// records a device-to-host event. dst must not exceed the buffer.
+func (q *Queue) ReadBuffer(dst []float32, src *Buffer) (Event, error) {
+	if src.Released() {
+		return Event{}, fmt.Errorf("%w: read from %q", ErrReleasedBuffer, src.label)
+	}
+	if len(dst) > len(src.data) {
+		return Event{}, fmt.Errorf("ocl: read from %q: %d floats exceed buffer size %d", src.label, len(dst), len(src.data))
+	}
+	start := time.Now()
+	copy(dst, src.data)
+	wall := time.Since(start)
+	bytes := int64(len(dst)) * 4
+	return q.record(ReadEvent, src.label, bytes, 0, q.ctx.dev.transferTime(bytes), wall), nil
+}
+
+// Run enqueues the kernel over a global work size of n elements
+// (clEnqueueNDRangeKernel with a 1-D range). The kernel body executes in
+// parallel on the simulated device; the recorded event carries the
+// modeled duration from the device cost model.
+func (q *Queue) Run(k *Kernel, n int, bufs []*Buffer, scalars []float64) (Event, error) {
+	passes := k.Passes
+	if len(passes) == 0 {
+		if k.Fn == nil {
+			return Event{}, &ArgError{Kernel: k.Name, Index: -1, Reason: "kernel has no executable body"}
+		}
+		passes = []KernelFunc{k.Fn}
+	}
+	if k.NumBufs > 0 && len(bufs) != k.NumBufs {
+		return Event{}, &ArgError{Kernel: k.Name, Index: -1,
+			Reason: fmt.Sprintf("got %d buffer arguments, want %d", len(bufs), k.NumBufs)}
+	}
+	if n < 0 {
+		return Event{}, &ArgError{Kernel: k.Name, Index: -1, Reason: fmt.Sprintf("negative global size %d", n)}
+	}
+	views := make([]View, len(bufs))
+	for i, b := range bufs {
+		if b == nil {
+			return Event{}, &ArgError{Kernel: k.Name, Index: i, Reason: "nil buffer"}
+		}
+		if b.Released() {
+			return Event{}, &ArgError{Kernel: k.Name, Index: i, Reason: fmt.Sprintf("released buffer %q", b.label)}
+		}
+		views[i] = View{Data: b.data, Elems: b.elems, Width: b.width}
+	}
+	var wall time.Duration
+	for _, pass := range passes {
+		pass := pass
+		wall += q.ctx.dev.execute(n, func(lo, hi int) { pass(lo, hi, views, scalars) })
+	}
+	return q.record(KernelEvent, k.Name, 0, n, q.ctx.dev.kernelTime(n, k.Cost), wall), nil
+}
+
+// Finish blocks until all enqueued work completes. The simulated queue is
+// synchronous, so Finish is a no-op kept for API fidelity.
+func (q *Queue) Finish() {}
+
+// Now returns the queue's simulated elapsed device time.
+func (q *Queue) Now() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.now
+}
+
+// Events returns a copy of all recorded events in enqueue order.
+func (q *Queue) Events() []Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Event, len(q.events))
+	copy(out, q.events)
+	return out
+}
+
+// Profile returns a snapshot of the aggregated event profile.
+func (q *Queue) Profile() Profile {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.prof
+}
+
+// Reset clears the event log, profile and simulated timeline.
+func (q *Queue) Reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.now = 0
+	q.events = nil
+	q.prof = Profile{}
+}

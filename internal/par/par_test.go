@@ -1,0 +1,242 @@
+package par
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dfg"
+	"dfg/internal/mesh"
+)
+
+// TestDistributedQCriterionSeamFree is the Figure 7 property: the
+// Q-criterion assembled from ghost-grown blocks processed by many ranks
+// equals the single-grid computation everywhere — including sub-grid
+// boundaries, which are only correct because of the ghost exchange.
+func TestDistributedQCriterionSeamFree(t *testing.T) {
+	cfg := Config{
+		Domain:      mesh.Dims{NX: 24, NY: 18, NZ: 12},
+		Parts:       [3]int{3, 3, 2},
+		Ranks:       4,
+		GPUsPerNode: 2,
+		Ghost:       1,
+		Seed:        9,
+		MemScale:    64,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := GoldenField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Output) != len(golden) {
+		t.Fatalf("output size %d != %d", len(rep.Output), len(golden))
+	}
+	for i := range golden {
+		if d := math.Abs(float64(rep.Output[i] - golden[i])); d > 1e-4 {
+			x, y, z := cfg.Domain.Coords(i)
+			t.Fatalf("seam at cell (%d,%d,%d): distributed %v vs golden %v", x, y, z, rep.Output[i], golden[i])
+		}
+	}
+}
+
+// TestGhostExchangeIsRequired double-checks the test above is meaningful:
+// without ghost layers, block-boundary gradients are wrong and the
+// assembled field disagrees with the golden one.
+func TestGhostExchangeIsRequired(t *testing.T) {
+	cfg := Config{
+		Domain:   mesh.Dims{NX: 16, NY: 16, NZ: 8},
+		Parts:    [3]int{2, 2, 1},
+		Ranks:    2,
+		Ghost:    0, // no ghost data
+		Seed:     9,
+		MemScale: 64,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := GoldenField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := 0
+	for i := range golden {
+		if math.Abs(float64(rep.Output[i]-golden[i])) > 1e-4 {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("running without ghost data should corrupt block boundaries; the seam test would be vacuous")
+	}
+}
+
+// TestPaperRunStructure reproduces the structure of the paper's
+// distributed run at reduced cell counts: 3072 sub-grids (16 x 16 x 12
+// layout), 256 MPI tasks on 128 nodes with 2 GPUs each, 12 blocks per
+// GPU.
+func TestPaperRunStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("structure test spawns 256 engines")
+	}
+	cfg := Config{
+		Domain:      mesh.Dims{NX: 32, NY: 32, NZ: 24},
+		Parts:       [3]int{16, 16, 12},
+		Ranks:       256,
+		GPUsPerNode: 2,
+		Ghost:       1,
+		Seed:        1,
+		MemScale:    1 << 20,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 3072 {
+		t.Fatalf("want 3072 blocks, got %d", rep.Blocks)
+	}
+	if len(rep.Ranks) != 256 {
+		t.Fatalf("want 256 ranks, got %d", len(rep.Ranks))
+	}
+	maxNode := 0
+	for _, r := range rep.Ranks {
+		if r.Blocks != 12 {
+			t.Fatalf("rank %d processed %d blocks, want 12 (3072/256)", r.Rank, r.Blocks)
+		}
+		if r.Node > maxNode {
+			maxNode = r.Node
+		}
+		// Fusion on each block: 7 uploads, 1 kernel, 1 read per block.
+		if r.Profile.Kernels != 12 {
+			t.Fatalf("rank %d kernel count %d, want 12 (one fused kernel per block)", r.Rank, r.Profile.Kernels)
+		}
+	}
+	if maxNode != 127 {
+		t.Fatalf("want 128 nodes (0..127), got max node %d", maxNode)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Domain: mesh.Dims{NX: 8, NY: 8, NZ: 8}, Parts: [3]int{2, 2, 2}, Ranks: 0}); err == nil {
+		t.Fatal("zero ranks must fail")
+	}
+	if _, err := Run(Config{Domain: mesh.Dims{NX: 8, NY: 8, NZ: 8}, Parts: [3]int{99, 1, 1}, Ranks: 1}); err == nil {
+		t.Fatal("bad decomposition must fail")
+	}
+	// Expression errors surface.
+	if _, err := Run(Config{
+		Domain: mesh.Dims{NX: 8, NY: 8, NZ: 8}, Parts: [3]int{2, 2, 2},
+		Ranks: 2, Expression: "a = nosuch(u)", Seed: 1,
+	}); err == nil {
+		t.Fatal("bad expression must fail")
+	}
+}
+
+func TestRanksOutnumberBlocks(t *testing.T) {
+	// More ranks than blocks: the extra ranks simply process nothing.
+	cfg := Config{
+		Domain: mesh.Dims{NX: 8, NY: 8, NZ: 8},
+		Parts:  [3]int{2, 1, 1},
+		Ranks:  5,
+		Ghost:  1,
+		Seed:   2,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rep.Ranks {
+		total += r.Blocks
+	}
+	if total != 2 {
+		t.Fatalf("blocks processed %d, want 2", total)
+	}
+}
+
+func TestVelocityMagnitudeDistributed(t *testing.T) {
+	// An expression without gradients works with zero ghost layers.
+	cfg := Config{
+		Domain:     mesh.Dims{NX: 12, NY: 12, NZ: 6},
+		Parts:      [3]int{2, 2, 1},
+		Ranks:      3,
+		Ghost:      0,
+		Expression: dfg.VelocityMagnitudeExpr,
+		Seed:       4,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := GoldenField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range golden {
+		if rep.Output[i] != golden[i] {
+			t.Fatalf("velmag distributed mismatch at %d", i)
+		}
+	}
+}
+
+func TestDistributedWithStreamingBlocks(t *testing.T) {
+	// The distributed runner composes with the future-work streaming
+	// strategy: each rank streams its blocks tile by tile, and the
+	// assembled result still matches the single-grid computation.
+	cfg := Config{
+		Domain:   mesh.Dims{NX: 16, NY: 12, NZ: 12},
+		Parts:    [3]int{2, 2, 2},
+		Ranks:    3,
+		Ghost:    1,
+		Strategy: "streaming",
+		Seed:     6,
+		MemScale: 64,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, _, err := GoldenField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range golden {
+		if math.Abs(float64(rep.Output[i]-golden[i])) > 1e-4 {
+			t.Fatalf("streaming distributed mismatch at %d", i)
+		}
+	}
+}
+
+func TestReportTableAndImbalance(t *testing.T) {
+	cfg := Config{
+		Domain: mesh.Dims{NX: 12, NY: 12, NZ: 8},
+		Parts:  [3]int{2, 2, 2},
+		Ranks:  4,
+		Ghost:  1,
+		Seed:   2,
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := rep.Table()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 rank rows, got %d", len(tbl.Rows))
+	}
+	txt := tbl.Text()
+	for _, frag := range []string{"Rank", "Blocks", "Device Time", "NVIDIA Tesla M2050"} {
+		if !strings.Contains(txt, frag) {
+			t.Errorf("rank table missing %q", frag)
+		}
+	}
+	// Equal blocks per rank: imbalance near 1.
+	if im := rep.Imbalance(); im < 1 || im > 1.05 {
+		t.Fatalf("round-robin equal blocks should balance: imbalance %v", im)
+	}
+	// Empty report: defined behaviour.
+	if (&Report{}).Imbalance() != 1 {
+		t.Fatal("empty report imbalance should be 1")
+	}
+}

@@ -1,0 +1,38 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/kernels"
+	"dfg/internal/mesh"
+)
+
+// BindMesh builds the bindings for an expression over cell-centered
+// fields on a mesh: the caller's field arrays plus the mesh-derived
+// sources the gradient primitive consumes — dims and the per-cell
+// center coordinate arrays x, y, z. This mirrors what the host
+// application (VisIt, in the paper) hands the framework for each
+// sub-grid. Caller-provided entries win on name collisions.
+func BindMesh(m *mesh.Mesh, fields map[string][]float32) (Bindings, error) {
+	if err := m.Validate(); err != nil {
+		return Bindings{}, err
+	}
+	n := m.Cells()
+	x, y, z := m.CellCenterFields()
+	b := Bindings{
+		N: n,
+		Sources: map[string]Source{
+			"dims": {Data: kernels.DimsArray(m.Dims.NX, m.Dims.NY, m.Dims.NZ), Width: 1},
+			"x":    {Data: x, Width: 1},
+			"y":    {Data: y, Width: 1},
+			"z":    {Data: z, Width: 1},
+		},
+	}
+	for name, data := range fields {
+		if len(data) != n {
+			return Bindings{}, fmt.Errorf("strategy: field %q has %d values for a %d-cell mesh", name, len(data), n)
+		}
+		b.Sources[name] = Source{Data: data, Width: 1}
+	}
+	return b, nil
+}

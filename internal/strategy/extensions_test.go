@@ -1,0 +1,304 @@
+package strategy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dfg/internal/expr"
+	"dfg/internal/mesh"
+	"dfg/internal/ocl"
+	"dfg/internal/rtsim"
+	"dfg/internal/vortex"
+)
+
+// qcritSetup compiles Q-criterion and binds RT data on a mesh.
+func qcritSetup(t testing.TB, d mesh.Dims) (Bindings, *mesh.Mesh) {
+	t.Helper()
+	m := mesh.MustUniform(d, 1.0/float32(d.NX), 1.0/float32(d.NY), 1.0/float32(d.NZ))
+	f := rtsim.Generate(m, rtsim.Options{Seed: 17})
+	bind, err := BindMesh(m, map[string][]float32{"u": f.U, "v": f.V, "w": f.W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bind, m
+}
+
+func TestStreamingMatchesFusionBitwise(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 12, NY: 10, NZ: 16})
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := (Fusion{}).Execute(cpuEnv(), net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tiles := range []int{1, 2, 3, 4, 7, 16, 100} {
+		res, err := (Streaming{Tiles: tiles}).Execute(cpuEnv(), net, bind)
+		if err != nil {
+			t.Fatalf("tiles=%d: %v", tiles, err)
+		}
+		for i := range want.Data {
+			if res.Data[i] != want.Data[i] {
+				t.Fatalf("tiles=%d: cell %d differs: %v vs %v (halo exchange broken?)",
+					tiles, i, res.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestStreamingProfileAndMemory(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 16, NY: 16, NZ: 32})
+	net, _ := expr.Compile(vortex.QCritExpr)
+
+	fuEnv := cpuEnv()
+	fu, err := (Fusion{}).Execute(fuEnv, net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stEnv := cpuEnv()
+	st, err := (Streaming{Tiles: 4}).Execute(stEnv, net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Profile.Kernels != 4 {
+		t.Fatalf("streaming with 4 tiles should dispatch 4 kernels, got %d", st.Profile.Kernels)
+	}
+	if st.Profile.Reads != 4 {
+		t.Fatalf("streaming reads one slab per tile, got %d", st.Profile.Reads)
+	}
+	if st.PeakBytes >= fu.PeakBytes {
+		t.Fatalf("streaming peak (%d) must undercut fusion peak (%d)", st.PeakBytes, fu.PeakBytes)
+	}
+	// Streaming re-uploads halos: strictly more transfer bytes.
+	if st.Profile.WriteBytes <= fu.Profile.WriteBytes {
+		t.Fatalf("streaming must upload halo overlap: %d vs %d", st.Profile.WriteBytes, fu.Profile.WriteBytes)
+	}
+	if stEnv.Context().LiveBuffers() != 0 {
+		t.Fatal("streaming leaked buffers")
+	}
+}
+
+// TestStreamingRunsWhereFusionFails is the point of the strategy: a
+// data set whose fused working set exceeds device memory completes by
+// streaming.
+func TestStreamingRunsWhereFusionFails(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 24, NY: 24, NZ: 64})
+	net, _ := expr.Compile(vortex.QCritExpr)
+
+	// Device sized below fusion's inputs+output working set.
+	spec := ocl.TeslaM2050Spec(1)
+	spec.GlobalMemSize = 9 * int64(bind.N) // < 7 scalar arrays * 4 B
+	spec.MaxAllocSize = spec.GlobalMemSize
+	dev := ocl.NewDevice(spec)
+
+	if _, err := (Fusion{}).Execute(ocl.NewEnv(dev), net, bind); !errors.Is(err, ocl.ErrOutOfDeviceMemory) {
+		t.Fatalf("fusion should run out of device memory, got %v", err)
+	}
+	res, err := (Streaming{Tiles: 8}).Execute(ocl.NewEnv(dev), net, bind)
+	if err != nil {
+		t.Fatalf("streaming should fit tile by tile: %v", err)
+	}
+	want, err := (Fusion{}).Execute(cpuEnv(), net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if res.Data[i] != want.Data[i] {
+			t.Fatalf("streamed result differs at %d", i)
+		}
+	}
+}
+
+func TestStreamingFlatElementwise(t *testing.T) {
+	// Without stencils, streaming tiles the flat array (no dims needed).
+	nw := buildVelMag(t)
+	bind, _, _, _ := velMagBindings(rand.New(rand.NewSource(5)), 10000)
+	res, err := (Streaming{Tiles: 3}).Execute(cpuEnv(), nw, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := (Fusion{}).Execute(cpuEnv(), nw, bind)
+	for i := range want.Data {
+		if res.Data[i] != want.Data[i] {
+			t.Fatalf("flat streaming differs at %d", i)
+		}
+	}
+	if res.Profile.Kernels != 3 {
+		t.Fatalf("want 3 tile kernels, got %d", res.Profile.Kernels)
+	}
+}
+
+func TestStreamingRequiresDimsForStencils(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	delete(bind.Sources, "dims")
+	net, _ := expr.Compile(vortex.QCritExpr)
+	if _, err := (Streaming{}).Execute(cpuEnv(), net, bind); err == nil {
+		t.Fatal("stencil streaming without dims must fail")
+	}
+}
+
+func TestStreamingBadDims(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	bind.Sources["dims"] = Source{Data: []float32{3, 3, 3, 0}, Width: 1} // 27 != 512
+	net, _ := expr.Compile(vortex.QCritExpr)
+	if _, err := (Streaming{}).Execute(cpuEnv(), net, bind); err == nil {
+		t.Fatal("inconsistent dims must fail")
+	}
+}
+
+func TestForNameStreaming(t *testing.T) {
+	s, err := ForName("streaming")
+	if err != nil || s.Name() != "streaming" {
+		t.Fatalf("ForName(streaming): %v %v", s, err)
+	}
+	names := ExtendedNames()
+	if names[len(names)-1] != "streaming" || len(names) != 4 {
+		t.Fatalf("extended names: %v", names)
+	}
+}
+
+func TestMultiDeviceMatchesFusion(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 12, NY: 12, NZ: 20})
+	net, _ := expr.Compile(vortex.QCritExpr)
+	want, err := (Fusion{}).Execute(cpuEnv(), net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two GPUs of one Edge node.
+	envs := []*ocl.Env{
+		ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64))),
+		ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64))),
+	}
+	res, err := ExecuteMultiDevice(envs, net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if res.Data[i] != want.Data[i] {
+			t.Fatalf("multi-device result differs at %d: %v vs %v", i, res.Data[i], want.Data[i])
+		}
+	}
+	// Each device ran exactly one fused kernel over its slab.
+	for i, env := range envs {
+		if p := env.Profile(); p.Kernels != 1 {
+			t.Fatalf("device %d dispatched %d kernels, want 1", i, p.Kernels)
+		}
+		if env.Context().LiveBuffers() != 0 {
+			t.Fatalf("device %d leaked buffers", i)
+		}
+	}
+	// Each device holds roughly half the data: peak under fusion's.
+	single, _ := (Fusion{}).Execute(cpuEnv(), net, bind)
+	if res.PeakBytes >= single.PeakBytes {
+		t.Fatalf("per-device peak %d should undercut single-device %d", res.PeakBytes, single.PeakBytes)
+	}
+}
+
+func TestMultiDeviceValidation(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	net, _ := expr.Compile(vortex.QCritExpr)
+	if _, err := ExecuteMultiDevice(nil, net, bind); err == nil {
+		t.Fatal("zero devices must fail")
+	}
+	envs := []*ocl.Env{cpuEnv()}
+	if _, err := ExecuteMultiDevice(envs, net, Bindings{N: 0}); err == nil {
+		t.Fatal("bad bindings must fail")
+	}
+}
+
+func TestStagedKeepIntermediatesAblation(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 12, NY: 12, NZ: 12})
+	net, _ := expr.Compile(vortex.QCritExpr)
+
+	eager, err := (Staged{}).Execute(cpuEnv(), net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := cpuEnv()
+	hoard, err := (Staged{KeepIntermediates: true}).Execute(env, net, bind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical numerics, strictly worse memory.
+	for i := range eager.Data {
+		if eager.Data[i] != hoard.Data[i] {
+			t.Fatalf("ablation changed results at %d", i)
+		}
+	}
+	if hoard.PeakBytes <= eager.PeakBytes {
+		t.Fatalf("without refcount frees the peak must grow: %d vs %d", hoard.PeakBytes, eager.PeakBytes)
+	}
+	if env.Context().LiveBuffers() != 0 {
+		t.Fatal("ablation run must still clean up at exit")
+	}
+}
+
+func TestFusionProgramCache(t *testing.T) {
+	net, err := expr.Compile(vortex.VelMagExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := fusionProgram(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := fusionProgram(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("repeated executions of one network must reuse the generated program")
+	}
+	// A different network gets its own program.
+	net2, _ := expr.Compile(vortex.VelMagExpr)
+	p3, err := fusionProgram(net2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("distinct networks must not share cache entries")
+	}
+}
+
+// TestStreamingPropertyRandomGeometry: streaming equals fusion bitwise
+// for random mesh shapes, tile counts and seeds.
+func TestStreamingPropertyRandomGeometry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := mesh.Dims{NX: 2 + rng.Intn(9), NY: 2 + rng.Intn(9), NZ: 1 + rng.Intn(24)}
+		m := mesh.MustUniform(d, 0.1, 0.1, 0.1)
+		fld := rtsim.Generate(m, rtsim.Options{Seed: seed})
+		bind, err := BindMesh(m, map[string][]float32{"u": fld.U, "v": fld.V, "w": fld.W})
+		if err != nil {
+			return false
+		}
+		net, err := expr.Compile(vortex.VortMagExpr)
+		if err != nil {
+			return false
+		}
+		want, err := (Fusion{}).Execute(cpuEnv(), net, bind)
+		if err != nil {
+			return false
+		}
+		tiles := 1 + rng.Intn(d.NZ+3) // may exceed NZ: clamps
+		got, err := (Streaming{Tiles: tiles}).Execute(cpuEnv(), net, bind)
+		if err != nil {
+			t.Logf("seed %d dims %v tiles %d: %v", seed, d, tiles, err)
+			return false
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Logf("seed %d dims %v tiles %d: cell %d differs", seed, d, tiles, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package strategy
+
+import (
+	"errors"
+	"testing"
+
+	"dfg/internal/expr"
+	"dfg/internal/mesh"
+	"dfg/internal/ocl"
+	"dfg/internal/vortex"
+)
+
+// TestAllocFailureAtEveryPoint sweeps an injected allocation failure
+// across every allocation a strategy performs during a Q-criterion run:
+// wherever the device fails, the strategy must surface
+// ErrOutOfDeviceMemory (never panic, never succeed spuriously) and
+// release every buffer it allocated.
+func TestAllocFailureAtEveryPoint(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sname := range ExtendedNames() {
+		s, _ := ForName(sname)
+
+		// Count a clean run's allocations first.
+		clean := cpuEnv()
+		if _, err := s.Execute(clean, net, bind); err != nil {
+			t.Fatalf("%s: clean run failed: %v", sname, err)
+		}
+		total := clean.Context().Allocations()
+		if total == 0 {
+			t.Fatalf("%s: no allocations to fault", sname)
+		}
+
+		for k := 0; k < total; k++ {
+			env := cpuEnv()
+			env.Context().InjectAllocFailure(k)
+			_, err := s.Execute(env, net, bind)
+			if !errors.Is(err, ocl.ErrOutOfDeviceMemory) {
+				t.Fatalf("%s: fault at allocation %d/%d: want ErrOutOfDeviceMemory, got %v",
+					sname, k, total, err)
+			}
+			if live := env.Context().LiveBuffers(); live != 0 {
+				t.Fatalf("%s: fault at allocation %d/%d leaked %d buffers", sname, k, total, live)
+			}
+			if used := env.Context().Used(); used != 0 {
+				t.Fatalf("%s: fault at allocation %d/%d left %d bytes allocated", sname, k, total, used)
+			}
+		}
+
+		// After all that, an unfaulted run still works (no poisoned state).
+		env := cpuEnv()
+		if _, err := s.Execute(env, net, bind); err != nil {
+			t.Fatalf("%s: post-fault clean run failed: %v", sname, err)
+		}
+	}
+}
+
+// TestMultiDeviceFaultInjection: a failure on one of the two devices
+// fails the whole multi-device execution and both devices end clean.
+func TestMultiDeviceFaultInjection(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 12})
+	net, _ := expr.Compile(vortex.QCritExpr)
+	for faulted := 0; faulted < 2; faulted++ {
+		envs := []*ocl.Env{
+			ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64))),
+			ocl.NewEnv(ocl.NewDevice(ocl.TeslaM2050Spec(64))),
+		}
+		envs[faulted].Context().InjectAllocFailure(2)
+		_, err := ExecuteMultiDevice(envs, net, bind)
+		if !errors.Is(err, ocl.ErrOutOfDeviceMemory) {
+			t.Fatalf("fault on device %d: want ErrOutOfDeviceMemory, got %v", faulted, err)
+		}
+		for i, env := range envs {
+			if env.Context().LiveBuffers() != 0 {
+				t.Fatalf("fault on device %d: device %d leaked buffers", faulted, i)
+			}
+		}
+	}
+}

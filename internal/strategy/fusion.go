@@ -1,0 +1,116 @@
+package strategy
+
+import (
+	"fmt"
+	"sync"
+
+	"dfg/internal/codegen"
+	"dfg/internal/dataflow"
+	"dfg/internal/ocl"
+)
+
+// progCache memoizes generated programs per network, so pipelines that
+// re-execute the same expression every time step (the host-application
+// pattern) pay for kernel generation once. Networks must not be mutated
+// after their first execution — the expression front end never does.
+var progCache sync.Map // *dataflow.Network -> *codegen.Program
+
+// fusionProgram returns the network's fused program, generating it on
+// first use.
+func fusionProgram(net *dataflow.Network) (*codegen.Program, error) {
+	if p, ok := progCache.Load(net); ok {
+		return p.(*codegen.Program), nil
+	}
+	prog, err := codegen.Fuse(net, "expr")
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := progCache.LoadOrStore(net, prog)
+	return actual.(*codegen.Program), nil
+}
+
+// Fusion is the paper's fastest execution strategy: the dynamic kernel
+// generator (internal/codegen) fuses the entire network into a single
+// generated OpenCL kernel. Intermediate results live in device
+// registers, constants are compiled into the kernel source, decompose
+// becomes vector component selection, and the gradient primitive reads
+// its source arrays directly from global memory. One upload per distinct
+// source, one kernel dispatch, one download — the Table II row
+// (Dev-W = sources, Dev-R = 1, K-Exe = 1) for every expression.
+//
+// When a stencil consumes a computed value the generator splits the
+// fused kernel into barrier-separated passes with a global scratch
+// array; this remains a single dispatch but costs one extra
+// problem-sized buffer (the paper's Figure 2 fusion column).
+type Fusion struct{}
+
+// Name returns "fusion".
+func (Fusion) Name() string { return "fusion" }
+
+// Execute generates and runs the fused kernel.
+func (Fusion) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	if _, err := prepare(env, net, bind); err != nil {
+		return nil, err
+	}
+	n := bind.N
+
+	prog, err := fusionProgram(net)
+	if err != nil {
+		return nil, err
+	}
+	// Generation happens on the host; only events after this point are
+	// device activity.
+	env.Reset()
+
+	bufs := make([]*ocl.Buffer, len(prog.Args))
+	named := make(map[string]*ocl.Buffer, len(prog.Args))
+	defer releaseAll(named)
+
+	var outBuf *ocl.Buffer
+	for i, a := range prog.Args {
+		switch a.Kind {
+		case codegen.ArgSource:
+			src, err := bind.source(a.Name)
+			if err != nil {
+				return nil, err
+			}
+			b, err := env.Upload(a.Name, src.Data, src.Width)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: source %q: %w", a.Name, err)
+			}
+			bufs[i], named[a.Name] = b, b
+		case codegen.ArgScratch:
+			b, err := env.NewBuffer(a.Name, n, a.Width)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: scratch %q: %w", a.Name, err)
+			}
+			bufs[i], named[a.Name] = b, b
+		case codegen.ArgOut:
+			b, err := env.NewBuffer(a.Name, n, a.Width)
+			if err != nil {
+				return nil, fmt.Errorf("fusion: output: %w", err)
+			}
+			outBuf = b
+			bufs[i], named[a.Name] = b, b
+		}
+	}
+
+	if err := env.Run(prog.Kernel, n, bufs, nil); err != nil {
+		return nil, fmt.Errorf("fusion: %w", err)
+	}
+	data, err := env.Download(outBuf)
+	if err != nil {
+		return nil, err
+	}
+	return finish(env, data, prog.OutWidth), nil
+}
+
+// GeneratedSource returns the fused OpenCL C source for a network
+// without executing it — the inspection hook behind cmd/dfg-fuse.
+func GeneratedSource(net *dataflow.Network, name string) (string, error) {
+	prog, err := codegen.Fuse(net, name)
+	if err != nil {
+		return "", err
+	}
+	return prog.Source, nil
+}

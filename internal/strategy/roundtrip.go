@@ -1,0 +1,130 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+)
+
+// Roundtrip is the paper's baseline execution strategy: one kernel
+// dispatch per derived-field primitive, with every kernel's inputs
+// uploaded fresh from host memory and its result transferred straight
+// back. Intermediates live on the host, so the device only ever holds
+// one kernel's working set — the least device memory of the three
+// strategies, at the cost of maximal bus traffic.
+//
+// Per the original implementation's accounting (Table II):
+//   - every buffer argument of every kernel is a host-to-device write,
+//     duplicates included (u*u uploads u twice);
+//   - constants are host-filled problem-sized arrays, uploaded at each
+//     use like any other input;
+//   - decompose runs on the host (intermediates are host-resident
+//     anyway), dispatching no kernel and moving no extra data.
+type Roundtrip struct{}
+
+// Name returns "roundtrip".
+func (Roundtrip) Name() string { return "roundtrip" }
+
+// Execute runs the network with per-primitive host round trips.
+func (Roundtrip) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	order, err := prepare(env, net, bind)
+	if err != nil {
+		return nil, err
+	}
+	n := bind.N
+
+	// host holds every value as a host array: sources, constants and all
+	// computed intermediates.
+	host := make(map[string]Source, len(order))
+	kcache := make(map[string]*ocl.Kernel)
+
+	for _, node := range order {
+		switch node.Filter {
+		case "source":
+			src, err := bind.source(node.ID)
+			if err != nil {
+				return nil, err
+			}
+			host[node.ID] = src
+
+		case "const":
+			// A problem-sized constant array, filled on the host.
+			data := make([]float32, n)
+			v := float32(node.Value)
+			for i := range data {
+				data[i] = v
+			}
+			host[node.ID] = Source{Data: data, Width: 1}
+
+		case "decompose":
+			in := host[node.Inputs[0]]
+			out := make([]float32, n)
+			w := in.Width
+			for i := 0; i < n; i++ {
+				out[i] = in.Data[i*w+node.Comp]
+			}
+			host[node.ID] = Source{Data: out, Width: 1}
+
+		default:
+			k := kcache[node.Filter]
+			if k == nil {
+				k, err = kernels.ForFilter(node.Filter)
+				if err != nil {
+					return nil, err
+				}
+				kcache[node.Filter] = k
+			}
+			res, err := roundtripKernel(env, k, node, host, n)
+			if err != nil {
+				return nil, err
+			}
+			host[node.ID] = res
+		}
+	}
+
+	out, ok := host[net.Output()]
+	if !ok {
+		return nil, fmt.Errorf("roundtrip: output %q was never computed", net.Output())
+	}
+	return finish(env, out.Data, out.Width), nil
+}
+
+// roundtripKernel uploads the node's inputs, runs one kernel, reads the
+// result back and releases everything.
+func roundtripKernel(env *ocl.Env, k *ocl.Kernel, node *dataflow.Node, host map[string]Source, n int) (res Source, err error) {
+	bufs := make([]*ocl.Buffer, 0, len(node.Inputs)+1)
+	defer func() {
+		for _, b := range bufs {
+			b.Release()
+		}
+	}()
+
+	for _, in := range node.Inputs {
+		src, ok := host[in]
+		if !ok {
+			return Source{}, fmt.Errorf("roundtrip: node %q: input %q not yet computed", node.ID, in)
+		}
+		b, err := env.Upload(in, src.Data, src.Width)
+		if err != nil {
+			return Source{}, fmt.Errorf("roundtrip: node %q: %w", node.ID, err)
+		}
+		bufs = append(bufs, b)
+	}
+
+	outBuf, err := env.NewBuffer(node.ID, n, node.Width)
+	if err != nil {
+		return Source{}, fmt.Errorf("roundtrip: node %q: %w", node.ID, err)
+	}
+	bufs = append(bufs, outBuf)
+
+	if err := env.Run(k, n, bufs, nil); err != nil {
+		return Source{}, fmt.Errorf("roundtrip: node %q: %w", node.ID, err)
+	}
+	data, err := env.Download(outBuf)
+	if err != nil {
+		return Source{}, fmt.Errorf("roundtrip: node %q: %w", node.ID, err)
+	}
+	return Source{Data: data, Width: node.Width}, nil
+}

@@ -1,0 +1,148 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+)
+
+// Staged is the paper's middle execution strategy: one kernel dispatch
+// per primitive, like roundtrip, but intermediate results stay in device
+// global memory between kernel invocations — no host round trips. Each
+// distinct source array is uploaded once up front and the final result
+// is read back once. Consequences, matching Table II and Figure 6:
+//
+//   - decompose must run as a device kernel (the vector-typed value it
+//     selects from lives on the device), adding kernel dispatches that
+//     roundtrip avoids;
+//   - constants are realized by a device fill kernel, with no
+//     host-to-device transfer;
+//   - device buffers are reference counted against the network's
+//     consumer counts and released the moment they drain, yet staged
+//     still has the largest memory high-water mark of the three
+//     strategies, because whole chains of intermediates overlap.
+type Staged struct {
+	// KeepIntermediates disables the reference-count-driven buffer
+	// releases — an ablation of the dataflow module's refcounting
+	// design, showing how much device memory the eager frees save.
+	KeepIntermediates bool
+}
+
+// Name returns "staged".
+func (Staged) Name() string { return "staged" }
+
+// Execute runs the network with device-resident intermediates.
+func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	order, err := prepare(env, net, bind)
+	if err != nil {
+		return nil, err
+	}
+	n := bind.N
+
+	bufs := make(map[string]*ocl.Buffer, len(order))
+	defer releaseAll(bufs)
+	// Reference counts over the live (scheduled) graph only, plus one
+	// for the sink, so buffers release the moment they drain.
+	refs := make(map[string]int, len(order))
+	for _, node := range order {
+		for _, in := range node.Inputs {
+			refs[in]++
+		}
+	}
+	refs[net.Output()]++
+	kcache := make(map[string]*ocl.Kernel)
+
+	// Upload every live source once, in network declaration order.
+	for _, node := range order {
+		if node.Filter != "source" {
+			continue
+		}
+		src, err := bind.source(node.ID)
+		if err != nil {
+			return nil, err
+		}
+		b, err := env.Upload(node.ID, src.Data, src.Width)
+		if err != nil {
+			return nil, fmt.Errorf("staged: source %q: %w", node.ID, err)
+		}
+		bufs[node.ID] = b
+	}
+
+	// release drains one reference from a node's buffer.
+	release := func(id string) {
+		refs[id]--
+		if refs[id] <= 0 && !s.KeepIntermediates {
+			if b := bufs[id]; b != nil {
+				b.Release()
+				delete(bufs, id)
+			}
+		}
+	}
+
+	for _, node := range order {
+		if node.Filter == "source" {
+			continue
+		}
+		k := kcache[node.Filter]
+		if k == nil {
+			k, err = kernels.ForFilter(node.Filter)
+			if err != nil {
+				return nil, err
+			}
+			kcache[node.Filter] = k
+		}
+
+		out, err := env.NewBuffer(node.ID, n, node.Width)
+		if err != nil {
+			return nil, fmt.Errorf("staged: node %q: %w", node.ID, err)
+		}
+		bufs[node.ID] = out
+
+		var (
+			args    []*ocl.Buffer
+			scalars []float64
+		)
+		switch node.Filter {
+		case "const":
+			args = []*ocl.Buffer{out}
+			scalars = []float64{node.Value}
+		case "decompose":
+			args = []*ocl.Buffer{bufs[node.Inputs[0]], out}
+			scalars = []float64{float64(node.Comp)}
+		default:
+			args = make([]*ocl.Buffer, 0, len(node.Inputs)+1)
+			for _, in := range node.Inputs {
+				b, ok := bufs[in]
+				if !ok {
+					return nil, fmt.Errorf("staged: node %q: input %q already released (refcount bug)", node.ID, in)
+				}
+				args = append(args, b)
+			}
+			args = append(args, out)
+		}
+
+		if err := env.Run(k, n, args, scalars); err != nil {
+			return nil, fmt.Errorf("staged: node %q: %w", node.ID, err)
+		}
+
+		// Drain one reference per input connection.
+		for _, in := range node.Inputs {
+			release(in)
+		}
+	}
+
+	outID := net.Output()
+	outBuf, ok := bufs[outID]
+	if !ok {
+		return nil, fmt.Errorf("staged: output %q was not retained (refcount bug)", outID)
+	}
+	data, err := env.Download(outBuf)
+	if err != nil {
+		return nil, err
+	}
+	width := net.OutputNode().Width
+	release(outID) // the sink's reference
+	return finish(env, data, width), nil
+}

@@ -1,0 +1,152 @@
+// Package strategy implements the paper's three execution strategies —
+// roundtrip, staged and fusion — over a common dataflow network and the
+// shared primitive library. Each strategy controls data movement and
+// kernel composition differently:
+//
+//   - roundtrip dispatches one kernel per primitive and bounces every
+//     intermediate result through host memory (most transfers, least
+//     device memory);
+//   - staged dispatches one kernel per primitive but keeps intermediates
+//     in device global memory, reference-counting them so buffers free
+//     as soon as they drain (fewest transfers, most device memory);
+//   - fusion generates a single kernel for the whole network with
+//     intermediates in registers (fewest kernel launches; device memory
+//     equal to inputs + output, plus scratch only when a stencil
+//     consumes a computed value).
+//
+// The strategies reproduce the paper's Table II event counts exactly;
+// see the package tests.
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/ocl"
+)
+
+// Source is one host-provided input array (a NumPy array in the original
+// system): raw float32 data with an element width.
+type Source struct {
+	Data  []float32
+	Width int
+}
+
+// Elems returns the number of elements in the source.
+func (s Source) Elems() int {
+	w := s.Width
+	if w < 1 {
+		w = 1
+	}
+	return len(s.Data) / w
+}
+
+// Bindings maps the network's source names to host arrays and fixes the
+// global work size (one work item per mesh cell).
+type Bindings struct {
+	// N is the number of cells — the ND-range of every kernel.
+	N int
+	// Sources binds each source node name to its host array.
+	Sources map[string]Source
+}
+
+// source resolves a bound source by name.
+func (b Bindings) source(name string) (Source, error) {
+	s, ok := b.Sources[name]
+	if !ok {
+		return Source{}, fmt.Errorf("strategy: no binding for source %q", name)
+	}
+	if len(s.Data) == 0 {
+		return Source{}, fmt.Errorf("strategy: empty binding for source %q", name)
+	}
+	if s.Width < 1 {
+		s.Width = 1
+	}
+	return s, nil
+}
+
+// Result is the derived field produced by an execution, along with the
+// device-event profile and the global-memory high-water mark of the run.
+type Result struct {
+	// Data is the output array (Width components per element).
+	Data  []float32
+	Width int
+	// Profile aggregates the run's device events (Table II counts and
+	// Figure 5 modeled times).
+	Profile ocl.Profile
+	// PeakBytes is the device global-memory high-water mark (Figure 6).
+	PeakBytes int64
+	// Events is the raw event log in enqueue order.
+	Events []ocl.Event
+}
+
+// Strategy executes a dataflow network on a device environment.
+type Strategy interface {
+	// Name returns the strategy's name as used in the paper.
+	Name() string
+	// Execute runs the network's output computation. The environment's
+	// profile and peak-memory accounting are reset at entry, so the
+	// Result captures exactly this run. All device buffers the strategy
+	// allocates are released before it returns, success or failure.
+	Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error)
+}
+
+// ForName returns the named strategy ("roundtrip", "staged" or "fusion").
+func ForName(name string) (Strategy, error) {
+	switch name {
+	case "roundtrip":
+		return Roundtrip{}, nil
+	case "staged":
+		return Staged{}, nil
+	case "fusion":
+		return Fusion{}, nil
+	case "streaming":
+		return Streaming{}, nil
+	default:
+		return nil, fmt.Errorf("strategy: unknown strategy %q (want roundtrip, staged, fusion or streaming)", name)
+	}
+}
+
+// Names lists the paper's three strategies in the paper's order.
+func Names() []string { return []string{"roundtrip", "staged", "fusion"} }
+
+// ExtendedNames adds the future-work streaming strategy implemented in
+// this reproduction.
+func ExtendedNames() []string { return append(Names(), "streaming") }
+
+// prepare validates common preconditions and resets the environment's
+// profiling state.
+func prepare(env *ocl.Env, net *dataflow.Network, bind Bindings) ([]*dataflow.Node, error) {
+	if bind.N <= 0 {
+		return nil, fmt.Errorf("strategy: global work size must be positive, got %d", bind.N)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	env.Reset()
+	return order, nil
+}
+
+// finish collects the run's profile into the result.
+func finish(env *ocl.Env, data []float32, width int) *Result {
+	return &Result{
+		Data:      data,
+		Width:     width,
+		Profile:   env.Profile(),
+		PeakBytes: env.PeakBytes(),
+		Events:    env.Queue().Events(),
+	}
+}
+
+// releaseAll releases every buffer in the map (idempotent).
+func releaseAll(bufs map[string]*ocl.Buffer) {
+	for _, b := range bufs {
+		if b != nil {
+			b.Release()
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/codegen"
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+)
+
+// Streaming is the execution strategy the paper's future-work section
+// proposes ("we plan to investigate the runtime performance of our
+// execution strategies in a streaming context"): the mesh is tiled into
+// Z slabs, and the fused kernel runs tile by tile, so only a tile's
+// working set occupies device memory at a time. Data sets that exceed
+// device memory under fusion — the paper's failed GPU cases — complete
+// under streaming, at the price of one kernel dispatch per tile and
+// re-uploading each tile's halo.
+//
+// Tiles carrying stencil primitives (grad3d) are grown by one halo layer
+// of cells on each Z face (clipped at the domain boundary), so gradients
+// are exact everywhere and streaming's output is bitwise identical to
+// fusion's.
+type Streaming struct {
+	// Tiles is the number of Z slabs (default 4).
+	Tiles int
+}
+
+// Name returns "streaming".
+func (Streaming) Name() string { return "streaming" }
+
+// Execute runs the fused kernel slab by slab.
+func (s Streaming) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	order, err := prepare(env, net, bind)
+	if err != nil {
+		return nil, err
+	}
+	tiles := s.Tiles
+	if tiles < 1 {
+		tiles = 4
+	}
+
+	prog, err := fusionProgram(net)
+	if err != nil {
+		return nil, err
+	}
+	geom, err := tileGeometry(order, bind)
+	if err != nil {
+		return nil, err
+	}
+	env.Reset()
+
+	out := make([]float32, bind.N*prog.OutWidth)
+	for t, tr := range tilePlan(geom, tiles) {
+		if err := runTileOn(env, prog, bind, tr, out, tr.outOff(prog.OutWidth)); err != nil {
+			return nil, fmt.Errorf("streaming: tile %d: %w", t, err)
+		}
+	}
+	return finish(env, out, prog.OutWidth), nil
+}
+
+// tileRange describes one haloed Z slab in global element coordinates.
+type tileRange struct {
+	gLo         int // first global element of the haloed tile
+	tileN       int // elements in the haloed tile
+	nx, ny      int
+	nzTile      int // Z extent of the haloed tile
+	intLo       int // first interior element within the tile
+	intN        int // interior elements
+	globalIntLo int // first global element of the interior
+}
+
+// runTileOn uploads the tile's source windows, launches the fused kernel
+// on the environment and copies the interior of the tile's output into
+// the result at outOff.
+func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange, out []float32, outOff int) error {
+	bufs := make([]*ocl.Buffer, len(prog.Args))
+	defer func() {
+		for _, b := range bufs {
+			if b != nil {
+				b.Release()
+			}
+		}
+	}()
+
+	var outBuf *ocl.Buffer
+	for i, a := range prog.Args {
+		switch a.Kind {
+		case codegen.ArgSource:
+			src, err := bind.source(a.Name)
+			if err != nil {
+				return err
+			}
+			data := src.Data
+			switch {
+			case a.Name == "dims":
+				// The tile is its own sub-mesh along Z.
+				data = kernels.DimsArray(tr.nx, tr.ny, tr.nzTile)
+			case src.Elems() == len(out)/prog.OutWidth || src.Elems() == bind.N:
+				// Problem-sized array: upload the tile's window.
+				data = src.Data[tr.gLo*src.Width : (tr.gLo+tr.tileN)*src.Width]
+			}
+			b, err := env.Upload(a.Name, data, src.Width)
+			if err != nil {
+				return err
+			}
+			bufs[i] = b
+		case codegen.ArgScratch:
+			b, err := env.NewBuffer(a.Name, tr.tileN, a.Width)
+			if err != nil {
+				return err
+			}
+			bufs[i] = b
+		case codegen.ArgOut:
+			b, err := env.NewBuffer(a.Name, tr.tileN, a.Width)
+			if err != nil {
+				return err
+			}
+			outBuf = b
+			bufs[i] = b
+		}
+	}
+
+	if err := env.Run(prog.Kernel, tr.tileN, bufs, nil); err != nil {
+		return err
+	}
+	tileOut, err := env.Download(outBuf)
+	if err != nil {
+		return err
+	}
+	w := prog.OutWidth
+	copy(out[outOff:outOff+tr.intN*w], tileOut[tr.intLo*w:(tr.intLo+tr.intN)*w])
+	return nil
+}

@@ -1,0 +1,155 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"dfg/internal/expr"
+	"dfg/internal/mesh"
+	"dfg/internal/rtsim"
+	"dfg/internal/vortex"
+)
+
+// TestTableIIExactCounts is the paper's Table II, reproduced verbatim:
+// host-to-device transfers (Dev-W), device-to-host transfers (Dev-R) and
+// kernel executions (K-Exe) for the three vortex-detection expressions
+// under the three execution strategies, from the parsed expression text.
+func TestTableIIExactCounts(t *testing.T) {
+	want := map[string]map[string][3]int{
+		"VelMag": {
+			"roundtrip": {11, 6, 6},
+			"staged":    {3, 1, 6},
+			"fusion":    {3, 1, 1},
+		},
+		"VortMag": {
+			"roundtrip": {32, 12, 12},
+			"staged":    {7, 1, 18},
+			"fusion":    {7, 1, 1},
+		},
+		"Q-Crit": {
+			"roundtrip": {123, 57, 57},
+			"staged":    {7, 1, 67},
+			"fusion":    {7, 1, 1},
+		},
+	}
+
+	m := mesh.MustUniform(mesh.Dims{NX: 8, NY: 8, NZ: 8}, 1, 1, 1)
+	f := rtsim.Generate(m, rtsim.Options{Seed: 1})
+	bind, err := BindMesh(m, map[string][]float32{"u": f.U, "v": f.V, "w": f.W})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, e := range vortex.Expressions() {
+		net, err := expr.Compile(e.Text)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for _, sname := range Names() {
+			s, _ := ForName(sname)
+			res, err := s.Execute(cpuEnv(), net, bind)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, sname, err)
+			}
+			w := want[e.Name][sname]
+			p := res.Profile
+			if p.Writes != w[0] || p.Reads != w[1] || p.Kernels != w[2] {
+				t.Errorf("%s/%s: Dev-W/Dev-R/K-Exe = %d/%d/%d, Table II says %d/%d/%d",
+					e.Name, sname, p.Writes, p.Reads, p.Kernels, w[0], w[1], w[2])
+			}
+		}
+	}
+}
+
+// TestPaperExpressionsNumericallyAgree validates every strategy's output
+// for every paper expression against the independent golden
+// implementations, on synthetic RT data.
+func TestPaperExpressionsNumericallyAgree(t *testing.T) {
+	m := mesh.MustUniform(mesh.Dims{NX: 16, NY: 12, NZ: 10}, 1.0/16, 1.0/12, 1.0/10)
+	f := rtsim.Generate(m, rtsim.Options{Seed: 7})
+	bind, err := BindMesh(m, map[string][]float32{"u": f.U, "v": f.V, "w": f.W})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := map[string][]float32{
+		"VelMag":  vortex.VelocityMagnitude(f.U, f.V, f.W),
+		"VortMag": vortex.VorticityMagnitude(f.U, f.V, f.W, m),
+		"Q-Crit":  vortex.QCriterion(f.U, f.V, f.W, m),
+	}
+	// Tolerances: gradient-heavy float32 chains accumulate a few ulps;
+	// values are O(1)-O(30) on this mesh.
+	tol := map[string]float64{"VelMag": 1e-5, "VortMag": 5e-4, "Q-Crit": 5e-2}
+
+	for _, e := range vortex.Expressions() {
+		net, err := expr.Compile(e.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := golden[e.Name]
+		for _, sname := range Names() {
+			s, _ := ForName(sname)
+			res, err := s.Execute(cpuEnv(), net, bind)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, sname, err)
+			}
+			for i := range want {
+				if d := math.Abs(float64(res.Data[i] - want[i])); d > tol[e.Name] {
+					t.Fatalf("%s/%s: cell %d: %v vs golden %v (|d|=%g)",
+						e.Name, sname, i, res.Data[i], want[i], d)
+				}
+			}
+		}
+	}
+}
+
+// TestStrategiesBitwiseAgree checks the three strategies agree with each
+// other exactly (same float32 operations in the same order per element)
+// for the paper expressions.
+func TestStrategiesBitwiseAgree(t *testing.T) {
+	m := mesh.MustUniform(mesh.Dims{NX: 10, NY: 10, NZ: 8}, 0.1, 0.1, 0.125)
+	f := rtsim.Generate(m, rtsim.Options{Seed: 3})
+	bind, err := BindMesh(m, map[string][]float32{"u": f.U, "v": f.V, "w": f.W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range vortex.Expressions() {
+		net, _ := expr.Compile(e.Text)
+		var ref []float32
+		for _, sname := range Names() {
+			s, _ := ForName(sname)
+			res, err := s.Execute(cpuEnv(), net, bind)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", e.Name, sname, err)
+			}
+			if ref == nil {
+				ref = res.Data
+				continue
+			}
+			for i := range ref {
+				if res.Data[i] != ref[i] {
+					t.Fatalf("%s/%s: cell %d differs bitwise: %v vs %v", e.Name, sname, i, res.Data[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBindMeshValidation(t *testing.T) {
+	m := mesh.MustUniform(mesh.Dims{NX: 4, NY: 4, NZ: 4}, 1, 1, 1)
+	if _, err := BindMesh(m, map[string][]float32{"u": make([]float32, 3)}); err == nil {
+		t.Fatal("short field must fail")
+	}
+	b, err := BindMesh(m, map[string][]float32{"u": make([]float32, 64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"u", "dims", "x", "y", "z"} {
+		if _, ok := b.Sources[name]; !ok {
+			t.Fatalf("binding missing %q", name)
+		}
+	}
+	if b.N != 64 || len(b.Sources["x"].Data) != 64 || len(b.Sources["dims"].Data) != 4 {
+		t.Fatalf("binding shapes wrong: %+v", b)
+	}
+}

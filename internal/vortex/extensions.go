@@ -1,0 +1,85 @@
+package vortex
+
+import (
+	"math"
+
+	"dfg/internal/mesh"
+)
+
+// Extension expressions beyond the paper's three, built from the same
+// primitive library — the kind of quantities an analyst composes next
+// once the framework exists.
+const (
+	// EnstrophyExpr computes pointwise enstrophy 0.5*|curl v|^2, the
+	// standard measure of rotational energy density.
+	EnstrophyExpr = `du = grad3d(u,dims,x,y,z)
+dv = grad3d(v,dims,x,y,z)
+dw = grad3d(w,dims,x,y,z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+ens = 0.5 * (w_x*w_x + w_y*w_y + w_z*w_z)`
+
+	// DivergenceExpr computes div v = trace of the velocity gradient —
+	// near zero for incompressible flow, a standard sanity field.
+	DivergenceExpr = `du = grad3d(u,dims,x,y,z)
+dv = grad3d(v,dims,x,y,z)
+dw = grad3d(w,dims,x,y,z)
+div = du[0] + dv[1] + dw[2]`
+
+	// HelicityExpr computes pointwise helicity density v . curl(v),
+	// which distinguishes corkscrew motion from planar rotation.
+	HelicityExpr = `du = grad3d(u,dims,x,y,z)
+dv = grad3d(v,dims,x,y,z)
+dw = grad3d(w,dims,x,y,z)
+w_x = dw[1] - dv[2]
+w_y = du[2] - dw[0]
+w_z = dv[0] - du[1]
+hel = u*w_x + v*w_y + w*w_z`
+)
+
+// Enstrophy is the golden host implementation of 0.5*|curl v|^2.
+func Enstrophy(u, v, w []float32, m *mesh.Mesh) []float32 {
+	ox, oy, oz := Vorticity(u, v, w, m)
+	out := make([]float32, len(ox))
+	for i := range out {
+		out[i] = float32(0.5 * (float64(ox[i])*float64(ox[i]) +
+			float64(oy[i])*float64(oy[i]) + float64(oz[i])*float64(oz[i])))
+	}
+	return out
+}
+
+// Divergence is the golden host implementation of div v.
+func Divergence(u, v, w []float32, m *mesh.Mesh) []float32 {
+	n := m.Cells()
+	out := make([]float32, n)
+	cx, cy, cz := m.CellCenters()
+	for idx := 0; idx < n; idx++ {
+		J := jacobian(u, v, w, m.Dims, cx, cy, cz, idx)
+		out[idx] = float32(J[0][0] + J[1][1] + J[2][2])
+	}
+	return out
+}
+
+// Helicity is the golden host implementation of v . curl(v).
+func Helicity(u, v, w []float32, m *mesh.Mesh) []float32 {
+	ox, oy, oz := Vorticity(u, v, w, m)
+	out := make([]float32, len(ox))
+	for i := range out {
+		out[i] = float32(float64(u[i])*float64(ox[i]) +
+			float64(v[i])*float64(oy[i]) + float64(w[i])*float64(oz[i]))
+	}
+	return out
+}
+
+// MaxAbs returns the largest magnitude in a field (test helper for
+// near-zero assertions like divergence-free checks).
+func MaxAbs(f []float32) float64 {
+	var m float64
+	for _, v := range f {
+		if a := math.Abs(float64(v)); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,115 @@
+// Package vortex implements the paper's three vortex-detection derived
+// quantities two independent ways:
+//
+//   - golden host implementations (this file), computed directly from
+//     the velocity field with an independently written stencil, used to
+//     validate every execution strategy's numeric output; and
+//   - the hand-written reference OpenCL kernels (reference.go) that the
+//     paper benchmarks its strategies against.
+package vortex
+
+import (
+	"math"
+
+	"dfg/internal/mesh"
+)
+
+// VelocityMagnitude computes sqrt(u^2 + v^2 + w^2) per cell
+// (the paper's expression A).
+func VelocityMagnitude(u, v, w []float32) []float32 {
+	out := make([]float32, len(u))
+	for i := range u {
+		out[i] = float32(math.Sqrt(float64(u[i])*float64(u[i]) +
+			float64(v[i])*float64(v[i]) + float64(w[i])*float64(w[i])))
+	}
+	return out
+}
+
+// jacobian computes the 3x3 velocity gradient tensor J = grad(v) at cell
+// idx. Row r of J is the gradient of component r: J[r][c] = d v_r / d x_c.
+//
+// This stencil is written independently of mesh.Gradient3D (it indexes
+// neighbours and differences cell centers directly) so the two
+// implementations cross-check each other.
+func jacobian(u, v, w []float32, d mesh.Dims, cx, cy, cz []float32, idx int) (J [3][3]float64) {
+	i, j, k := d.Coords(idx)
+	for c, axis := range [3]struct {
+		p, n, stride int
+		centers      []float32
+	}{
+		{i, d.NX, 1, cx},
+		{j, d.NY, d.NX, cy},
+		{k, d.NZ, d.NX * d.NY, cz},
+	} {
+		lo, hi := idx, idx
+		var dx float64
+		switch {
+		case axis.n == 1:
+			// Degenerate axis: no variation.
+			J[0][c], J[1][c], J[2][c] = 0, 0, 0
+			continue
+		case axis.p == 0:
+			hi = idx + axis.stride
+			dx = float64(axis.centers[1] - axis.centers[0])
+		case axis.p == axis.n-1:
+			lo = idx - axis.stride
+			dx = float64(axis.centers[axis.n-1] - axis.centers[axis.n-2])
+		default:
+			lo, hi = idx-axis.stride, idx+axis.stride
+			dx = float64(axis.centers[axis.p+1] - axis.centers[axis.p-1])
+		}
+		J[0][c] = (float64(u[hi]) - float64(u[lo])) / dx
+		J[1][c] = (float64(v[hi]) - float64(v[lo])) / dx
+		J[2][c] = (float64(w[hi]) - float64(w[lo])) / dx
+	}
+	return J
+}
+
+// Vorticity computes the curl of the velocity field per cell, returned as
+// three component arrays: omega = (dw/dy - dv/dz, du/dz - dw/dx,
+// dv/dx - du/dy) — the paper's equation (1).
+func Vorticity(u, v, w []float32, m *mesh.Mesh) (ox, oy, oz []float32) {
+	n := m.Cells()
+	ox = make([]float32, n)
+	oy = make([]float32, n)
+	oz = make([]float32, n)
+	cx, cy, cz := m.CellCenters()
+	for idx := 0; idx < n; idx++ {
+		J := jacobian(u, v, w, m.Dims, cx, cy, cz, idx)
+		ox[idx] = float32(J[2][1] - J[1][2])
+		oy[idx] = float32(J[0][2] - J[2][0])
+		oz[idx] = float32(J[1][0] - J[0][1])
+	}
+	return
+}
+
+// VorticityMagnitude computes |curl(v)| per cell (the paper's
+// expression B).
+func VorticityMagnitude(u, v, w []float32, m *mesh.Mesh) []float32 {
+	ox, oy, oz := Vorticity(u, v, w, m)
+	return VelocityMagnitude(ox, oy, oz)
+}
+
+// QCriterion computes Hunt's Q = 0.5*(||Omega||^2 - ||S||^2) per cell
+// (the paper's expression C), where S and Omega are the symmetric and
+// antisymmetric parts of the velocity gradient tensor and ||.|| is the
+// Frobenius norm. Q > 0 marks rotation-dominated regions.
+func QCriterion(u, v, w []float32, m *mesh.Mesh) []float32 {
+	n := m.Cells()
+	out := make([]float32, n)
+	cx, cy, cz := m.CellCenters()
+	for idx := 0; idx < n; idx++ {
+		J := jacobian(u, v, w, m.Dims, cx, cy, cz, idx)
+		var sNorm, wNorm float64
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				s := 0.5 * (J[r][c] + J[c][r])
+				om := 0.5 * (J[r][c] - J[c][r])
+				sNorm += s * s
+				wNorm += om * om
+			}
+		}
+		out[idx] = float32(0.5 * (wNorm - sNorm))
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package vortex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dfg/internal/mesh"
+)
+
+// analytic fills u, v, w from closures of the cell-center coordinates.
+func analytic(m *mesh.Mesh, fu, fv, fw func(x, y, z float64) float64) (u, v, w []float32) {
+	cx, cy, cz := m.CellCenters()
+	d := m.Dims
+	u = make([]float32, d.Cells())
+	v = make([]float32, d.Cells())
+	w = make([]float32, d.Cells())
+	for k := 0; k < d.NZ; k++ {
+		for j := 0; j < d.NY; j++ {
+			for i := 0; i < d.NX; i++ {
+				idx := d.Index(i, j, k)
+				x, y, z := float64(cx[i]), float64(cy[j]), float64(cz[k])
+				u[idx] = float32(fu(x, y, z))
+				v[idx] = float32(fv(x, y, z))
+				w[idx] = float32(fw(x, y, z))
+			}
+		}
+	}
+	return
+}
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestVelocityMagnitude(t *testing.T) {
+	u := []float32{3, 0, 1}
+	v := []float32{4, 0, 2}
+	w := []float32{0, 0, 2}
+	got := VelocityMagnitude(u, v, w)
+	for i, want := range []float64{5, 0, 3} {
+		if !approx(float64(got[i]), want, 1e-6) {
+			t.Fatalf("velmag[%d] = %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestRigidBodyRotation(t *testing.T) {
+	// Rigid rotation about the z axis with angular velocity omega:
+	// u = -omega*(y - y0), v = omega*(x - x0), w = 0.
+	// Analytically: vorticity = (0, 0, 2*omega) and Q = omega^2,
+	// everywhere, and the field is linear so the stencil is exact.
+	const omega = 1.5
+	m := mesh.MustUniform(mesh.Dims{NX: 8, NY: 8, NZ: 4}, 0.25, 0.25, 0.25)
+	u, v, w := analytic(m,
+		func(x, y, z float64) float64 { return -omega * (y - 1.0) },
+		func(x, y, z float64) float64 { return omega * (x - 1.0) },
+		func(x, y, z float64) float64 { return 0 },
+	)
+	ox, oy, oz := Vorticity(u, v, w, m)
+	vm := VorticityMagnitude(u, v, w, m)
+	q := QCriterion(u, v, w, m)
+	for idx := 0; idx < m.Cells(); idx++ {
+		if !approx(float64(ox[idx]), 0, 1e-4) || !approx(float64(oy[idx]), 0, 1e-4) {
+			t.Fatalf("cell %d: horizontal vorticity should vanish: %v %v", idx, ox[idx], oy[idx])
+		}
+		if !approx(float64(oz[idx]), 2*omega, 1e-4) {
+			t.Fatalf("cell %d: omega_z = %v want %v", idx, oz[idx], 2*omega)
+		}
+		if !approx(float64(vm[idx]), 2*omega, 1e-4) {
+			t.Fatalf("cell %d: |omega| = %v want %v", idx, vm[idx], 2*omega)
+		}
+		if !approx(float64(q[idx]), omega*omega, 1e-4) {
+			t.Fatalf("cell %d: Q = %v want %v (rotation must have Q > 0)", idx, q[idx], omega*omega)
+		}
+	}
+}
+
+func TestPureStrain(t *testing.T) {
+	// Irrotational strain u = g*x, v = -g*y: vorticity = 0 and
+	// Q = -g^2 < 0 (strain exceeds rotation).
+	const g = 2.0
+	m := mesh.MustUniform(mesh.Dims{NX: 6, NY: 6, NZ: 3}, 0.5, 0.5, 0.5)
+	u, v, w := analytic(m,
+		func(x, y, z float64) float64 { return g * x },
+		func(x, y, z float64) float64 { return -g * y },
+		func(x, y, z float64) float64 { return 0 },
+	)
+	vm := VorticityMagnitude(u, v, w, m)
+	q := QCriterion(u, v, w, m)
+	for idx := 0; idx < m.Cells(); idx++ {
+		if !approx(float64(vm[idx]), 0, 1e-4) {
+			t.Fatalf("cell %d: strain field must be irrotational, |omega| = %v", idx, vm[idx])
+		}
+		if !approx(float64(q[idx]), -g*g, 1e-4) {
+			t.Fatalf("cell %d: Q = %v want %v (strain must have Q < 0)", idx, q[idx], -g*g)
+		}
+	}
+}
+
+func TestPureShear(t *testing.T) {
+	// Simple shear u = g*y: |omega| = g and Q = 0 exactly (rotation and
+	// strain balance), the textbook boundary case for Q-criterion.
+	const g = 3.0
+	m := mesh.MustUniform(mesh.Dims{NX: 5, NY: 5, NZ: 5}, 0.2, 0.2, 0.2)
+	u, v, w := analytic(m,
+		func(x, y, z float64) float64 { return g * y },
+		func(x, y, z float64) float64 { return 0 },
+		func(x, y, z float64) float64 { return 0 },
+	)
+	vm := VorticityMagnitude(u, v, w, m)
+	q := QCriterion(u, v, w, m)
+	for idx := 0; idx < m.Cells(); idx++ {
+		if !approx(float64(vm[idx]), g, 1e-4) {
+			t.Fatalf("cell %d: shear |omega| = %v want %v", idx, vm[idx], g)
+		}
+		if !approx(float64(q[idx]), 0, 1e-4) {
+			t.Fatalf("cell %d: shear Q = %v want 0", idx, q[idx])
+		}
+	}
+}
+
+// TestJacobianAgreesWithMeshGradient cross-checks the two independently
+// written stencils: row r of the golden Jacobian must equal
+// mesh.Gradient3D of component r.
+func TestJacobianAgreesWithMeshGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := []float32{0, 0.4, 1.0, 1.3, 2.4, 3.0}
+	y := []float32{0, 1, 1.5, 3}
+	z := []float32{-1, 0, 0.7, 1.1, 2}
+	m, err := mesh.NewRectilinear(x, y, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := m.Cells()
+	u := make([]float32, n)
+	v := make([]float32, n)
+	w := make([]float32, n)
+	for i := 0; i < n; i++ {
+		u[i] = rng.Float32()
+		v[i] = rng.Float32()
+		w[i] = rng.Float32()
+	}
+	gu := mesh.Gradient3D(u, m)
+	gv := mesh.Gradient3D(v, m)
+	gw := mesh.Gradient3D(w, m)
+	cx, cy, cz := m.CellCenters()
+	for idx := 0; idx < n; idx++ {
+		J := jacobian(u, v, w, m.Dims, cx, cy, cz, idx)
+		for c := 0; c < 3; c++ {
+			if !approx(J[0][c], float64(gu[4*idx+c]), 1e-4) ||
+				!approx(J[1][c], float64(gv[4*idx+c]), 1e-4) ||
+				!approx(J[2][c], float64(gw[4*idx+c]), 1e-4) {
+				t.Fatalf("cell %d axis %d: jacobian %v/%v/%v vs gradient %v/%v/%v",
+					idx, c, J[0][c], J[1][c], J[2][c], gu[4*idx+c], gv[4*idx+c], gw[4*idx+c])
+			}
+		}
+	}
+}
+
+func TestDegenerateAxisJacobian(t *testing.T) {
+	m := mesh.MustUniform(mesh.Dims{NX: 4, NY: 4, NZ: 1}, 1, 1, 1)
+	u, v, w := analytic(m,
+		func(x, y, z float64) float64 { return x + y },
+		func(x, y, z float64) float64 { return x - y },
+		func(x, y, z float64) float64 { return 1 },
+	)
+	q := QCriterion(u, v, w, m)
+	// J = [[1,1,0],[1,-1,0],[0,0,0]]: symmetric, so Q = -||S||^2/2 = -2.
+	for idx := 0; idx < m.Cells(); idx++ {
+		if !approx(float64(q[idx]), -2, 1e-4) {
+			t.Fatalf("cell %d: Q = %v want -2", idx, q[idx])
+		}
+	}
+}
+
+func TestExtensionQuantitiesOnRigidRotation(t *testing.T) {
+	// Rigid rotation about z (omega_z = 2w): enstrophy = 0.5*(2w)^2,
+	// divergence = 0, helicity = v . omega = 0 (planar flow).
+	const w0 = 1.25
+	m := mesh.MustUniform(mesh.Dims{NX: 6, NY: 6, NZ: 4}, 0.25, 0.25, 0.25)
+	u, v, w := analytic(m,
+		func(x, y, z float64) float64 { return -w0 * (y - 0.75) },
+		func(x, y, z float64) float64 { return w0 * (x - 0.75) },
+		func(x, y, z float64) float64 { return 0 },
+	)
+	ens := Enstrophy(u, v, w, m)
+	div := Divergence(u, v, w, m)
+	hel := Helicity(u, v, w, m)
+	wantEns := 0.5 * (2 * w0) * (2 * w0)
+	for i := range ens {
+		if !approx(float64(ens[i]), wantEns, 1e-4) {
+			t.Fatalf("enstrophy[%d] = %v want %v", i, ens[i], wantEns)
+		}
+		if !approx(float64(div[i]), 0, 1e-4) {
+			t.Fatalf("divergence[%d] = %v want 0", i, div[i])
+		}
+		if !approx(float64(hel[i]), 0, 1e-4) {
+			t.Fatalf("helicity[%d] = %v want 0 (planar rotation)", i, hel[i])
+		}
+	}
+	if MaxAbs(div) > 1e-4 {
+		t.Fatal("MaxAbs should report the tiny divergence bound")
+	}
+	if MaxAbs([]float32{-3, 2}) != 3 {
+		t.Fatal("MaxAbs wrong")
+	}
+}
+
+func TestHelicityOfBeltramiLikeFlow(t *testing.T) {
+	// u = sin(z), v = cos(z), w = 0 has curl = (-sin z, -cos z... ) —
+	// actually curl = (dw/dy - dv/dz, du/dz - dw/dx, dv/dx - du/dy)
+	//              = (sin z, cos z, 0), so v . curl = sin^2 + cos^2 = 1.
+	m := mesh.MustUniform(mesh.Dims{NX: 4, NY: 4, NZ: 64}, 0.5, 0.5, float32(2*math.Pi/64))
+	u, v, w := analytic(m,
+		func(x, y, z float64) float64 { return math.Sin(z) },
+		func(x, y, z float64) float64 { return math.Cos(z) },
+		func(x, y, z float64) float64 { return 0 },
+	)
+	hel := Helicity(u, v, w, m)
+	d := m.Dims
+	// Interior along z (boundary one-sided stencils are first order).
+	for k := 2; k < d.NZ-2; k++ {
+		idx := d.Index(2, 2, k)
+		if !approx(float64(hel[idx]), 1, 5e-3) {
+			t.Fatalf("helicity at k=%d: %v want 1", k, hel[idx])
+		}
+	}
+}

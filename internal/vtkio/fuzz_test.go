@@ -1,0 +1,40 @@
+package vtkio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dfg/internal/mesh"
+)
+
+// FuzzRead drives the VTK reader with arbitrary bytes: it must reject or
+// accept without panicking, and anything it accepts must round-trip
+// through the writer.
+func FuzzRead(f *testing.F) {
+	// Seed with a real file and mutations of it.
+	m := mesh.MustUniform(mesh.Dims{NX: 2, NY: 2, NZ: 2}, 1, 1, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, "seed", Grid{Mesh: m, Fields: map[string][]float32{"f": make([]float32, 8)}}); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.String()
+	f.Add(good)
+	f.Add(strings.Replace(good, "CELL_DATA 8", "CELL_DATA 99", 1))
+	f.Add(strings.Replace(good, "ASCII", "BINARY", 1))
+	f.Add("")
+	f.Add("# vtk DataFile Version 3.0\nt\nASCII\nDATASET RECTILINEAR_GRID\nDIMENSIONS 2 2\n")
+	f.Add(good[:len(good)/2])
+
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be writable again.
+		var out bytes.Buffer
+		if err := Write(&out, "refuzz", g); err != nil {
+			t.Fatalf("accepted grid failed to write: %v", err)
+		}
+	})
+}

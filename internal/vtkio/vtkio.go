@@ -1,0 +1,227 @@
+// Package vtkio writes (and re-reads, for round-trip verification) VTK
+// legacy files for rectilinear grids with cell-centered fields — the
+// interchange format of the paper's host application stack (VisIt/VTK).
+// Exporting a derived field as .vtk closes the loop of the paper's
+// pipeline: the framework computes the field, the visualization tool
+// renders it.
+//
+// The writer emits the classic ASCII "# vtk DataFile Version 3.0" layout
+// with a RECTILINEAR_GRID structure, per-axis coordinate arrays and any
+// number of scalar CELL_DATA fields. The reader accepts exactly what the
+// writer produces (it exists for round-trip tests and for loading saved
+// results back into the harness, not as a general VTK parser).
+package vtkio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dfg/internal/mesh"
+)
+
+// Grid couples a mesh with named cell-centered scalar fields.
+type Grid struct {
+	Mesh   *mesh.Mesh
+	Fields map[string][]float32
+}
+
+// Write emits the grid as a VTK legacy rectilinear-grid file.
+func Write(w io.Writer, title string, g Grid) error {
+	if g.Mesh == nil {
+		return fmt.Errorf("vtkio: nil mesh")
+	}
+	if err := g.Mesh.Validate(); err != nil {
+		return err
+	}
+	n := g.Mesh.Cells()
+	names := make([]string, 0, len(g.Fields))
+	for name, data := range g.Fields {
+		if len(data) != n {
+			return fmt.Errorf("vtkio: field %q has %d values for %d cells", name, len(data), n)
+		}
+		if strings.ContainsAny(name, " \t\n") {
+			return fmt.Errorf("vtkio: field name %q must not contain whitespace", name)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	if title == "" {
+		title = "dfg derived fields"
+	}
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n%s\nASCII\nDATASET RECTILINEAR_GRID\n", title)
+	d := g.Mesh.Dims
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", d.NX+1, d.NY+1, d.NZ+1)
+	writeCoords(bw, "X_COORDINATES", g.Mesh.X)
+	writeCoords(bw, "Y_COORDINATES", g.Mesh.Y)
+	writeCoords(bw, "Z_COORDINATES", g.Mesh.Z)
+
+	fmt.Fprintf(bw, "CELL_DATA %d\n", n)
+	for _, name := range names {
+		fmt.Fprintf(bw, "SCALARS %s float 1\nLOOKUP_TABLE default\n", name)
+		writeFloats(bw, g.Fields[name])
+	}
+	return bw.Flush()
+}
+
+// writeCoords emits one coordinate array section.
+func writeCoords(w *bufio.Writer, label string, c []float32) {
+	fmt.Fprintf(w, "%s %d float\n", label, len(c))
+	writeFloats(w, c)
+}
+
+// writeFloats emits values eight per line, which keeps files diffable.
+func writeFloats(w *bufio.Writer, vals []float32) {
+	for i, v := range vals {
+		if i > 0 {
+			if i%8 == 0 {
+				w.WriteByte('\n')
+			} else {
+				w.WriteByte(' ')
+			}
+		}
+		w.WriteString(strconv.FormatFloat(float64(v), 'g', -1, 32))
+	}
+	if len(vals) > 0 {
+		w.WriteByte('\n')
+	}
+}
+
+// Read parses a file produced by Write.
+func Read(r io.Reader) (Grid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	tok := &tokenizer{sc: sc}
+
+	var g Grid
+	// Header: 2 comment/title lines, format, dataset.
+	for i := 0; i < 2; i++ {
+		if _, ok := tok.line(); !ok {
+			return g, fmt.Errorf("vtkio: truncated header")
+		}
+	}
+	if l, _ := tok.line(); strings.TrimSpace(l) != "ASCII" {
+		return g, fmt.Errorf("vtkio: only ASCII files supported, got %q", l)
+	}
+	if l, _ := tok.line(); strings.TrimSpace(l) != "DATASET RECTILINEAR_GRID" {
+		return g, fmt.Errorf("vtkio: only RECTILINEAR_GRID supported, got %q", l)
+	}
+
+	var px, py, pz int
+	if l, ok := tok.line(); !ok || parseDims(l, &px, &py, &pz) != nil {
+		return g, fmt.Errorf("vtkio: bad DIMENSIONS line %q", l)
+	}
+	x, err := tok.coords("X_COORDINATES", px)
+	if err != nil {
+		return g, err
+	}
+	y, err := tok.coords("Y_COORDINATES", py)
+	if err != nil {
+		return g, err
+	}
+	z, err := tok.coords("Z_COORDINATES", pz)
+	if err != nil {
+		return g, err
+	}
+	m, err := mesh.NewRectilinear(x, y, z)
+	if err != nil {
+		return g, err
+	}
+	g.Mesh = m
+	g.Fields = make(map[string][]float32)
+
+	l, ok := tok.line()
+	if !ok {
+		return g, nil // geometry only
+	}
+	var nCells int
+	if _, err := fmt.Sscanf(strings.TrimSpace(l), "CELL_DATA %d", &nCells); err != nil {
+		return g, fmt.Errorf("vtkio: bad CELL_DATA line %q", l)
+	}
+	if nCells != m.Cells() {
+		return g, fmt.Errorf("vtkio: CELL_DATA %d does not match %d cells", nCells, m.Cells())
+	}
+	for {
+		l, ok := tok.line()
+		if !ok {
+			return g, nil
+		}
+		fields := strings.Fields(l)
+		if len(fields) < 2 || fields[0] != "SCALARS" {
+			return g, fmt.Errorf("vtkio: expected SCALARS section, got %q", l)
+		}
+		name := fields[1]
+		if l, ok := tok.line(); !ok || !strings.HasPrefix(strings.TrimSpace(l), "LOOKUP_TABLE") {
+			return g, fmt.Errorf("vtkio: expected LOOKUP_TABLE after SCALARS %s", name)
+		}
+		vals, err := tok.floats(nCells)
+		if err != nil {
+			return g, fmt.Errorf("vtkio: field %q: %w", name, err)
+		}
+		g.Fields[name] = vals
+	}
+}
+
+// parseDims parses "DIMENSIONS nx ny nz".
+func parseDims(l string, px, py, pz *int) error {
+	_, err := fmt.Sscanf(strings.TrimSpace(l), "DIMENSIONS %d %d %d", px, py, pz)
+	return err
+}
+
+// tokenizer reads lines and float runs from the scanner.
+type tokenizer struct {
+	sc      *bufio.Scanner
+	pending []string
+}
+
+// line returns the next non-empty line.
+func (t *tokenizer) line() (string, bool) {
+	for t.sc.Scan() {
+		l := t.sc.Text()
+		if strings.TrimSpace(l) != "" {
+			return l, true
+		}
+	}
+	return "", false
+}
+
+// coords reads one "<label> <n> float" section.
+func (t *tokenizer) coords(label string, n int) ([]float32, error) {
+	l, ok := t.line()
+	if !ok {
+		return nil, fmt.Errorf("vtkio: missing %s", label)
+	}
+	var got int
+	if _, err := fmt.Sscanf(strings.TrimSpace(l), label+" %d float", &got); err != nil || got != n {
+		return nil, fmt.Errorf("vtkio: bad %s header %q (want %d values)", label, l, n)
+	}
+	return t.floats(n)
+}
+
+// floats reads exactly n whitespace-separated float32 values.
+func (t *tokenizer) floats(n int) ([]float32, error) {
+	out := make([]float32, 0, n)
+	for len(out) < n {
+		if len(t.pending) == 0 {
+			l, ok := t.line()
+			if !ok {
+				return nil, fmt.Errorf("need %d more values", n-len(out))
+			}
+			t.pending = strings.Fields(l)
+		}
+		for len(t.pending) > 0 && len(out) < n {
+			v, err := strconv.ParseFloat(t.pending[0], 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q", t.pending[0])
+			}
+			t.pending = t.pending[1:]
+			out = append(out, float32(v))
+		}
+	}
+	return out, nil
+}

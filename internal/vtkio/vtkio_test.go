@@ -1,0 +1,164 @@
+package vtkio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dfg/internal/mesh"
+)
+
+func testGrid(t testing.TB, seed int64) Grid {
+	t.Helper()
+	m, err := mesh.NewRectilinear(
+		[]float32{0, 0.5, 1.25, 2},
+		[]float32{-1, 0, 1},
+		[]float32{0, 2, 3, 5, 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := m.Cells()
+	q := make([]float32, n)
+	vm := make([]float32, n)
+	for i := 0; i < n; i++ {
+		q[i] = rng.Float32()*20 - 10
+		vm[i] = rng.Float32()
+	}
+	return Grid{Mesh: m, Fields: map[string][]float32{"q_crit": q, "v_mag": vm}}
+}
+
+func TestWriteFormat(t *testing.T) {
+	g := testGrid(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, "vortex detection", g); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"# vtk DataFile Version 3.0",
+		"vortex detection",
+		"ASCII",
+		"DATASET RECTILINEAR_GRID",
+		"DIMENSIONS 4 3 5",
+		"X_COORDINATES 4 float",
+		"Z_COORDINATES 5 float",
+		"CELL_DATA 24",
+		"SCALARS q_crit float 1",
+		"SCALARS v_mag float 1",
+		"LOOKUP_TABLE default",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("VTK output missing %q", frag)
+		}
+	}
+	// Fields emit in sorted order for determinism.
+	if strings.Index(out, "q_crit") > strings.Index(out, "v_mag") {
+		t.Error("fields must be written in sorted name order")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := testGrid(t, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, "", g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mesh.Dims != g.Mesh.Dims {
+		t.Fatalf("dims %v != %v", back.Mesh.Dims, g.Mesh.Dims)
+	}
+	for i := range g.Mesh.X {
+		if back.Mesh.X[i] != g.Mesh.X[i] {
+			t.Fatalf("x[%d] %v != %v", i, back.Mesh.X[i], g.Mesh.X[i])
+		}
+	}
+	if len(back.Fields) != 2 {
+		t.Fatalf("want 2 fields, got %d", len(back.Fields))
+	}
+	for name, want := range g.Fields {
+		got := back.Fields[name]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v want %v (ASCII float32 must round-trip)", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := testGrid(t, seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, "p", g); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for name, want := range g.Fields {
+			got := back.Fields[name]
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, "", Grid{}); err == nil {
+		t.Error("nil mesh must fail")
+	}
+	m := mesh.MustUniform(mesh.Dims{NX: 2, NY: 2, NZ: 2}, 1, 1, 1)
+	if err := Write(&bytes.Buffer{}, "", Grid{Mesh: m, Fields: map[string][]float32{"f": make([]float32, 3)}}); err == nil {
+		t.Error("short field must fail")
+	}
+	if err := Write(&bytes.Buffer{}, "", Grid{Mesh: m, Fields: map[string][]float32{"bad name": make([]float32, 8)}}); err == nil {
+		t.Error("whitespace in field name must fail")
+	}
+}
+
+func TestReadRejectsForeignFiles(t *testing.T) {
+	cases := []string{
+		"",
+		"# vtk DataFile Version 3.0\nt\nBINARY\nDATASET RECTILINEAR_GRID\n",
+		"# vtk DataFile Version 3.0\nt\nASCII\nDATASET STRUCTURED_POINTS\n",
+		"# vtk DataFile Version 3.0\nt\nASCII\nDATASET RECTILINEAR_GRID\nDIMENSIONS x y z\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: malformed input must fail", i)
+		}
+	}
+}
+
+func TestGeometryOnlyFile(t *testing.T) {
+	g := Grid{Mesh: mesh.MustUniform(mesh.Dims{NX: 2, NY: 2, NZ: 2}, 1, 1, 1)}
+	var buf bytes.Buffer
+	if err := Write(&buf, "", g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mesh.Dims != g.Mesh.Dims {
+		t.Fatal("geometry-only round trip failed")
+	}
+}
