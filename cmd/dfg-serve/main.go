@@ -1,0 +1,133 @@
+// Command dfg-serve drives the concurrent evaluation service
+// (internal/serve) at configurable concurrency and reports throughput
+// plus the pool's aggregated device profile — a load generator for the
+// engine-pool + shared-compile-cache architecture.
+//
+//	dfg-serve                                  # 8 workers, 16 clients, 2000 requests
+//	dfg-serve -workers 4 -clients 32 -n 65536  # smaller pool, bigger fields
+//	dfg-serve -distinct 8 -device gpu          # 8 distinct expressions on the GPU model
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfg"
+	"dfg/internal/serve"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 8, "pool size: engines / worker goroutines")
+		queue    = flag.Int("queue", 0, "queue depth (0 = 2x workers)")
+		clients  = flag.Int("clients", 16, "concurrent client goroutines")
+		requests = flag.Int("requests", 2000, "total requests to issue")
+		n        = flag.Int("n", 16384, "elements per field")
+		distinct = flag.Int("distinct", 4, "number of distinct expressions in the mix")
+		device   = flag.String("device", "cpu", "cpu or gpu")
+		strat    = flag.String("strategy", "fusion", "roundtrip, staged or fusion")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	kind := dfg.CPU
+	if *device == "gpu" {
+		kind = dfg.GPU
+	} else if *device != "cpu" {
+		fmt.Fprintf(os.Stderr, "dfg-serve: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	pool, err := serve.NewPool(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Device:         kind,
+		Strategy:       *strat,
+		DefaultTimeout: *timeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer pool.Close()
+
+	// A definition in the mix shows the shared database: every worker
+	// sees it, and the cache fingerprints it into the keys.
+	if err := pool.Define("vmag2", "u*u + v*v + w*w"); err != nil {
+		fatal(err)
+	}
+	exprs := make([]string, *distinct)
+	for i := range exprs {
+		// Distinct programs (different constants) so the cache holds
+		// `distinct` entries; each is hot across all clients.
+		exprs[i] = fmt.Sprintf("r = sqrt(vmag2) + %d.0 * w", i)
+	}
+
+	inputs := syntheticInputs(*n)
+	fmt.Printf("dfg-serve: %d workers (%s, %s), %d clients, %d requests, %d distinct expressions, n=%d\n",
+		*workers, *device, *strat, *clients, *requests, *distinct, *n)
+
+	var issued atomic.Int64
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := issued.Add(1)
+				if i > int64(*requests) {
+					return
+				}
+				req := serve.Request{
+					Expr:   exprs[(int(i)+c)%len(exprs)],
+					N:      *n,
+					Inputs: inputs,
+				}
+				if _, err := pool.Submit(context.Background(), req); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "dfg-serve: request %d: %v\n", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := pool.Stats()
+	fmt.Printf("\n%-28s %v\n", "wall time:", elapsed.Round(time.Millisecond))
+	fmt.Printf("%-28s %.0f req/s\n", "throughput:", float64(st.Served)/elapsed.Seconds())
+	fmt.Printf("%-28s %d served, %d failed, %d expired, %d rejected\n",
+		"requests:", st.Served, st.Failed, st.Expired, st.Rejected)
+	fmt.Printf("%-28s %d compiles for %d requests (%d cache hits, %d entries)\n",
+		"shared compile cache:", st.Compiles, *requests, st.CacheHits, st.CacheEntries)
+	fmt.Printf("%-28s %s\n", "aggregate device profile:", st.Profile.String())
+	fmt.Printf("%-28s %d bytes\n", "peak device memory (1 run):", st.PeakDeviceBytes)
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// syntheticInputs builds deterministic u/v/w fields.
+func syntheticInputs(n int) map[string][]float32 {
+	u := make([]float32, n)
+	v := make([]float32, n)
+	w := make([]float32, n)
+	for i := 0; i < n; i++ {
+		u[i] = float32(i%17) * 0.25
+		v[i] = float32(i%13) - 6
+		w[i] = float32(i%29) * 0.125
+	}
+	return map[string][]float32{"u": u, "v": v, "w": w}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfg-serve:", err)
+	os.Exit(1)
+}

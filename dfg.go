@@ -25,6 +25,13 @@
 // kernel launches and memory capacity follow a calibrated model of the
 // paper's Intel Xeon X5660 CPU and NVIDIA Tesla M2050 GPU devices.
 //
+// Concurrency: an Engine is single-goroutine (like the paper's
+// one-instance-per-MPI-task model), but expression compilation is
+// factored into a concurrency-safe shared layer (internal/compile) —
+// compiled networks are immutable and may be served from one cache by
+// any number of engines. internal/serve builds a pool of engines behind
+// one shared cache for concurrent workloads.
+//
 // Quick start:
 //
 //	eng, _ := dfg.New(dfg.Config{Device: dfg.GPU, Strategy: "fusion"})
@@ -35,8 +42,8 @@ package dfg
 
 import (
 	"fmt"
-	"sort"
 
+	"dfg/internal/compile"
 	"dfg/internal/dataflow"
 	"dfg/internal/expr"
 	"dfg/internal/mesh"
@@ -103,29 +110,33 @@ type Config struct {
 
 // Engine is the host interface: it owns one device environment and one
 // execution strategy, and evaluates expression programs against host
-// arrays. An Engine is not safe for concurrent use; create one per
-// goroutine (as the paper runs one framework instance per MPI task).
+// arrays.
+//
+// What is and isn't safe to share: an Engine itself is NOT safe for
+// concurrent use — its device environment (command queue, profile, peak-
+// memory accounting) is per-run mutable state, so create one engine per
+// goroutine, as the paper runs one framework instance per MPI task. The
+// compile layer, by contrast, IS safe to share: the engine's definition
+// database and network cache live in an internal/compile.Compiler whose
+// methods are concurrency-safe, and the compiled networks it hands out
+// are sealed (immutable). NewWith builds engines that front one shared
+// compiler, so a hot expression compiles once for a whole pool of
+// engines; internal/serve packages that pattern as a service.
 type Engine struct {
 	cfg   Config
 	env   *ocl.Env
 	strat strategy.Strategy
 
-	// defs is the engine's named-expression database (the expression
-	// list a visualization tool maintains); see Define.
-	defs map[string]string
-	// cache maps expression text to its compiled network.
-	cache map[string]*dataflow.Network
+	// comp owns the engine's named-expression database and its compiled-
+	// network cache. Private by default (New); shared when the engine was
+	// built with NewWith.
+	comp *compile.Compiler
 }
 
-// New builds an engine on a fresh simulated device.
-func New(cfg Config) (*Engine, error) {
-	if cfg.Strategy == "" {
-		cfg.Strategy = "fusion"
-	}
-	strat, err := strategy.ForName(cfg.Strategy)
-	if err != nil {
-		return nil, err
-	}
+// NewDeviceFor builds the simulated device a Config selects — the same
+// construction New performs, exposed so pools can build one device per
+// worker engine.
+func NewDeviceFor(cfg Config) (*ocl.Device, error) {
 	if cfg.MemScale < 1 {
 		cfg.MemScale = 1
 	}
@@ -138,17 +149,36 @@ func New(cfg Config) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("dfg: unknown device kind %d", cfg.Device)
 	}
-	return &Engine{
-		cfg:   cfg,
-		env:   ocl.NewEnv(ocl.NewDevice(spec)),
-		strat: strat,
-		cache: make(map[string]*dataflow.Network),
-	}, nil
+	return ocl.NewDevice(spec), nil
+}
+
+// New builds an engine on a fresh simulated device with a private
+// compile cache.
+func New(cfg Config) (*Engine, error) {
+	dev, err := NewDeviceFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewWith(dev, cfg.Strategy, compile.NewCompiler())
+	if err != nil {
+		return nil, err
+	}
+	eng.cfg = cfg
+	return eng, nil
 }
 
 // NewOn builds an engine on an existing device (used by the distributed
 // runner, where two engines share a node but each owns one GPU).
 func NewOn(dev *ocl.Device, strategyName string) (*Engine, error) {
+	return NewWith(dev, strategyName, compile.NewCompiler())
+}
+
+// NewWith builds an engine on an existing device that fronts a shared
+// compiler. All engines sharing the compiler see one definition database
+// and one compiled-network cache; internal/serve uses this to give every
+// pool worker its own device while compiling each hot expression exactly
+// once.
+func NewWith(dev *ocl.Device, strategyName string, comp *compile.Compiler) (*Engine, error) {
 	if strategyName == "" {
 		strategyName = "fusion"
 	}
@@ -156,11 +186,14 @@ func NewOn(dev *ocl.Device, strategyName string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if comp == nil {
+		comp = compile.NewCompiler()
+	}
 	return &Engine{
 		cfg:   Config{Strategy: strategyName},
 		env:   ocl.NewEnv(dev),
 		strat: strat,
-		cache: make(map[string]*dataflow.Network),
+		comp:  comp,
 	}, nil
 }
 
@@ -188,44 +221,27 @@ type Result struct {
 // Subsequent Eval calls may reference the name; it expands inline with
 // its own local namespace. Definitions may reference other definitions
 // (cycles are rejected at Eval time). Redefinition replaces the previous
-// text; the compile cache is invalidated either way.
+// text and invalidates exactly the cached networks that reference the
+// name (cache keys fingerprint an expression together with the
+// definitions it uses); unrelated cache entries survive. If the engine
+// shares its compiler (NewWith), the definition is visible to every
+// engine on that compiler.
 func (e *Engine) Define(name, text string) error {
-	if name == "" {
-		return fmt.Errorf("dfg: definition needs a name")
+	if err := e.comp.Define(name, text); err != nil {
+		return fmt.Errorf("dfg: %w", err)
 	}
-	if _, err := expr.Parse(text); err != nil {
-		return fmt.Errorf("dfg: definition %q: %w", name, err)
-	}
-	if e.defs == nil {
-		e.defs = make(map[string]string)
-	}
-	e.defs[name] = text
-	e.cache = make(map[string]*dataflow.Network)
 	return nil
 }
 
 // Definitions lists the names in the engine's expression database.
-func (e *Engine) Definitions() []string {
-	out := make([]string, 0, len(e.defs))
-	for name := range e.defs {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (e *Engine) Definitions() []string { return e.comp.Definitions() }
 
-// compile parses expression text to an optimized network, caching by
-// text (pipelines re-execute the same expression every time step).
+// compile parses expression text to an optimized sealed network through
+// the engine's (possibly shared) compile cache — pipelines re-execute
+// the same expression every time step, so a hot expression compiles
+// once.
 func (e *Engine) compile(text string) (*dataflow.Network, error) {
-	if net, ok := e.cache[text]; ok {
-		return net, nil
-	}
-	net, err := expr.CompileWithDefinitions(text, e.defs)
-	if err != nil {
-		return nil, err
-	}
-	e.cache[text] = net
-	return net, nil
+	return e.comp.Compile(text)
 }
 
 // Eval evaluates an expression program over n elements with the given

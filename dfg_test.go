@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"dfg/internal/compile"
 	"dfg/internal/ocl"
 	"dfg/internal/vortex"
 )
@@ -71,15 +72,61 @@ func TestEvalOnMeshAllExpressionsAllStrategiesBothDevices(t *testing.T) {
 
 func TestEngineCachesCompiledNetworks(t *testing.T) {
 	eng, _ := New(Config{})
-	if _, err := eng.compile(VelocityMagnitudeExpr); err != nil {
+	n1, err := eng.compile(VelocityMagnitudeExpr)
+	if err != nil {
 		t.Fatal(err)
 	}
-	n1 := eng.cache[VelocityMagnitudeExpr]
-	if _, err := eng.compile(VelocityMagnitudeExpr); err != nil {
+	n2, err := eng.compile(VelocityMagnitudeExpr)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if eng.cache[VelocityMagnitudeExpr] != n1 {
+	if n1 != n2 {
 		t.Fatal("repeat compile must hit the cache")
+	}
+	if got := eng.comp.Stats().Compiles; got != 1 {
+		t.Fatalf("repeat compile ran %d compilations, want 1", got)
+	}
+	if !n1.Sealed() {
+		t.Fatal("compiled networks must be sealed")
+	}
+}
+
+// TestEnginesShareCompiler: two engines built with NewWith on the same
+// compiler share definitions and compile a hot expression exactly once.
+func TestEnginesShareCompiler(t *testing.T) {
+	comp := compile.NewCompiler()
+	mk := func() *Engine {
+		dev, err := NewDeviceFor(Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewWith(dev, "fusion", comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	a, b := mk(), mk()
+	if err := a.Define("speed", "sqrt(u*u + v*v + w*w)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Definitions(); len(got) != 1 || got[0] != "speed" {
+		t.Fatalf("definition not shared: %v", got)
+	}
+	in := map[string][]float32{
+		"u": {3, 0}, "v": {4, 0}, "w": {0, 0},
+	}
+	for _, eng := range []*Engine{a, b} {
+		res, err := eng.Eval("s = speed", 2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(res.Data[0]-5)) > 1e-6 {
+			t.Fatalf("speed = %v, want 5", res.Data[0])
+		}
+	}
+	if got := comp.Stats().Compiles; got != 1 {
+		t.Fatalf("two engines compiled the shared expression %d times, want 1", got)
 	}
 }
 

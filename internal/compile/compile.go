@@ -1,0 +1,318 @@
+// Package compile is the framework's shared compile layer: a
+// concurrency-safe compiler that turns expression text plus a named
+// definition database into sealed dataflow networks, memoized in a
+// shared cache keyed by a content fingerprint.
+//
+// The paper's framework compiles per instance (one instance per MPI
+// task), so a hot expression is compiled once per task. Serving many
+// concurrent workers from one process makes that wasteful: this package
+// moves cache ownership out of the engine so any number of engines can
+// front the same cache. Cache keys fingerprint the expression text
+// together with exactly the definitions the expression (transitively)
+// references, so redefining a name invalidates the entries that depend
+// on it — and only those.
+//
+// Concurrency: a sync.RWMutex guards the cache map (reads take the read
+// lock), and each entry carries a sync.Once so a missing network is
+// compiled exactly once no matter how many goroutines request it
+// simultaneously (singleflight-style deduplication).
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/expr"
+)
+
+// DefaultMaxEntries bounds the cache when the caller does not: old
+// entries (including those orphaned by redefinitions) are evicted in
+// approximate-LRU order once the cache exceeds this size.
+const DefaultMaxEntries = 512
+
+// Compiler owns a definition database and a fingerprint-keyed network
+// cache. All methods are safe for concurrent use by any number of
+// goroutines; the networks it returns are sealed and likewise shareable.
+type Compiler struct {
+	mu         sync.RWMutex
+	defs       map[string]string // copy-on-write: replaced wholesale, never mutated
+	entries    map[string]*entry
+	maxEntries int
+
+	clock    atomic.Int64 // advances on every cache touch, for LRU eviction
+	compiles atomic.Int64 // networks actually built (cache misses that ran)
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// entry is one cache slot. once guarantees the compile runs exactly one
+// time even when many goroutines miss on the same key concurrently.
+type entry struct {
+	once    sync.Once
+	net     *dataflow.Network
+	err     error
+	lastUse atomic.Int64
+}
+
+// NewCompiler returns an empty compiler with the default cache bound.
+func NewCompiler() *Compiler {
+	return &Compiler{
+		defs:       map[string]string{},
+		entries:    make(map[string]*entry),
+		maxEntries: DefaultMaxEntries,
+	}
+}
+
+// SetMaxEntries adjusts the cache bound (minimum 1).
+func (c *Compiler) SetMaxEntries(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.maxEntries = n
+	c.mu.Unlock()
+}
+
+// Define registers (or replaces) a named expression definition. The text
+// must parse. Cached networks whose expressions reference name become
+// unreachable (their fingerprints no longer match) and age out of the
+// cache; entries for unrelated expressions are untouched.
+func (c *Compiler) Define(name, text string) error {
+	if name == "" {
+		return fmt.Errorf("compile: definition needs a name")
+	}
+	if _, err := expr.Parse(text); err != nil {
+		return fmt.Errorf("compile: definition %q: %w", name, err)
+	}
+	c.mu.Lock()
+	next := make(map[string]string, len(c.defs)+1)
+	for k, v := range c.defs {
+		next[k] = v
+	}
+	next[name] = text
+	c.defs = next
+	c.mu.Unlock()
+	return nil
+}
+
+// Definitions lists the defined names, sorted.
+func (c *Compiler) Definitions() []string {
+	defs := c.snapshot()
+	out := make([]string, 0, len(defs))
+	for name := range defs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot returns the current definition map. The map is copy-on-write:
+// callers must treat it as read-only.
+func (c *Compiler) snapshot() map[string]string {
+	c.mu.RLock()
+	defs := c.defs
+	c.mu.RUnlock()
+	return defs
+}
+
+// Compile returns the sealed network for text against the current
+// definitions, compiling on first use. Concurrent calls for the same
+// (text, referenced definitions) pair share one compilation.
+func (c *Compiler) Compile(text string) (*dataflow.Network, error) {
+	defs := c.snapshot()
+	p, err := expr.Parse(text)
+	if err != nil {
+		// Parse failures are cheap to rediscover; don't cache them.
+		return nil, err
+	}
+	relevant := referencedDefs(p, defs)
+	key := Digest(text, relevant)
+
+	e := c.lookup(key)
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		e.net, e.err = expr.CompileWithDefinitions(text, relevant)
+	})
+	return e.net, e.err
+}
+
+// Fingerprint returns the cache key Compile would use for text under the
+// current definitions: a digest of the text plus exactly the referenced
+// definitions. Unparseable text digests with no definitions.
+func (c *Compiler) Fingerprint(text string) string {
+	defs := c.snapshot()
+	p, err := expr.Parse(text)
+	if err != nil {
+		return Digest(text, nil)
+	}
+	return Digest(text, referencedDefs(p, defs))
+}
+
+// lookup returns the entry for key, creating (and bounding the cache) as
+// needed. The fast path is a read-locked map hit.
+func (c *Compiler) lookup(key string) *entry {
+	now := c.clock.Add(1)
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e != nil {
+		c.hits.Add(1)
+		e.lastUse.Store(now)
+		return e
+	}
+	c.mu.Lock()
+	if e = c.entries[key]; e == nil {
+		c.misses.Add(1)
+		e = &entry{}
+		e.lastUse.Store(now)
+		c.entries[key] = e
+		c.evictLocked()
+	} else {
+		c.hits.Add(1)
+		e.lastUse.Store(now)
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// evictLocked drops least-recently-used entries until the cache fits.
+// Goroutines already holding an evicted entry still complete normally —
+// the result simply isn't cached anymore.
+func (c *Compiler) evictLocked() {
+	for len(c.entries) > c.maxEntries {
+		var oldestKey string
+		oldest := int64(1<<63 - 1)
+		for k, e := range c.entries {
+			if u := e.lastUse.Load(); u < oldest {
+				oldest, oldestKey = u, k
+			}
+		}
+		delete(c.entries, oldestKey)
+	}
+}
+
+// Stats is a snapshot of the compiler's counters.
+type Stats struct {
+	// Compiles is how many networks were actually built.
+	Compiles int64
+	// Hits and Misses count cache lookups.
+	Hits, Misses int64
+	// Entries is the current number of cached networks.
+	Entries int
+	// Definitions is the current number of named definitions.
+	Definitions int
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Compiler) Stats() Stats {
+	c.mu.RLock()
+	entries, ndefs := len(c.entries), len(c.defs)
+	c.mu.RUnlock()
+	return Stats{
+		Compiles:    c.compiles.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Entries:     entries,
+		Definitions: ndefs,
+	}
+}
+
+// Digest computes the cache fingerprint for expression text against a
+// definition set. The encoding is injective — every component is length-
+// prefixed, definitions are sorted by name — so two different (text,
+// defs) pairs never encode identically; SHA-256 then makes key collisions
+// cryptographically negligible.
+func Digest(text string, defs map[string]string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	put := func(s string) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(s)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	put(text)
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		put(name)
+		put(defs[name])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// referencedDefs returns the subset of defs the program transitively
+// references, mirroring the network builder's name resolution: a
+// reference resolves to a definition only if it was not assigned earlier
+// in its own scope, and each definition body is scanned in its own local
+// scope. Definition bodies that fail to parse contribute nothing (the
+// compile will report the error); reference cycles terminate the walk
+// (the builder rejects them).
+func referencedDefs(p *expr.Program, defs map[string]string) map[string]string {
+	if len(defs) == 0 {
+		return nil
+	}
+	used := make(map[string]string)
+	visiting := make(map[string]bool)
+	var scanProgram func(prog *expr.Program)
+	var scanNode func(n expr.Node, locals map[string]bool)
+
+	scanNode = func(n expr.Node, locals map[string]bool) {
+		switch t := n.(type) {
+		case *expr.Ref:
+			if locals[t.Name] {
+				return
+			}
+			text, ok := defs[t.Name]
+			if !ok {
+				return
+			}
+			if _, done := used[t.Name]; done || visiting[t.Name] {
+				return
+			}
+			used[t.Name] = text
+			visiting[t.Name] = true
+			if dp, err := expr.Parse(text); err == nil {
+				scanProgram(dp)
+			}
+			delete(visiting, t.Name)
+		case *expr.Unary:
+			scanNode(t.X, locals)
+		case *expr.Binary:
+			scanNode(t.L, locals)
+			scanNode(t.R, locals)
+		case *expr.Index:
+			scanNode(t.Base, locals)
+		case *expr.If:
+			scanNode(t.Cond, locals)
+			scanNode(t.Then, locals)
+			scanNode(t.Else, locals)
+		case *expr.Call:
+			for _, a := range t.Args {
+				scanNode(a, locals)
+			}
+		}
+	}
+	scanProgram = func(prog *expr.Program) {
+		locals := make(map[string]bool)
+		for _, s := range prog.Stmts {
+			scanNode(s.X, locals)
+			if s.Name != "" {
+				locals[s.Name] = true
+			}
+		}
+	}
+	scanProgram(p)
+	if len(used) == 0 {
+		return nil
+	}
+	return used
+}

@@ -1,0 +1,45 @@
+package compile
+
+import "testing"
+
+// FuzzDigestInjective fuzzes the cache-key fingerprint with pairs of
+// definition sets over the same expression text: two different
+// definition sets must never produce the same key. The length-prefixed
+// encoding underneath Digest makes the preimages injective, so any
+// collision this fuzzer could find would be a real bug (or a SHA-256
+// collision).
+func FuzzDigestInjective(f *testing.F) {
+	f.Add("r = d1 + d2", "d1", "u*2", "d1", "u*3")
+	f.Add("r = d1", "d1", "u", "d2", "u")
+	// Concatenation boundaries: name/text splits that concatenate to the
+	// same bytes must still digest differently.
+	f.Add("r = x", "ab", "cd", "a", "bcd")
+	f.Add("r = x", "a", "", "", "a")
+	f.Add("", "", "", "", "")
+	f.Add("r = d1", "d1", "u\nv", "d1\nu", "v")
+	f.Fuzz(func(t *testing.T, text, nameA, textA, nameB, textB string) {
+		defsA := map[string]string{nameA: textA}
+		defsB := map[string]string{nameB: textB}
+		da := Digest(text, defsA)
+		db := Digest(text, defsB)
+		same := nameA == nameB && textA == textB
+		if same && da != db {
+			t.Fatalf("equal inputs digested differently: %q vs %q", da, db)
+		}
+		if !same && da == db {
+			t.Fatalf("different definition sets collided: {%q:%q} vs {%q:%q} -> %s",
+				nameA, textA, nameB, textB, da)
+		}
+		// A two-entry set must differ from both singletons unless it
+		// semantically equals one of them.
+		defsAB := map[string]string{nameA: textA, nameB: textB}
+		dab := Digest(text, defsAB)
+		if len(defsAB) == 2 && (dab == da || dab == db) {
+			t.Fatalf("two-definition set collided with a singleton")
+		}
+		// And the text itself is part of the key.
+		if Digest(text+"x", defsA) == da {
+			t.Fatalf("text change did not change the digest")
+		}
+	})
+}

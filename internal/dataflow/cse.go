@@ -13,6 +13,7 @@ package dataflow
 // inputs are already canonical. The network output and user aliases are
 // remapped. The number of eliminated nodes is returned.
 func (nw *Network) EliminateCommonSubexpressions() int {
+	nw.mustMutable("EliminateCommonSubexpressions")
 	canon := make(map[string]string, len(nw.nodes)) // structural key -> node ID
 	remap := make(map[string]string)                // duplicate ID -> canonical ID
 	kept := nw.nodes[:0]

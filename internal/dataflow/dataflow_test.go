@@ -436,3 +436,51 @@ func TestRandomNetworksScheduleValidly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSealFreezesNetwork: every mutator panics on a sealed network,
+// while read-side methods keep working — the immutability contract that
+// lets compiled networks be shared across engines.
+func TestSealFreezesNetwork(t *testing.T) {
+	nw := NewNetwork()
+	nw.AddSource("u")
+	id, _ := nw.AddFilter("sqrt", "u")
+	if err := nw.SetOutput(id); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Sealed() {
+		t.Fatal("fresh network must not be sealed")
+	}
+	nw.Seal()
+	nw.Seal() // idempotent
+	if !nw.Sealed() {
+		t.Fatal("Seal must stick")
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a sealed network must panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("AddSource", func() { nw.AddSource("v") })
+	mustPanic("AddConst", func() { nw.AddConst(1) })
+	mustPanic("AddFilter", func() { nw.AddFilter("sqrt", "u") })
+	mustPanic("AddDecompose", func() { nw.AddDecompose("u", 0) })
+	mustPanic("Alias", func() { nw.Alias("a", id) })
+	mustPanic("SetOutput", func() { nw.SetOutput(id) })
+	mustPanic("CSE", func() { nw.EliminateCommonSubexpressions() })
+
+	// Read-side still works.
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.Node(id) == nil || len(nw.Sources()) != 1 {
+		t.Fatal("sealed network must stay readable")
+	}
+}

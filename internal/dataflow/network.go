@@ -55,12 +55,18 @@ func (n *Node) key() string {
 // with exactly one designated output. Construction is "create and
 // connect": every input named when a node is added must already exist,
 // so a network is acyclic by construction (Validate re-checks anyway).
+//
+// A network has two phases: a single-goroutine construction phase, and —
+// once Seal is called — an immutable execution phase. Sealed networks are
+// safe to share across goroutines and engines; the expression front end
+// seals every network it compiles.
 type Network struct {
 	nodes   []*Node
 	byID    map[string]*Node
 	aliases map[string]string // user name -> node ID (assignment statements)
 	output  string
 	nextID  int
+	sealed  bool
 }
 
 // NewNetwork creates an empty network.
@@ -68,6 +74,25 @@ func NewNetwork() *Network {
 	return &Network{
 		byID:    make(map[string]*Node),
 		aliases: make(map[string]string),
+	}
+}
+
+// Seal freezes the network: any subsequent mutation (adding nodes,
+// aliasing, changing the output, or running CSE) panics. Sealing is what
+// makes a compiled network shareable — engines, strategies and the
+// shared compile cache all read sealed networks concurrently without
+// locking. Sealing twice is a no-op.
+func (nw *Network) Seal() { nw.sealed = true }
+
+// Sealed reports whether the network has been frozen.
+func (nw *Network) Sealed() bool { return nw.sealed }
+
+// mustMutable panics if the network is sealed. Mutating a sealed network
+// is a programming error (it would race with concurrent readers), not a
+// recoverable condition.
+func (nw *Network) mustMutable(op string) {
+	if nw.sealed {
+		panic("dataflow: " + op + " on a sealed network")
 	}
 }
 
@@ -81,6 +106,7 @@ func (nw *Network) genID() string {
 // AddSource declares a named host-provided input array and returns its
 // node ID (the source's own name).
 func (nw *Network) AddSource(name string) (string, error) {
+	nw.mustMutable("AddSource")
 	if name == "" {
 		return "", fmt.Errorf("dataflow: source needs a name")
 	}
@@ -95,6 +121,7 @@ func (nw *Network) AddSource(name string) (string, error) {
 
 // AddConst adds a scalar constant source and returns its node ID.
 func (nw *Network) AddConst(v float64) string {
+	nw.mustMutable("AddConst")
 	n := &Node{ID: nw.genID(), Filter: "const", Value: v, Width: 1}
 	nw.nodes = append(nw.nodes, n)
 	nw.byID[n.ID] = n
@@ -105,6 +132,7 @@ func (nw *Network) AddConst(v float64) string {
 // new node's generic ID. Input names may be user aliases; they are
 // resolved to node IDs.
 func (nw *Network) AddFilter(filter string, inputs ...string) (string, error) {
+	nw.mustMutable("AddFilter")
 	fi, ok := Lookup(filter)
 	if !ok {
 		return "", fmt.Errorf("dataflow: unknown filter %q", filter)
@@ -131,6 +159,7 @@ func (nw *Network) AddFilter(filter string, inputs ...string) (string, error) {
 // AddDecompose adds a component selection of a vector-valued node
 // (the parser's translation of the bracket syntax, e.g. du[1]).
 func (nw *Network) AddDecompose(input string, comp int) (string, error) {
+	nw.mustMutable("AddDecompose")
 	resolved, err := nw.resolve(input)
 	if err != nil {
 		return "", err
@@ -152,6 +181,7 @@ func (nw *Network) AddDecompose(input string, comp int) (string, error) {
 // statement) to a node. Re-binding an existing alias is allowed, as in
 // sequential assignment semantics.
 func (nw *Network) Alias(name, id string) error {
+	nw.mustMutable("Alias")
 	resolved, err := nw.resolve(id)
 	if err != nil {
 		return err
@@ -165,6 +195,7 @@ func (nw *Network) Alias(name, id string) error {
 
 // SetOutput designates the network's sink.
 func (nw *Network) SetOutput(name string) error {
+	nw.mustMutable("SetOutput")
 	resolved, err := nw.resolve(name)
 	if err != nil {
 		return err

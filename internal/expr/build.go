@@ -72,6 +72,10 @@ func CompileWithDefinitions(input string, defs map[string]string) (*dataflow.Net
 		return nil, err
 	}
 	net.EliminateCommonSubexpressions()
+	// Compiled networks are sealed: strategies, engines and the shared
+	// compile cache may read them concurrently, so no further mutation is
+	// permitted.
+	net.Seal()
 	return net, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -721,5 +722,34 @@ func TestEnvDownloadOfReleasedBufferFails(t *testing.T) {
 	}
 	if _, err := env.Upload("y", make([]float32, 4), 0); err != nil {
 		t.Fatal("width < 1 should clamp to 1:", err)
+	}
+}
+
+// TestAccumulatorConcurrentAdds: profiles folded in from many goroutines
+// sum exactly, and the peak keeps the maximum.
+func TestAccumulatorConcurrentAdds(t *testing.T) {
+	var acc Accumulator
+	const workers, each = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				acc.Add(Profile{Writes: 1, Kernels: 2, WriteBytes: 16}, int64(w*1000+i))
+			}
+		}()
+	}
+	wg.Wait()
+	p, runs, peak := acc.Snapshot()
+	if runs != workers*each {
+		t.Fatalf("runs = %d, want %d", runs, workers*each)
+	}
+	if p.Writes != workers*each || p.Kernels != 2*workers*each || p.WriteBytes != 16*int64(workers*each) {
+		t.Fatalf("aggregate profile off: %+v", p)
+	}
+	if peak != int64((workers-1)*1000+each-1) {
+		t.Fatalf("peak = %d", peak)
 	}
 }

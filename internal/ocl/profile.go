@@ -2,6 +2,7 @@ package ocl
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -63,6 +64,36 @@ func (p Profile) Add(o Profile) Profile {
 		KernelTime: p.KernelTime + o.KernelTime,
 		Wall:       p.Wall + o.Wall,
 	}
+}
+
+// Accumulator aggregates run profiles from concurrent workers — the
+// pool-level view of device activity that each Env's queue reports per
+// run. All methods are safe for concurrent use.
+type Accumulator struct {
+	mu   sync.Mutex
+	p    Profile
+	runs int
+	peak int64 // max per-run device-memory high-water mark seen
+}
+
+// Add folds one run's profile (and its device-memory high-water mark)
+// into the aggregate.
+func (a *Accumulator) Add(p Profile, peakBytes int64) {
+	a.mu.Lock()
+	a.p = a.p.Add(p)
+	a.runs++
+	if peakBytes > a.peak {
+		a.peak = peakBytes
+	}
+	a.mu.Unlock()
+}
+
+// Snapshot returns the summed profile, the number of runs folded in, and
+// the largest single-run peak-memory value.
+func (a *Accumulator) Snapshot() (p Profile, runs int, peakBytes int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.p, a.runs, a.peak
 }
 
 // String summarizes the profile on one line.

@@ -1,0 +1,304 @@
+// Package serve runs derived-field evaluation as a concurrent service:
+// an EnginePool owns N engines — one per worker goroutine, mirroring the
+// paper's one-framework-instance-per-MPI-task model — fronted by a
+// single shared compile cache (internal/compile), so a hot expression
+// compiles exactly once no matter how many workers evaluate it.
+//
+// Requests enter a bounded queue; Submit blocks for a slot (or until the
+// request's deadline), EvalAsync returns a channel. Per-request timeouts
+// cover queue wait: a request whose deadline passes while queued is
+// failed without touching a device. Close drains the queue gracefully —
+// every accepted request gets a response — and then stops the workers.
+//
+// Profiles from all workers are aggregated (ocl.Accumulator), giving the
+// service-level view of device traffic that the per-run ocl.Profile
+// gives a single engine.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dfg"
+	"dfg/internal/compile"
+	"dfg/internal/ocl"
+)
+
+// ErrPoolClosed is returned for requests submitted after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// ErrQueueTimeout wraps deadline errors for requests that expired before
+// a worker picked them up.
+var ErrQueueTimeout = errors.New("serve: request expired before execution")
+
+// Config sizes a pool.
+type Config struct {
+	// Workers is the number of engines (and goroutines). Default 4.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet executing)
+	// requests. Default 2*Workers.
+	QueueDepth int
+	// Device, Strategy and MemScale configure every worker's engine,
+	// exactly as dfg.Config does. Each worker gets its own simulated
+	// device (one queue, one profile), as the paper gives each instance
+	// its own OpenCL context.
+	Device   dfg.DeviceKind
+	Strategy string
+	MemScale int64
+	// DefaultTimeout applies to requests that don't set one. Zero means
+	// no timeout.
+	DefaultTimeout time.Duration
+	// MaxCacheEntries bounds the shared compile cache. Zero keeps the
+	// compile package default.
+	MaxCacheEntries int
+}
+
+// Request is one evaluation: an expression program over named inputs.
+type Request struct {
+	// Expr is the expression program text.
+	Expr string
+	// N is the number of elements (the kernel ND-range).
+	N int
+	// Inputs binds source names to host arrays.
+	Inputs map[string][]float32
+	// Timeout, if positive, overrides the pool's DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// Result is the derived field and its device profile (nil on error).
+	Result *dfg.Result
+	// Err is the failure, if any.
+	Err error
+	// Worker is the index of the engine that ran the request (-1 if it
+	// never reached one).
+	Worker int
+	// Wait is the time spent queued; Run the time spent executing.
+	Wait, Run time.Duration
+}
+
+// job carries a request through the queue.
+type job struct {
+	req      Request
+	ctx      context.Context
+	cancel   context.CancelFunc
+	enqueued time.Time
+	resp     chan Response
+}
+
+// Pool is a fixed set of worker engines behind one shared compile cache
+// and one bounded request queue. All methods are safe for concurrent
+// use.
+type Pool struct {
+	cfg   Config
+	comp  *compile.Compiler
+	queue chan *job
+	done  chan struct{}
+
+	sendMu  sync.RWMutex // guards closed against in-flight senders
+	closed  bool
+	senders sync.WaitGroup
+	workers sync.WaitGroup
+
+	served   atomic.Int64
+	failed   atomic.Int64
+	expired  atomic.Int64
+	rejected atomic.Int64
+	acc      ocl.Accumulator
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewPool builds and starts a pool.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	comp := compile.NewCompiler()
+	if cfg.MaxCacheEntries > 0 {
+		comp.SetMaxEntries(cfg.MaxCacheEntries)
+	}
+	p := &Pool{
+		cfg:   cfg,
+		comp:  comp,
+		queue: make(chan *job, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		dev, err := dfg.NewDeviceFor(dfg.Config{Device: cfg.Device, MemScale: cfg.MemScale})
+		if err != nil {
+			return nil, err
+		}
+		eng, err := dfg.NewWith(dev, cfg.Strategy, comp)
+		if err != nil {
+			return nil, err
+		}
+		p.workers.Add(1)
+		go p.worker(i, eng)
+	}
+	return p, nil
+}
+
+// worker drains the queue until it is closed, running each job on its
+// private engine. Closing the queue (not a signal channel) is what ends
+// the loop, so every job accepted before Close is still served.
+func (p *Pool) worker(id int, eng *dfg.Engine) {
+	defer p.workers.Done()
+	for j := range p.queue {
+		resp := Response{Worker: id, Wait: time.Since(j.enqueued)}
+		if err := j.ctx.Err(); err != nil {
+			// Expired (or canceled) while queued: fail fast, don't touch
+			// the device.
+			p.expired.Add(1)
+			resp.Err = fmt.Errorf("%w: %v", ErrQueueTimeout, err)
+		} else {
+			start := time.Now()
+			res, err := eng.Eval(j.req.Expr, j.req.N, j.req.Inputs)
+			resp.Run = time.Since(start)
+			resp.Result, resp.Err = res, err
+			if err != nil {
+				p.failed.Add(1)
+			} else {
+				p.served.Add(1)
+				p.acc.Add(res.Profile, res.PeakDeviceBytes)
+			}
+		}
+		j.cancel()
+		j.resp <- resp
+	}
+}
+
+// EvalAsync submits a request and returns a buffered channel that will
+// receive exactly one Response. The request's deadline (Timeout, the
+// pool default, or ctx — whichever ends first) covers queue wait; once a
+// worker starts executing, the evaluation runs to completion.
+func (p *Pool) EvalAsync(ctx context.Context, req Request) <-chan Response {
+	resp := make(chan Response, 1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = p.cfg.DefaultTimeout
+	}
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
+	// Register as a sender under the read lock so Close can wait for
+	// every in-flight enqueue before closing the queue channel.
+	p.sendMu.RLock()
+	if p.closed {
+		p.sendMu.RUnlock()
+		cancel()
+		p.rejected.Add(1)
+		resp <- Response{Worker: -1, Err: ErrPoolClosed}
+		return resp
+	}
+	p.senders.Add(1)
+	p.sendMu.RUnlock()
+
+	j := &job{req: req, ctx: ctx, cancel: cancel, enqueued: time.Now(), resp: resp}
+	go func() {
+		defer p.senders.Done()
+		select {
+		case p.queue <- j:
+			// A worker owns the job now (possibly after Close: jobs that
+			// made it into the queue are drained gracefully).
+		case <-ctx.Done():
+			cancel()
+			p.rejected.Add(1)
+			resp <- Response{Worker: -1, Err: fmt.Errorf("%w: queue full: %v", ErrQueueTimeout, ctx.Err())}
+		case <-p.done:
+			cancel()
+			p.rejected.Add(1)
+			resp <- Response{Worker: -1, Err: ErrPoolClosed}
+		}
+	}()
+	return resp
+}
+
+// Submit is the synchronous form of EvalAsync.
+func (p *Pool) Submit(ctx context.Context, req Request) (*dfg.Result, error) {
+	r := <-p.EvalAsync(ctx, req)
+	return r.Result, r.Err
+}
+
+// Define registers (or replaces) a named expression definition in the
+// shared compiler. Every worker sees it; cached networks that reference
+// the name are invalidated (and only those — cache keys fingerprint the
+// definitions an expression uses). Evaluations already in flight finish
+// against whichever definition snapshot they compiled with.
+func (p *Pool) Define(name, text string) error {
+	return p.comp.Define(name, text)
+}
+
+// Definitions lists the shared definition names, sorted.
+func (p *Pool) Definitions() []string { return p.comp.Definitions() }
+
+// Close stops accepting requests, waits for queued work to drain, and
+// stops the workers. Every request accepted before Close receives a
+// response; requests submitted after it fail with ErrPoolClosed. Close
+// is idempotent.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() {
+		p.sendMu.Lock()
+		p.closed = true
+		p.sendMu.Unlock()
+		close(p.done)    // unblocks senders stuck on a full queue
+		p.senders.Wait() // every in-flight enqueue has resolved
+		close(p.queue)   // workers drain the remainder and exit
+		p.workers.Wait()
+	})
+	return p.closeErr
+}
+
+// Stats is a point-in-time snapshot of pool activity.
+type Stats struct {
+	// Workers is the pool size.
+	Workers int
+	// Served counts successful evaluations; Failed, evaluation errors;
+	// Expired, requests that timed out in the queue; Rejected, requests
+	// that never entered the queue (full-queue timeout or closed pool).
+	Served, Failed, Expired, Rejected int64
+	// Compiles, CacheHits and CacheMisses describe the shared compile
+	// cache; CacheEntries is its current size.
+	Compiles, CacheHits, CacheMisses int64
+	CacheEntries                     int
+	// Profile is the aggregate device profile across all successful
+	// runs on all workers; PeakDeviceBytes the largest single-run
+	// device-memory high-water mark.
+	Profile         ocl.Profile
+	PeakDeviceBytes int64
+}
+
+// Stats returns current counters.
+func (p *Pool) Stats() Stats {
+	cs := p.comp.Stats()
+	prof, _, peak := p.acc.Snapshot()
+	return Stats{
+		Workers:         p.cfg.Workers,
+		Served:          p.served.Load(),
+		Failed:          p.failed.Load(),
+		Expired:         p.expired.Load(),
+		Rejected:        p.rejected.Load(),
+		Compiles:        cs.Compiles,
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheEntries:    cs.Entries,
+		Profile:         prof,
+		PeakDeviceBytes: peak,
+	}
+}

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testInputs returns u/v/w arrays of n elements with deterministic
+// contents (u[i] = i+1, so every element is nonzero).
+func testInputs(n int) map[string][]float32 {
+	u := make([]float32, n)
+	v := make([]float32, n)
+	w := make([]float32, n)
+	for i := 0; i < n; i++ {
+		u[i] = float32(i + 1)
+		v[i] = float32(i%7) - 3
+		w[i] = 0.5 * float32(i%5)
+	}
+	return map[string][]float32{"u": u, "v": v, "w": w}
+}
+
+func newTestPool(t testing.TB, cfg Config) *Pool {
+	t.Helper()
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPoolEvalBasic(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	const n = 64
+	res, err := p.Submit(context.Background(), Request{
+		Expr: "r = sqrt(u*u + v*v + w*w)", N: n, Inputs: testInputs(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != n || res.Width != 1 {
+		t.Fatalf("result shape %d x %d", len(res.Data), res.Width)
+	}
+	in := testInputs(n)
+	for i := 0; i < n; i++ {
+		want := math.Sqrt(float64(in["u"][i]*in["u"][i] + in["v"][i]*in["v"][i] + in["w"][i]*in["w"][i]))
+		if math.Abs(float64(res.Data[i])-want) > 1e-5 {
+			t.Fatalf("r[%d] = %v, want %v", i, res.Data[i], want)
+		}
+	}
+}
+
+// TestPoolCompilesHotExpressionOnce is the shared-cache acceptance test:
+// a repeated expression submitted from many goroutines across ≥8 workers
+// compiles exactly once (the compile-count counter, asserted).
+func TestPoolCompilesHotExpressionOnce(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 8})
+	const n, clients, perClient = 256, 16, 8
+	in := testInputs(n)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				res, err := p.Submit(context.Background(), Request{
+					Expr: "r = sqrt(u*u + v*v + w*w)", N: n, Inputs: in,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Data) != n || math.IsNaN(float64(res.Data[0])) {
+					t.Errorf("bad result: len %d", len(res.Data))
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	st := p.Stats()
+	if st.Compiles != 1 {
+		t.Fatalf("hot expression compiled %d times across %d workers, want exactly 1", st.Compiles, st.Workers)
+	}
+	if st.Served != clients*perClient {
+		t.Fatalf("served = %d, want %d", st.Served, clients*perClient)
+	}
+	if st.Profile.Kernels == 0 || st.Profile.Writes == 0 {
+		t.Fatalf("aggregate profile empty: %+v", st.Profile)
+	}
+	// Fusion runs one kernel per evaluation: the aggregate must show one
+	// kernel dispatch per served request.
+	if st.Profile.Kernels != int(st.Served) {
+		t.Fatalf("aggregate kernels = %d, want %d (one fused kernel per run)", st.Profile.Kernels, st.Served)
+	}
+}
+
+// TestPoolStressDefineEval is the satellite concurrency stress test: M
+// goroutines × K expressions, mixing Define redefinitions with Eval of
+// expressions referencing the redefined name, under -race. Every result
+// must be wholly consistent with ONE definition version — a torn cache
+// read (half old coefficient, half new) fails element-wise.
+func TestPoolStressDefineEval(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 8, QueueDepth: 64})
+	if err := p.Define("d", "u * 2"); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 128
+	const clients = 10
+	const perClient = 30
+	const redefines = 40
+	in := testInputs(n)
+	u := in["u"]
+	coeffs := []float32{2, 10} // the two definition versions
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	// Definer: flips d between u*2 and u*10.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < redefines; i++ {
+			body := "u * 2"
+			if i%2 == 1 {
+				body = "u * 10"
+			}
+			if err := p.Define("d", body); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Evaluators: K distinct expressions, all referencing d.
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				k := (c + i) % 5 // K=5 distinct expressions
+				res, err := p.Submit(context.Background(), Request{
+					Expr: fmt.Sprintf("r = d + %d", k), N: n, Inputs: in,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Recover the coefficient from element 0 and require the
+				// whole array to be consistent with it.
+				got := (res.Data[0] - float32(k)) / u[0]
+				var coeff float32
+				for _, cand := range coeffs {
+					if got == cand {
+						coeff = cand
+					}
+				}
+				if coeff == 0 {
+					t.Errorf("expr k=%d: coefficient %v is neither version", k, got)
+					return
+				}
+				for j := 0; j < n; j++ {
+					want := coeff*u[j] + float32(k)
+					if res.Data[j] != want {
+						t.Errorf("torn result: expr k=%d element %d = %v, want %v (coeff %v)",
+							k, j, res.Data[j], want, coeff)
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	st := p.Stats()
+	if st.Served != clients*perClient {
+		t.Fatalf("served = %d, want %d", st.Served, clients*perClient)
+	}
+	// 5 distinct expressions × at most 2 live definition versions, plus
+	// possible recompiles as the definition flips back and forth: the
+	// compile count must stay far below the request count (the cache is
+	// doing its job) and at least 5 (each expression compiled).
+	if st.Compiles < 5 {
+		t.Fatalf("compiles = %d, want >= 5 distinct", st.Compiles)
+	}
+	if st.Compiles >= int64(clients*perClient) {
+		t.Fatalf("compiles = %d for %d requests: cache not shared", st.Compiles, clients*perClient)
+	}
+}
+
+// TestPoolRedefinitionInvalidatesExactly: pool-level check that
+// redefining a name recompiles only the expressions that use it.
+func TestPoolRedefinitionInvalidatesExactly(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	if err := p.Define("scale", "u * 2"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	in := testInputs(n)
+	eval := func(expr string) {
+		t.Helper()
+		if _, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: in}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval("r = scale + 1") // uses the definition
+	eval("r = u + v")     // does not
+	if got := p.Stats().Compiles; got != 2 {
+		t.Fatalf("initial compiles = %d, want 2", got)
+	}
+	if err := p.Define("scale", "u * 3"); err != nil {
+		t.Fatal(err)
+	}
+	eval("r = scale + 1")
+	eval("r = u + v")
+	if got := p.Stats().Compiles; got != 3 {
+		t.Fatalf("after redefinition compiles = %d, want 3 (only the dependent expression recompiles)", got)
+	}
+	// The recompiled expression reflects the new body.
+	res, err := p.Submit(context.Background(), Request{Expr: "r = scale + 1", N: n, Inputs: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := in["u"][4]*3 + 1; res.Data[4] != want {
+		t.Fatalf("redefinition not visible: got %v want %v", res.Data[4], want)
+	}
+}
+
+func TestPoolRequestTimeout(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, QueueDepth: 1})
+	// A context that is already done must fail (either rejected at the
+	// queue or expired before execution), never run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Submit(ctx, Request{Expr: "r = u", N: 8, Inputs: testInputs(8)})
+	if err == nil {
+		t.Fatal("canceled request must fail")
+	}
+	if !errors.Is(err, ErrQueueTimeout) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if p.Stats().Served != 0 {
+		t.Fatal("canceled request must not execute")
+	}
+	// A generous timeout still succeeds.
+	if _, err := p.Submit(context.Background(), Request{
+		Expr: "r = u", N: 8, Inputs: testInputs(8), Timeout: 10 * time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolBadRequestsSurfaceErrors(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	if _, err := p.Submit(context.Background(), Request{Expr: "r = $", N: 8, Inputs: testInputs(8)}); err == nil {
+		t.Error("unparseable expression must fail")
+	}
+	if _, err := p.Submit(context.Background(), Request{Expr: "r = q", N: 8, Inputs: testInputs(8)}); err == nil {
+		t.Error("missing source binding must fail")
+	}
+	st := p.Stats()
+	if st.Failed != 2 || st.Served != 0 {
+		t.Fatalf("stats = %+v, want 2 failed", st)
+	}
+}
+
+// TestPoolGracefulShutdown: every request accepted before Close gets a
+// response; requests after Close are rejected; Close is idempotent.
+func TestPoolGracefulShutdown(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 4, QueueDepth: 32})
+	const n = 2048
+	in := testInputs(n)
+
+	var chans []<-chan Response
+	for i := 0; i < 24; i++ {
+		chans = append(chans, p.EvalAsync(context.Background(), Request{
+			Expr: "r = sqrt(u*u + v*v) + w", N: n, Inputs: in,
+		}))
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for _, ch := range chans {
+		select {
+		case r := <-ch:
+			delivered++
+			if r.Err != nil && !errors.Is(r.Err, ErrPoolClosed) {
+				t.Fatalf("unexpected shutdown error: %v", r.Err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("response never delivered after Close")
+		}
+	}
+	if delivered != len(chans) {
+		t.Fatalf("delivered %d of %d responses", delivered, len(chans))
+	}
+
+	if _, err := p.Submit(context.Background(), Request{Expr: "r = u", N: 8, Inputs: testInputs(8)}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("post-Close submit: %v, want ErrPoolClosed", err)
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDefinitionsListed(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1})
+	if err := p.Define("a", "u+1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Define("b", "a*2"); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Definitions()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("definitions = %v", got)
+	}
+}
+
+// BenchmarkPoolEval drives the pool at full concurrency with one hot
+// expression — the serving scenario the shared compile cache exists for.
+// The reported compiles/op metric collapsing toward zero is the cache
+// at work (TestPoolCompilesHotExpressionOnce asserts the exact count).
+func BenchmarkPoolEval(b *testing.B) {
+	p := newTestPool(b, Config{Workers: 8, QueueDepth: 64})
+	const n = 4096
+	in := testInputs(n)
+	req := Request{Expr: "r = sqrt(u*u + v*v + w*w)", N: n, Inputs: in}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Submit(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := p.Stats()
+	b.ReportMetric(float64(st.Compiles)/float64(b.N), "compiles/op")
+	b.ReportMetric(float64(st.Served), "served")
+}
