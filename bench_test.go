@@ -16,6 +16,7 @@ import (
 	"dfg/internal/expr"
 	"dfg/internal/mesh"
 	"dfg/internal/metrics"
+	"dfg/internal/obs"
 	"dfg/internal/ocl"
 	"dfg/internal/par"
 	"dfg/internal/rtsim"
@@ -200,6 +201,37 @@ func BenchmarkFig7_Distributed(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineEval measures the engine hot path with and without
+// observability attached. The uninstrumented variant is the overhead
+// acceptance check for the nil-tracer no-op path: every span call sites
+// still executes, but with a nil tracer no clock is read and nothing
+// allocates, so it should be within noise (<2%) of the pre-tracing
+// engine. The instrumented variant prices full span trees + histogram
+// observation per eval.
+func BenchmarkEngineEval(b *testing.B) {
+	m, f := benchGrid(b)
+	inputs := dfg.FieldInputs(f)
+	n := m.Cells()
+	run := func(b *testing.B, instrument bool) {
+		eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "fusion", MemScale: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if instrument {
+			eng.Instrument(obs.NewTracer(obs.DefaultKeep), obs.NewRegistry())
+		}
+		b.SetBytes(int64(n) * 3 * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Eval("q = sqrt(u*u + v*v + w*w)", n, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, false) })
+	b.Run("instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkHostInterface measures the public API end to end (what a

@@ -6,9 +6,11 @@
 //	dfg-bench -table2                  # just the device-event counts
 //	dfg-bench -fig5 -fig6 -scale 8     # the sweep at 1/8 linear scale
 //	dfg-bench -all -out results/       # also write results/*.txt|csv
+//	dfg-bench -json                    # sweep as machine-readable JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,12 +33,13 @@ func main() {
 		seed      = flag.Int64("seed", 42, "synthetic data seed")
 		streaming = flag.Bool("streaming", false, "include the future-work streaming strategy in the sweep")
 		outDir    = flag.String("out", "", "also write each artifact into this directory")
+		asJSON    = flag.Bool("json", false, "emit the sweep as machine-readable JSON on stdout (per-grid, per-strategy)")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *fig2, *fig5, *fig6 = true, true, true, true, true
 	}
-	if !(*table1 || *table2 || *fig2 || *fig5 || *fig6) {
+	if !(*table1 || *table2 || *fig2 || *fig5 || *fig6 || *asJSON) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -76,14 +79,30 @@ func main() {
 		}
 		emit("fig2", tbl, false)
 	}
-	if *fig5 || *fig6 {
+	if *fig5 || *fig6 || *asJSON {
 		fmt.Fprintf(os.Stderr, "dfg-bench: running sweep (scale 1/%d, %d repeats)...\n", *scale, *repeats)
-		results, err := metrics.RunCases(metrics.Config{
+		cfg := metrics.Config{
 			LinScale: *scale, MaxGrids: *grids, Repeats: *repeats, Seed: *seed,
 			IncludeStreaming: *streaming,
-		})
+		}
+		results, err := metrics.RunCases(cfg)
 		if err != nil {
 			fatal(err)
+		}
+		if *asJSON {
+			doc, err := jsonDoc(cfg, results)
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(doc)
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(*outDir, "results.json"), doc, 0o644); err != nil {
+					fatal(err)
+				}
+			}
 		}
 		if *fig5 {
 			emit("fig5", metrics.Fig5Table(results), true)
@@ -92,14 +111,92 @@ func main() {
 		if *fig6 {
 			emit("fig6", metrics.Fig6Table(results), true)
 		}
-		summary := metrics.Summary(results)
-		fmt.Println(summary)
-		if *outDir != "" {
-			if err := os.WriteFile(filepath.Join(*outDir, "summary.txt"), []byte(summary), 0o644); err != nil {
-				fatal(err)
+		// The human-readable summary would corrupt a pure-JSON stdout, so
+		// it only prints alongside the figure tables.
+		if *fig5 || *fig6 {
+			summary := metrics.Summary(results)
+			fmt.Println(summary)
+			if *outDir != "" {
+				if err := os.WriteFile(filepath.Join(*outDir, "summary.txt"), []byte(summary), 0o644); err != nil {
+					fatal(err)
+				}
 			}
 		}
 	}
+}
+
+// jsonCase is the machine-readable form of one sweep case: identity,
+// outcome, and both modeled and measured costs, with durations in
+// nanoseconds and a pre-formatted string for eyeballing.
+type jsonCase struct {
+	Expr       string `json:"expr"`
+	Strategy   string `json:"strategy"`
+	Device     string `json:"device"`
+	Dims       [3]int `json:"dims"`
+	Cells      int    `json:"cells"`
+	DataBytes  int64  `json:"data_bytes"`
+	Failed     bool   `json:"failed"`
+	Reason     string `json:"reason,omitempty"`
+	DevTimeNS  int64  `json:"device_time_ns"`
+	DevTime    string `json:"device_time"`
+	WallNS     int64  `json:"wall_ns"`
+	Wall       string `json:"wall"`
+	PeakBytes  int64  `json:"peak_device_bytes"`
+	LimitBytes int64  `json:"gpu_limit_bytes"`
+	Writes     int    `json:"device_writes"`
+	Reads      int    `json:"device_reads"`
+	Kernels    int    `json:"kernel_launches"`
+	WriteBytes int64  `json:"write_bytes"`
+	ReadBytes  int64  `json:"read_bytes"`
+}
+
+// jsonDoc renders the sweep configuration and every case as an indented
+// JSON document, one object per (grid, expression, strategy, device).
+func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
+	cases := make([]jsonCase, len(results))
+	for i, r := range results {
+		cases[i] = jsonCase{
+			Expr:       r.Expr,
+			Strategy:   r.Exec,
+			Device:     r.Device.String(),
+			Dims:       [3]int{r.Grid.Dims.NX, r.Grid.Dims.NY, r.Grid.Dims.NZ},
+			Cells:      r.Grid.Cells,
+			DataBytes:  r.Grid.DataBytes,
+			Failed:     r.Failed,
+			Reason:     r.Reason,
+			DevTimeNS:  r.DevTime.Nanoseconds(),
+			DevTime:    r.DevTime.String(),
+			WallNS:     r.Wall.Nanoseconds(),
+			Wall:       r.Wall.String(),
+			PeakBytes:  r.PeakMem,
+			LimitBytes: r.GPULimit,
+			Writes:     r.Profile.Writes,
+			Reads:      r.Profile.Reads,
+			Kernels:    r.Profile.Kernels,
+			WriteBytes: r.Profile.WriteBytes,
+			ReadBytes:  r.Profile.ReadBytes,
+		}
+	}
+	doc := struct {
+		Config struct {
+			LinScale  int   `json:"lin_scale"`
+			MaxGrids  int   `json:"max_grids"`
+			Repeats   int   `json:"repeats"`
+			Seed      int64 `json:"seed"`
+			Streaming bool  `json:"streaming"`
+		} `json:"config"`
+		Cases []jsonCase `json:"cases"`
+	}{Cases: cases}
+	doc.Config.LinScale = cfg.LinScale
+	doc.Config.MaxGrids = cfg.MaxGrids
+	doc.Config.Repeats = cfg.Repeats
+	doc.Config.Seed = cfg.Seed
+	doc.Config.Streaming = cfg.IncludeStreaming
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 func fatal(err error) {

@@ -1,11 +1,23 @@
 // Command dfg-serve drives the concurrent evaluation service
 // (internal/serve) at configurable concurrency and reports throughput
 // plus the pool's aggregated device profile — a load generator for the
-// engine-pool + shared-compile-cache architecture.
+// engine-pool + shared-compile-cache architecture, with a live
+// introspection endpoint for the pool's metrics and request traces.
 //
 //	dfg-serve                                  # 8 workers, 16 clients, 2000 requests
 //	dfg-serve -workers 4 -clients 32 -n 65536  # smaller pool, bigger fields
 //	dfg-serve -distinct 8 -device gpu          # 8 distinct expressions on the GPU model
+//	dfg-serve -listen :9090 -linger 1m         # keep /metrics, /healthz, /trace,
+//	                                           # /slow up after the load finishes
+//	dfg-serve -listen :9090 -requests 0        # no load: serve introspection until
+//	                                           # interrupted (or -linger elapses)
+//	dfg-serve -slow 5ms                        # log the span tree of any request
+//	                                           # slower than 5ms end to end
+//
+// On SIGINT/SIGTERM the pool shuts down gracefully — queued requests
+// drain, metrics freeze — and the final service report (request
+// outcomes, latency quantiles, cache effectiveness, per-worker
+// utilisation, aggregate device profile) is printed before exit.
 package main
 
 import (
@@ -13,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"dfg"
@@ -23,15 +37,19 @@ import (
 
 func main() {
 	var (
-		workers  = flag.Int("workers", 8, "pool size: engines / worker goroutines")
-		queue    = flag.Int("queue", 0, "queue depth (0 = 2x workers)")
-		clients  = flag.Int("clients", 16, "concurrent client goroutines")
-		requests = flag.Int("requests", 2000, "total requests to issue")
-		n        = flag.Int("n", 16384, "elements per field")
-		distinct = flag.Int("distinct", 4, "number of distinct expressions in the mix")
-		device   = flag.String("device", "cpu", "cpu or gpu")
-		strat    = flag.String("strategy", "fusion", "roundtrip, staged or fusion")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		workers   = flag.Int("workers", 8, "pool size: engines / worker goroutines")
+		queue     = flag.Int("queue", 0, "queue depth (0 = 2x workers)")
+		clients   = flag.Int("clients", 16, "concurrent client goroutines")
+		requests  = flag.Int("requests", 2000, "total requests to issue (0 = no load, serve introspection only)")
+		n         = flag.Int("n", 16384, "elements per field")
+		distinct  = flag.Int("distinct", 4, "number of distinct expressions in the mix")
+		device    = flag.String("device", "cpu", "cpu or gpu")
+		strat     = flag.String("strategy", "fusion", "roundtrip, staged or fusion")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		listen    = flag.String("listen", "", "serve /metrics, /healthz, /trace and /slow on this address (empty = off)")
+		linger    = flag.Duration("linger", 0, "keep the introspection endpoint up this long after the load completes")
+		slow      = flag.Duration("slow", 0, "slow-request threshold: log the full span tree of slower requests (0 = off)")
+		traceKeep = flag.Int("trace-keep", 64, "recent request traces retained for /trace (negative disables tracing)")
 	)
 	flag.Parse()
 
@@ -49,11 +67,26 @@ func main() {
 		Device:         kind,
 		Strategy:       *strat,
 		DefaultTimeout: *timeout,
+		TraceKeep:      *traceKeep,
+		SlowThreshold:  *slow,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	defer pool.Close()
+
+	// Graceful shutdown: the first signal stops issuing load and begins
+	// the drain; the pool still answers every accepted request.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *listen != "" {
+		addr, shutdown, err := pool.ListenAndServe(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("dfg-serve: introspection endpoint on http://%s (/metrics /healthz /trace /slow)\n", addr)
+	}
 
 	// A definition in the mix shows the shared database: every worker
 	// sees it, and the cache fingerprints it into the keys.
@@ -67,49 +100,79 @@ func main() {
 		exprs[i] = fmt.Sprintf("r = sqrt(vmag2) + %d.0 * w", i)
 	}
 
-	inputs := syntheticInputs(*n)
-	fmt.Printf("dfg-serve: %d workers (%s, %s), %d clients, %d requests, %d distinct expressions, n=%d\n",
-		*workers, *device, *strat, *clients, *requests, *distinct, *n)
-
-	var issued atomic.Int64
 	var failures atomic.Int64
-	var wg sync.WaitGroup
 	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		c := c
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := issued.Add(1)
-				if i > int64(*requests) {
-					return
+	if *requests > 0 {
+		inputs := syntheticInputs(*n)
+		fmt.Printf("dfg-serve: %d workers (%s, %s), %d clients, %d requests, %d distinct expressions, n=%d\n",
+			*workers, *device, *strat, *clients, *requests, *distinct, *n)
+
+		var issued atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < *clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := issued.Add(1)
+					if i > int64(*requests) {
+						return
+					}
+					req := serve.Request{
+						Expr:   exprs[(int(i)+c)%len(exprs)],
+						N:      *n,
+						Inputs: inputs,
+					}
+					if _, err := pool.Submit(ctx, req); err != nil {
+						failures.Add(1)
+						if ctx.Err() == nil {
+							fmt.Fprintf(os.Stderr, "dfg-serve: request %d: %v\n", i, err)
+						}
+					}
 				}
-				req := serve.Request{
-					Expr:   exprs[(int(i)+c)%len(exprs)],
-					N:      *n,
-					Inputs: inputs,
-				}
-				if _, err := pool.Submit(context.Background(), req); err != nil {
-					failures.Add(1)
-					fmt.Fprintf(os.Stderr, "dfg-serve: request %d: %v\n", i, err)
-				}
-			}
-		}()
+			}()
+		}
+		wg.Wait()
+	} else if *listen == "" {
+		fmt.Fprintln(os.Stderr, "dfg-serve: -requests 0 without -listen does nothing")
+		os.Exit(2)
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Hold the introspection endpoint up for scrapes, until the linger
+	// window elapses or a signal arrives. With no load configured (and
+	// no linger bound) serve until interrupted.
+	if *listen != "" && ctx.Err() == nil {
+		switch {
+		case *linger > 0:
+			fmt.Printf("dfg-serve: load complete; endpoint up for %v more (^C to stop)\n", *linger)
+			select {
+			case <-ctx.Done():
+			case <-time.After(*linger):
+			}
+		case *requests == 0:
+			fmt.Println("dfg-serve: serving until interrupted (^C to stop)")
+			<-ctx.Done()
+		}
+	}
+
+	// Drain and flush: every accepted request answers, then counters
+	// and traces freeze for the final report.
+	if err := pool.Close(); err != nil {
+		fatal(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("\ndfg-serve: interrupted, pool drained")
+	}
 
 	st := pool.Stats()
 	fmt.Printf("\n%-28s %v\n", "wall time:", elapsed.Round(time.Millisecond))
-	fmt.Printf("%-28s %.0f req/s\n", "throughput:", float64(st.Served)/elapsed.Seconds())
-	fmt.Printf("%-28s %d served, %d failed, %d expired, %d rejected\n",
-		"requests:", st.Served, st.Failed, st.Expired, st.Rejected)
-	fmt.Printf("%-28s %d compiles for %d requests (%d cache hits, %d entries)\n",
-		"shared compile cache:", st.Compiles, *requests, st.CacheHits, st.CacheEntries)
-	fmt.Printf("%-28s %s\n", "aggregate device profile:", st.Profile.String())
-	fmt.Printf("%-28s %d bytes\n", "peak device memory (1 run):", st.PeakDeviceBytes)
-	if failures.Load() > 0 {
+	if elapsed > 0 && st.Served > 0 {
+		fmt.Printf("%-28s %.0f req/s\n", "throughput:", float64(st.Served)/elapsed.Seconds())
+	}
+	pool.Report(os.Stdout)
+	if failures.Load() > 0 && ctx.Err() == nil {
 		os.Exit(1)
 	}
 }

@@ -42,11 +42,14 @@ package dfg
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
 	"dfg/internal/compile"
 	"dfg/internal/dataflow"
 	"dfg/internal/expr"
 	"dfg/internal/mesh"
+	"dfg/internal/obs"
 	"dfg/internal/ocl"
 	"dfg/internal/strategy"
 )
@@ -131,6 +134,17 @@ type Engine struct {
 	// network cache. Private by default (New); shared when the engine was
 	// built with NewWith.
 	comp *compile.Compiler
+
+	// tracer and reg are the optional observability hooks (Instrument).
+	// Both nil by default: the uninstrumented hot path takes no clock
+	// readings and allocates nothing for observability.
+	tracer *obs.Tracer
+	reg    *obs.Registry
+	// evalHist memoizes the per-fingerprint latency histogram series.
+	// Engine methods are single-goroutine (see above), so a plain map
+	// suffices; the histograms themselves are concurrency-safe and may
+	// be shared across a pool through the shared registry.
+	evalHist map[string]*obs.Histogram
 }
 
 // NewDeviceFor builds the simulated device a Config selects — the same
@@ -197,6 +211,23 @@ func NewWith(dev *ocl.Device, strategyName string, comp *compile.Compiler) (*Eng
 	}, nil
 }
 
+// Instrument attaches observability hooks to the engine: a tracer
+// (each Eval records a span tree covering parse -> fingerprint -> cache
+// lookup -> build -> bind -> execute, with the run's device events
+// attached as child spans) and a metrics registry (per-eval latency
+// histograms keyed by expression fingerprint and strategy). Either may
+// be nil: a nil tracer records no spans, a nil registry no metrics, and
+// with both nil the hot path is exactly the uninstrumented one.
+// Instrument must be called before the engine is used; like all Engine
+// methods it is not safe to call concurrently with Eval.
+func (e *Engine) Instrument(t *obs.Tracer, r *obs.Registry) {
+	e.tracer = t
+	e.reg = r
+	if r != nil && e.evalHist == nil {
+		e.evalHist = make(map[string]*obs.Histogram)
+	}
+}
+
 // Device describes the engine's target device, e.g. "NVIDIA Tesla M2050".
 func (e *Engine) Device() string { return e.env.Device().Name() }
 
@@ -245,39 +276,86 @@ func (e *Engine) compile(text string) (*dataflow.Network, error) {
 }
 
 // Eval evaluates an expression program over n elements with the given
-// named input arrays. The last statement's value is returned.
+// named input arrays. The last statement's value is returned. If the
+// engine is instrumented (Instrument), each call records a pipeline
+// trace and a latency-histogram observation.
 func (e *Engine) Eval(text string, n int, inputs map[string][]float32) (*Result, error) {
-	net, err := e.compile(text)
+	sp := e.tracer.Start("eval")
+	res, err := e.EvalTraced(sp, text, n, inputs)
+	sp.Finish()
+	return res, err
+}
+
+// EvalTraced is Eval recording its pipeline spans — compile (parse,
+// fingerprint, cache, build), bind, execute, plus the run's device
+// events on their own tracks — as children of the caller-owned parent
+// span. internal/serve uses it to root each worker evaluation under a
+// per-request span that also covers queue wait. A nil parent disables
+// tracing for the call (metrics still fire if a registry is attached).
+func (e *Engine) EvalTraced(parent *obs.Span, text string, n int, inputs map[string][]float32) (*Result, error) {
+	if parent != nil { // guard: strconv.Itoa must not run on the no-op path
+		parent.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(n))
+	}
+	var t0 time.Time
+	if e.reg != nil {
+		t0 = time.Now()
+	}
+	net, fp, err := e.comp.CompileTraced(text, parent)
 	if err != nil {
 		return nil, err
 	}
+	bs := parent.Child("bind")
 	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs))}
 	for name, data := range inputs {
 		bind.Sources[name] = strategy.Source{Data: data, Width: 1}
 	}
-	return e.run(net, bind)
+	bs.Finish()
+	return e.run(net, bind, parent, fp, t0)
 }
 
 // EvalOnMesh evaluates an expression over cell-centered fields on a
 // mesh, automatically binding the mesh-derived sources the gradient
 // primitive needs: dims and the per-cell coordinate arrays x, y, z.
 func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (*Result, error) {
-	net, err := e.compile(text)
+	sp := e.tracer.Start("eval")
+	defer sp.Finish()
+	if sp != nil {
+		sp.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(m.Cells()))
+	}
+	var t0 time.Time
+	if e.reg != nil {
+		t0 = time.Now()
+	}
+	net, fp, err := e.comp.CompileTraced(text, sp)
 	if err != nil {
 		return nil, err
 	}
+	bs := sp.Child("bind")
 	bind, err := strategy.BindMesh(m, fields)
+	bs.Finish()
 	if err != nil {
 		return nil, err
 	}
-	return e.run(net, bind)
+	return e.run(net, bind, sp, fp, t0)
 }
 
-// run executes a compiled network.
-func (e *Engine) run(net *dataflow.Network, bind strategy.Bindings) (*Result, error) {
+// run executes a compiled network, recording the execute span (with the
+// simulated device events attached as fixed-time children on per-
+// category tracks) and the per-(fingerprint, strategy) latency
+// observation.
+func (e *Engine) run(net *dataflow.Network, bind strategy.Bindings, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+	es := sp.Child("execute")
 	res, err := e.strat.Execute(e.env, net, bind)
+	es.Finish()
 	if err != nil {
+		if es != nil {
+			es.SetAttr("error", err.Error())
+		}
 		return nil, err
+	}
+	attachDeviceEvents(es, res.Events)
+	if e.reg != nil {
+		e.evalHistogram(fp).Observe(time.Since(t0))
 	}
 	return &Result{
 		Data:            res.Data,
@@ -286,6 +364,55 @@ func (e *Engine) run(net *dataflow.Network, bind strategy.Bindings) (*Result, er
 		PeakDeviceBytes: res.PeakBytes,
 		Events:          res.Events,
 	}, nil
+}
+
+// evalHistogram resolves (memoized per engine) the latency series for a
+// fingerprint under the engine's strategy.
+func (e *Engine) evalHistogram(fp string) *obs.Histogram {
+	short := compile.ShortKey(fp)
+	if h, ok := e.evalHist[short]; ok {
+		return h
+	}
+	h := e.reg.Histogram("dfg_eval_seconds",
+		"End-to-end evaluation latency by expression fingerprint and strategy.",
+		obs.Labels{"fingerprint": short, "strategy": e.strat.Name()})
+	e.evalHist[short] = h
+	return h
+}
+
+// attachDeviceEvents adds the run's device events to the execute span as
+// fixed-interval children. Device events live on the simulated device
+// timeline, not host wall time, so each is offset from the execute
+// span's start and placed on its category's track ("host-to-device",
+// "kernel", "device-to-host") — the multi-track layout metrics.
+// WriteSpanTraces renders.
+func attachDeviceEvents(es *obs.Span, events []ocl.Event) {
+	if es == nil {
+		return
+	}
+	base := es.Start
+	for _, ev := range events {
+		attrs := make([]obs.Attr, 0, 2)
+		if ev.Bytes > 0 {
+			attrs = append(attrs, obs.Attr{Key: "bytes", Value: strconv.FormatInt(ev.Bytes, 10)})
+		}
+		if ev.GlobalSize > 0 {
+			attrs = append(attrs, obs.Attr{Key: "global_size", Value: strconv.Itoa(ev.GlobalSize)})
+		}
+		es.Event(ev.Name, deviceTrack(ev.Kind), base.Add(ev.Start), base.Add(ev.End), attrs...)
+	}
+}
+
+// deviceTrack names the export track for a device event category.
+func deviceTrack(k ocl.EventKind) string {
+	switch k {
+	case ocl.WriteEvent:
+		return "host-to-device"
+	case ocl.ReadEvent:
+		return "device-to-host"
+	default:
+		return "kernel"
+	}
 }
 
 // FusedSource returns the OpenCL C source the fusion strategy's dynamic

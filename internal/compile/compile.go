@@ -29,6 +29,7 @@ import (
 
 	"dfg/internal/dataflow"
 	"dfg/internal/expr"
+	"dfg/internal/obs"
 )
 
 // DefaultMaxEntries bounds the cache when the caller does not: old
@@ -49,12 +50,16 @@ type Compiler struct {
 	compiles atomic.Int64 // networks actually built (cache misses that ran)
 	hits     atomic.Int64
 	misses   atomic.Int64
+	inflight atomic.Int64 // builds currently running (singleflight leaders)
 }
 
 // entry is one cache slot. once guarantees the compile runs exactly one
-// time even when many goroutines miss on the same key concurrently.
+// time even when many goroutines miss on the same key concurrently; done
+// flips after the build completes, letting latecomers distinguish a pure
+// cache hit from a singleflight wait on a build still in flight.
 type entry struct {
 	once    sync.Once
+	done    atomic.Bool
 	net     *dataflow.Network
 	err     error
 	lastUse atomic.Int64
@@ -125,21 +130,77 @@ func (c *Compiler) snapshot() map[string]string {
 // definitions, compiling on first use. Concurrent calls for the same
 // (text, referenced definitions) pair share one compilation.
 func (c *Compiler) Compile(text string) (*dataflow.Network, error) {
+	net, _, err := c.CompileTraced(text, nil)
+	return net, err
+}
+
+// CompileTraced is Compile with pipeline tracing: it opens a "compile"
+// span under parent covering the front-end stages — "parse" (lex + LALR
+// parse to the AST), "fingerprint" (definition resolution + digest), the
+// "cache" lookup annotated with its outcome (hit, miss, or
+// singleflight-wait when another goroutine is mid-build on the same
+// key), and, on a miss, the "build" stage (AST -> network construction,
+// CSE, seal). It also returns the cache fingerprint, which metrics use
+// to key latency histograms. A nil parent span is the no-op path —
+// exactly Compile plus the fingerprint return.
+func (c *Compiler) CompileTraced(text string, parent *obs.Span) (*dataflow.Network, string, error) {
+	cs := parent.Child("compile")
+	defer cs.Finish()
+
 	defs := c.snapshot()
+	ps := cs.Child("parse")
 	p, err := expr.Parse(text)
+	ps.Finish()
 	if err != nil {
 		// Parse failures are cheap to rediscover; don't cache them.
-		return nil, err
+		if cs != nil {
+			cs.SetAttr("error", err.Error())
+		}
+		return nil, Digest(text, nil), err
 	}
+	fs := cs.Child("fingerprint")
 	relevant := referencedDefs(p, defs)
 	key := Digest(text, relevant)
+	fs.Finish()
+	if cs != nil {
+		cs.SetAttr("fingerprint", ShortKey(key))
+	}
 
-	e := c.lookup(key)
+	ls := cs.Child("cache")
+	e, _ := c.lookup(key)
+	wasDone := e.done.Load()
+	ran := false
 	e.once.Do(func() {
+		ran = true
+		c.inflight.Add(1)
+		defer c.inflight.Add(-1)
 		c.compiles.Add(1)
+		bs := cs.Child("build")
 		e.net, e.err = expr.CompileWithDefinitions(text, relevant)
+		e.done.Store(true)
+		bs.Finish()
 	})
-	return e.net, e.err
+	switch {
+	case ran:
+		ls.SetAttr("outcome", "miss")
+	case wasDone:
+		ls.SetAttr("outcome", "hit")
+	default:
+		// The entry existed but its build was still running: once.Do
+		// blocked until the leader finished.
+		ls.SetAttr("outcome", "singleflight-wait")
+	}
+	ls.Finish()
+	return e.net, key, e.err
+}
+
+// ShortKey abbreviates a cache fingerprint for use as a label or span
+// attribute (12 hex chars ~ 48 bits, ample for a bounded cache).
+func ShortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Fingerprint returns the cache key Compile would use for text under the
@@ -155,8 +216,9 @@ func (c *Compiler) Fingerprint(text string) string {
 }
 
 // lookup returns the entry for key, creating (and bounding the cache) as
-// needed. The fast path is a read-locked map hit.
-func (c *Compiler) lookup(key string) *entry {
+// needed, and reports whether the entry already existed. The fast path
+// is a read-locked map hit.
+func (c *Compiler) lookup(key string) (*entry, bool) {
 	now := c.clock.Add(1)
 	c.mu.RLock()
 	e := c.entries[key]
@@ -164,8 +226,9 @@ func (c *Compiler) lookup(key string) *entry {
 	if e != nil {
 		c.hits.Add(1)
 		e.lastUse.Store(now)
-		return e
+		return e, true
 	}
+	hit := false
 	c.mu.Lock()
 	if e = c.entries[key]; e == nil {
 		c.misses.Add(1)
@@ -174,11 +237,12 @@ func (c *Compiler) lookup(key string) *entry {
 		c.entries[key] = e
 		c.evictLocked()
 	} else {
+		hit = true
 		c.hits.Add(1)
 		e.lastUse.Store(now)
 	}
 	c.mu.Unlock()
-	return e
+	return e, hit
 }
 
 // evictLocked drops least-recently-used entries until the cache fits.
@@ -203,6 +267,9 @@ type Stats struct {
 	Compiles int64
 	// Hits and Misses count cache lookups.
 	Hits, Misses int64
+	// Inflight is the number of builds running right now (singleflight
+	// leaders mid-compile).
+	Inflight int64
 	// Entries is the current number of cached networks.
 	Entries int
 	// Definitions is the current number of named definitions.
@@ -218,6 +285,7 @@ func (c *Compiler) Stats() Stats {
 		Compiles:    c.compiles.Load(),
 		Hits:        c.hits.Load(),
 		Misses:      c.misses.Load(),
+		Inflight:    c.inflight.Load(),
 		Entries:     entries,
 		Definitions: ndefs,
 	}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
+	"dfg/internal/obs"
 	"dfg/internal/ocl"
 )
 
@@ -58,4 +60,104 @@ func WriteTrace(w io.Writer, deviceName string, events []ocl.Event) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// Track layout for pipeline span traces: the request's pipeline stages
+// render on track 0, the simulated device events (which live on the
+// modeled device timeline, not host wall time) on one track per
+// category — the same three categories WriteTrace uses.
+var spanTracks = []struct {
+	name string
+	tid  int
+}{
+	{"pipeline", 0},
+	{"host-to-device", 1},
+	{"kernel", 2},
+	{"device-to-host", 3},
+}
+
+// spanTrackID maps a span's Track label to its timeline track.
+func spanTrackID(track string) int {
+	for _, t := range spanTracks {
+		if t.name == track {
+			return t.tid
+		}
+	}
+	return 0 // unknown tracks fold into the pipeline track
+}
+
+// WriteSpanTraces generalizes WriteTrace to whole pipeline traces: it
+// renders request span trees (obs.Span) as multi-track Chrome-trace
+// JSON for chrome://tracing or Perfetto. Each request becomes one
+// process (pid = position in roots, 1-based) named after its root span
+// and fingerprint; within a process, pipeline stages occupy track 0 and
+// attached device events their per-category tracks. Timestamps are
+// microseconds relative to the earliest root, so concurrent requests
+// line up on one timeline. Nil roots are skipped.
+func WriteSpanTraces(w io.Writer, roots []*obs.Span) error {
+	var base time.Time
+	for _, r := range roots {
+		if r != nil && (base.IsZero() || r.Start.Before(base)) {
+			base = r.Start
+		}
+	}
+	out := make([]traceEvent, 0, 16*len(roots))
+	for i, root := range roots {
+		if root == nil {
+			continue
+		}
+		pid := i + 1
+		procName := root.Name
+		if fp := root.Find("compile").Attr("fingerprint"); fp != "" {
+			procName = fmt.Sprintf("%s %s", root.Name, fp)
+		}
+		out = append(out, traceEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]string{"name": procName},
+		})
+		for _, t := range spanTracks {
+			out = append(out, traceEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: t.tid,
+				Args: map[string]string{"name": t.name},
+			})
+		}
+		out = appendSpanEvents(out, root, pid, base, true)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// appendSpanEvents emits one span and its subtree as complete events.
+func appendSpanEvents(out []traceEvent, s *obs.Span, pid int, base time.Time, isRoot bool) []traceEvent {
+	cat := "stage"
+	if isRoot {
+		cat = "request"
+	} else if s.Track != "" {
+		cat = s.Track
+	}
+	var args map[string]string
+	if len(s.Attrs) > 0 {
+		args = make(map[string]string, len(s.Attrs))
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+	}
+	end := s.End
+	if end.IsZero() { // unfinished spans render as instants
+		end = s.Start
+	}
+	out = append(out, traceEvent{
+		Name:  s.Name,
+		Cat:   cat,
+		Phase: "X",
+		TS:    float64(s.Start.Sub(base).Nanoseconds()) / 1e3,
+		Dur:   float64(end.Sub(s.Start).Nanoseconds()) / 1e3,
+		PID:   pid,
+		TID:   spanTrackID(s.Track),
+		Args:  args,
+	})
+	for _, c := range s.Children {
+		out = appendSpanEvents(out, c, pid, base, false)
+	}
+	return out
 }

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels names a metric series within its family. Label sets should be
+// low-cardinality: the registry keeps one series alive per distinct set.
+type Labels map[string]string
+
+// Counter is a monotonically increasing int64. The nil *Counter is a
+// valid no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored: counters are monotone).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64. The nil *Gauge is a valid no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the value by delta (either sign).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a log-bucketed latency histogram: bucket i counts
+// observations <= 1µs * 2^i, covering 1µs..~64s in 27 buckets plus an
+// overflow bucket. Observation is a couple of atomic adds; quantiles are
+// estimated by linear interpolation within the selected bucket (the
+// standard Prometheus-style estimate, good to one bucket width).
+// The nil *Histogram is a valid no-op.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64 // last slot is +Inf
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+const (
+	histBuckets = 27
+	histBaseNS  = int64(time.Microsecond)
+)
+
+// histBound returns the upper bound (inclusive) of bucket i in
+// nanoseconds; the final slot is unbounded.
+func histBound(i int) int64 { return histBaseNS << uint(i) }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketFor(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// bucketFor maps a duration in ns to its bucket index.
+func bucketFor(ns int64) int {
+	for i := 0; i < histBuckets; i++ {
+		if ns <= histBound(i) {
+			return i
+		}
+	}
+	return histBuckets
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1), e.g. 0.5, 0.9, 0.99.
+// Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := 0; i <= histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = histBound(i - 1)
+			}
+			hi := histBound(i)
+			if i == histBuckets { // overflow bucket: no upper bound
+				return time.Duration(lo)
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return time.Duration(histBound(histBuckets - 1))
+}
+
+// snapshotBuckets returns cumulative bucket counts (Prometheus "le"
+// semantics) plus count and sum. Reads are atomic per bucket — the
+// snapshot is consistent enough for exposition (scrapes race with
+// observations by design).
+func (h *Histogram) snapshotBuckets() (cum []int64, count int64, sumNS int64) {
+	cum = make([]int64, histBuckets+1)
+	var c int64
+	for i := 0; i <= histBuckets; i++ {
+		c += h.buckets[i].Load()
+		cum[i] = c
+	}
+	return cum, h.count.Load(), h.sumNS.Load()
+}
+
+// metricKind discriminates the series types a family can hold.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// series is one (name, labels) instance.
+type series struct {
+	labels string // rendered {k="v",...} signature, possibly ""
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+	order  []string // label signatures in creation order
+}
+
+// Registry holds metric families and hands out series, memoized by
+// (name, labels): asking twice returns the same instance, so callers may
+// resolve series on the hot path or cache them, whichever is cheaper.
+// All methods are safe for concurrent use. The nil *Registry is a valid
+// no-op: every constructor returns the nil series of the right type.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // family names in creation order
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSignature renders labels sorted by key: `{a="x",b="y"}` or "".
+func labelSignature(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the series for (name, labels) of a kind.
+// Registering the same name with a different kind panics: that is a
+// programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) *series {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)",
+			name, kind.promType(), f.kind.promType()))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: sig}
+		switch kind {
+		case kindCounter:
+			s.ctr = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = &Histogram{}
+		}
+		f.series[sig] = s
+		f.order = append(f.order, sig)
+	}
+	return s
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindCounter, labels).ctr
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGauge, labels).gauge
+}
+
+// Histogram returns the latency-histogram series for (name, labels).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindHistogram, labels).hist
+}
+
+// CounterFunc registers a callback-backed counter — for counters whose
+// source of truth already lives elsewhere (pool atomics, compiler
+// stats). fn is called at exposition time and must be concurrency-safe
+// and monotone.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindCounterFunc, labels).fn = fn
+}
+
+// GaugeFunc registers a callback-backed gauge, evaluated at exposition
+// time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, help, kindGaugeFunc, labels).fn = fn
+}

@@ -1,0 +1,92 @@
+package ocl
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAccumulatorSnapshotAtomic hammers Add from many workers while a
+// reader snapshots continuously. Every Add folds the same profile shape,
+// so any snapshot must satisfy exact cross-field invariants — a torn
+// read (profile and run count from different moments, or a half-applied
+// profile) breaks them. Run under -race this also proves the
+// synchronization itself.
+func TestAccumulatorSnapshotAtomic(t *testing.T) {
+	const (
+		workers = 8
+		adds    = 500
+	)
+	unit := Profile{
+		Writes:     3,
+		Reads:      1,
+		Kernels:    2,
+		WriteBytes: 4096,
+		ReadBytes:  1024,
+		WriteTime:  3 * time.Microsecond,
+		ReadTime:   time.Microsecond,
+		KernelTime: 2 * time.Microsecond,
+		Wall:       time.Microsecond,
+	}
+
+	var acc Accumulator
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p, runs, peak := acc.Snapshot()
+			// Consistency invariants: every field must reflect the same
+			// number of folded runs.
+			if p.Writes != 3*runs || p.Reads != runs || p.Kernels != 2*runs {
+				t.Errorf("torn snapshot: runs=%d but counts W=%d R=%d K=%d",
+					runs, p.Writes, p.Reads, p.Kernels)
+				return
+			}
+			if p.WriteBytes != int64(runs)*4096 || p.ReadBytes != int64(runs)*1024 {
+				t.Errorf("torn snapshot: runs=%d bytes W=%d R=%d", runs, p.WriteBytes, p.ReadBytes)
+				return
+			}
+			if p.KernelTime != time.Duration(runs)*2*time.Microsecond {
+				t.Errorf("torn snapshot: runs=%d kernel time %v", runs, p.KernelTime)
+				return
+			}
+			if runs > 0 && peak <= 0 {
+				t.Errorf("runs=%d but peak=%d", runs, peak)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				acc.Add(unit, int64(1000+w)) // distinct peaks per worker
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	p, runs, peak := acc.Snapshot()
+	if runs != workers*adds {
+		t.Fatalf("runs = %d, want %d", runs, workers*adds)
+	}
+	if p.Writes != 3*workers*adds || p.Wall != time.Duration(workers*adds)*time.Microsecond {
+		t.Fatalf("final profile inconsistent: %+v", p)
+	}
+	if peak != 1000+workers-1 {
+		t.Fatalf("peak = %d, want %d (max across workers)", peak, 1000+workers-1)
+	}
+}

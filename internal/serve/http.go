@@ -1,0 +1,128 @@
+package serve
+
+// This file is the service's HTTP introspection surface: a handler
+// exposing the pool's live state — Prometheus metrics, health, recent
+// request traces in Chrome-trace form, and the slow-request log —
+// without touching the evaluation hot path (every endpoint reads
+// counters, callback gauges, or immutable published span trees).
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dfg/internal/metrics"
+	"dfg/internal/obs"
+)
+
+// Handler returns the pool's introspection endpoint:
+//
+//	GET /healthz        liveness + basic counts (JSON); 503 once closed
+//	GET /metrics        Prometheus text exposition (version 0.0.4)
+//	GET /trace?last=N   the last N request traces as Chrome-trace JSON
+//	                    (open in Perfetto / chrome://tracing); default 16
+//	GET /slow?last=N    the last N slow-request span trees as text
+//
+// The handler stays valid after Close — it then serves the pool's final,
+// frozen state, so an operator can still pull metrics and traces from a
+// drained service.
+func (p *Pool) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", p.handleHealthz)
+	mux.HandleFunc("/metrics", p.handleMetrics)
+	mux.HandleFunc("/trace", p.handleTrace)
+	mux.HandleFunc("/slow", p.handleSlow)
+	return mux
+}
+
+// handleHealthz reports liveness. A closed pool answers 503 so load
+// balancers drain it, but still includes the final counters.
+func (p *Pool) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	p.sendMu.RLock()
+	closed := p.closed
+	p.sendMu.RUnlock()
+	st := p.Stats()
+	status, code := "ok", http.StatusOK
+	if closed {
+		status, code = "closed", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, `{"status":%q,"workers":%d,"uptime_seconds":%.3f,"served":%d,"failed":%d,"expired":%d,"rejected":%d,"queue_depth":%d}`+"\n",
+		status, st.Workers, p.uptime().Seconds(), st.Served, st.Failed, st.Expired, st.Rejected, len(p.queue))
+}
+
+// handleMetrics writes the Prometheus exposition.
+func (p *Pool) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, p.reg); err != nil {
+		// Headers are gone; all we can do is drop the connection.
+		return
+	}
+}
+
+// lastParam parses ?last=N with a default and a sanity cap.
+func lastParam(r *http.Request, def int) int {
+	n := def
+	if s := r.URL.Query().Get("last"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			return -1
+		}
+		n = v
+	}
+	return n
+}
+
+// handleTrace serves recent request traces as Chrome-trace JSON.
+func (p *Pool) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if p.tracer == nil {
+		http.Error(w, "tracing disabled (TraceKeep < 0)", http.StatusNotFound)
+		return
+	}
+	n := lastParam(r, 16)
+	if n < 0 {
+		http.Error(w, "bad ?last= value", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = metrics.WriteSpanTraces(w, p.tracer.Last(n))
+}
+
+// handleSlow renders the retained slow-request span trees as text.
+func (p *Pool) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if p.tracer == nil {
+		http.Error(w, "tracing disabled (TraceKeep < 0)", http.StatusNotFound)
+		return
+	}
+	n := lastParam(r, 16)
+	if n < 0 {
+		http.Error(w, "bad ?last= value", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	slow := p.tracer.Slow(n)
+	if len(slow) == 0 {
+		fmt.Fprintln(w, "no slow requests recorded")
+		return
+	}
+	for _, sp := range slow {
+		fmt.Fprintf(w, "--- %v (threshold %v)\n", sp.Duration(), p.cfg.SlowThreshold)
+		sp.WriteText(w)
+	}
+}
+
+// ListenAndServe starts the introspection endpoint on addr and returns
+// the bound address (useful with ":0") plus a shutdown func. It is a
+// convenience for cmd/dfg-serve; embedders can mount Handler anywhere.
+func (p *Pool) ListenAndServe(addr string) (string, func() error, error) {
+	srv := &http.Server{Handler: p.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

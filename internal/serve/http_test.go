@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestHTTPEndpoints drives a pool through the introspection surface:
+// healthz, the Prometheus exposition (compile-cache counters, queue
+// depth, per-strategy histograms), and the slow log.
+func TestHTTPEndpoints(t *testing.T) {
+	p, err := NewPool(Config{
+		Workers:       2,
+		Strategy:      "fusion",
+		SlowThreshold: time.Nanosecond, // every request is "slow"
+		SlowLog:       io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	inputs := testInputs(2048)
+	for i := 0; i < 6; i++ {
+		if _, err := p.Submit(context.Background(), Request{
+			Expr: "m = sqrt(u*u + v*v + w*w)", N: 2048, Inputs: inputs,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz = %d: %s", code, body)
+	}
+	var health map[string]any
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz not JSON: %v: %s", err, body)
+	}
+	if health["status"] != "ok" || health["served"].(float64) != 6 {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	code, body = get(t, srv, "/metrics")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/metrics = %d, %d bytes", code, len(body))
+	}
+	for _, want := range []string{
+		"dfg_compile_cache_hits_total 5",
+		"dfg_compile_cache_misses_total 1",
+		"# TYPE dfg_queue_depth gauge",
+		"dfg_queue_depth 0",
+		`dfg_requests_total{outcome="served"} 6`,
+		`dfg_eval_seconds_count{fingerprint=`,
+		`strategy="fusion"`,
+		"dfg_request_wait_seconds_count 6",
+		`dfg_worker_utilization{worker="0"}`,
+		"dfg_device_kernels_total 6",
+		"dfg_compile_cache_entries 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv, "/slow?last=3")
+	if code != http.StatusOK || !strings.Contains(body, "execute") {
+		t.Fatalf("/slow = %d:\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/trace?last=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad ?last= accepted: %d", code)
+	}
+}
+
+// chromeEvent is the slice of the trace-event fields the tests check.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// TestTraceEndpointCoversWallTime is the service-level acceptance
+// check: /trace?last=1 returns a span tree whose pipeline stages sum to
+// within 5% of the request's wall time (root span duration).
+func TestTraceEndpointCoversWallTime(t *testing.T) {
+	p, err := NewPool(Config{Workers: 1, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	const n = 1 << 18 // big enough that execution dwarfs inter-span gaps
+	if _, err := p.Submit(context.Background(), Request{
+		Expr: "m = sqrt(u*u + v*v + w*w)", N: n, Inputs: testInputs(n),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, srv, "/trace?last=1")
+	if code != http.StatusOK {
+		t.Fatalf("/trace = %d", code)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+
+	var wall, stages float64
+	stageNames := map[string]bool{"queue-wait": true, "compile": true, "bind": true, "execute": true}
+	seen := map[string]bool{}
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Cat == "request" {
+			wall = e.Dur
+		}
+		if e.Cat == "stage" && stageNames[e.Name] {
+			stages += e.Dur
+			seen[e.Name] = true
+		}
+	}
+	if wall <= 0 {
+		t.Fatalf("no request event in trace:\n%s", body)
+	}
+	for _, name := range []string{"compile", "execute", "queue-wait"} {
+		if !seen[name] {
+			t.Fatalf("trace lacks stage %q:\n%s", name, body)
+		}
+	}
+	if stages > wall {
+		t.Fatalf("stages %vµs exceed wall %vµs", stages, wall)
+	}
+	if gap := wall - stages; gap > wall/20 {
+		t.Fatalf("stages cover %vµs of %vµs wall (gap %vµs > 5%%)", stages, wall, gap)
+	}
+	// Device events ride along on their own tracks.
+	var kernels int
+	for _, e := range events {
+		if e.Cat == "kernel" && e.Ph == "X" {
+			kernels++
+		}
+	}
+	if kernels == 0 {
+		t.Fatalf("no kernel-track events in trace:\n%s", body)
+	}
+}
+
+// TestShutdownFlushesFinalState: after Close, the endpoint still serves
+// final metrics/traces, healthz flips to 503/closed, and Report renders
+// the service summary.
+func TestShutdownFlushesFinalState(t *testing.T) {
+	p, err := NewPool(Config{Workers: 2, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	inputs := testInputs(1024)
+	for i := 0; i < 4; i++ {
+		if _, err := p.Submit(context.Background(), Request{
+			Expr: "m = u + v", N: 1024, Inputs: inputs,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status":"closed"`) {
+		t.Fatalf("/healthz after close = %d: %s", code, body)
+	}
+	uptimeFrozen := p.uptime()
+	time.Sleep(10 * time.Millisecond)
+	if p.uptime() != uptimeFrozen {
+		t.Fatal("uptime must freeze at Close")
+	}
+
+	_, metricsBody := get(t, srv, "/metrics")
+	if !strings.Contains(metricsBody, `dfg_requests_total{outcome="served"} 4`) {
+		t.Fatalf("final metrics lost served count:\n%s", metricsBody)
+	}
+	_, traceBody := get(t, srv, "/trace?last=4")
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(traceBody), &events); err != nil || len(events) == 0 {
+		t.Fatalf("final traces unavailable: %v (%d events)", err, len(events))
+	}
+
+	var report strings.Builder
+	p.Report(&report)
+	out := report.String()
+	for _, want := range []string{"uptime:", "4 served", "shared compile cache:", "worker 0:", "aggregate device profile:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Report missing %q:\n%s", want, out)
+		}
+	}
+}

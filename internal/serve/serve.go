@@ -19,12 +19,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dfg"
 	"dfg/internal/compile"
+	"dfg/internal/obs"
 	"dfg/internal/ocl"
 )
 
@@ -55,6 +59,19 @@ type Config struct {
 	// MaxCacheEntries bounds the shared compile cache. Zero keeps the
 	// compile package default.
 	MaxCacheEntries int
+
+	// TraceKeep sizes the ring of recent request traces (the /trace
+	// endpoint's window). Zero keeps obs.DefaultKeep; negative disables
+	// request tracing entirely (metrics stay on).
+	TraceKeep int
+	// SlowThreshold, if positive, turns on the slow-request log: any
+	// request whose end-to-end latency (queue wait + execution) reaches
+	// the threshold has its full span tree written to SlowLog and
+	// retained for the /slow endpoint.
+	SlowThreshold time.Duration
+	// SlowLog receives slow-request span trees. Defaults to os.Stderr
+	// when SlowThreshold is set.
+	SlowLog io.Writer
 }
 
 // Request is one evaluation: an expression program over named inputs.
@@ -111,6 +128,18 @@ type Pool struct {
 	rejected atomic.Int64
 	acc      ocl.Accumulator
 
+	// Observability: the shared metrics registry, the request tracer
+	// (nil when disabled), per-worker busy time for utilisation gauges,
+	// and the request-latency histograms the workers feed.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	busy     []atomic.Int64 // per-worker cumulative execution ns
+	waitHist *obs.Histogram
+	runHist  *obs.Histogram
+
+	start    time.Time
+	closedAt atomic.Int64 // unix ns; 0 while the pool is open
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -132,7 +161,28 @@ func NewPool(cfg Config) (*Pool, error) {
 		comp:  comp,
 		queue: make(chan *job, cfg.QueueDepth),
 		done:  make(chan struct{}),
+		reg:   obs.NewRegistry(),
+		busy:  make([]atomic.Int64, cfg.Workers),
+		start: time.Now(),
 	}
+	if cfg.TraceKeep >= 0 {
+		p.tracer = obs.NewTracer(cfg.TraceKeep)
+	}
+	if cfg.SlowThreshold > 0 && p.tracer != nil {
+		logw := cfg.SlowLog
+		if logw == nil {
+			logw = os.Stderr
+		}
+		var logMu sync.Mutex
+		threshold := cfg.SlowThreshold
+		p.tracer.SetSlow(threshold, func(sp *obs.Span) {
+			logMu.Lock()
+			defer logMu.Unlock()
+			fmt.Fprintf(logw, "serve: slow request: %v >= %v\n", sp.Duration(), threshold)
+			sp.WriteText(logw)
+		})
+	}
+	p.registerMetrics()
 	for i := 0; i < cfg.Workers; i++ {
 		dev, err := dfg.NewDeviceFor(dfg.Config{Device: cfg.Device, MemScale: cfg.MemScale})
 		if err != nil {
@@ -142,28 +192,162 @@ func NewPool(cfg Config) (*Pool, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Workers pass their per-request span into EvalTraced, so the
+		// engines get only the registry (per-fingerprint histograms).
+		eng.Instrument(nil, p.reg)
 		p.workers.Add(1)
 		go p.worker(i, eng)
 	}
 	return p, nil
 }
 
+// uptime is the pool's lifetime, frozen at Close so post-shutdown
+// scrapes and reports stay meaningful.
+func (p *Pool) uptime() time.Duration {
+	end := time.Now()
+	if ns := p.closedAt.Load(); ns != 0 {
+		end = time.Unix(0, ns)
+	}
+	return end.Sub(p.start)
+}
+
+// registerMetrics wires the pool's observable state into the registry.
+// Counters whose source of truth already lives in pool or compiler
+// atomics are exported as callback-backed series — evaluated at scrape
+// time, so the hot path pays nothing for them.
+func (p *Pool) registerMetrics() {
+	r := p.reg
+	outcomes := map[string]*atomic.Int64{
+		"served": &p.served, "failed": &p.failed,
+		"expired": &p.expired, "rejected": &p.rejected,
+	}
+	for name, src := range outcomes {
+		src := src
+		r.CounterFunc("dfg_requests_total", "Requests by outcome.",
+			obs.Labels{"outcome": name}, func() float64 { return float64(src.Load()) })
+	}
+	r.GaugeFunc("dfg_queue_depth", "Requests waiting in the bounded queue.",
+		nil, func() float64 { return float64(len(p.queue)) })
+	r.GaugeFunc("dfg_queue_capacity", "Configured queue bound.",
+		nil, func() float64 { return float64(p.cfg.QueueDepth) })
+	r.GaugeFunc("dfg_workers", "Pool size (engines / worker goroutines).",
+		nil, func() float64 { return float64(p.cfg.Workers) })
+	r.GaugeFunc("dfg_uptime_seconds", "Time since the pool started (frozen at Close).",
+		nil, func() float64 { return p.uptime().Seconds() })
+
+	r.CounterFunc("dfg_compile_cache_hits_total", "Shared compile-cache hits.",
+		nil, func() float64 { return float64(p.comp.Stats().Hits) })
+	r.CounterFunc("dfg_compile_cache_misses_total", "Shared compile-cache misses.",
+		nil, func() float64 { return float64(p.comp.Stats().Misses) })
+	r.CounterFunc("dfg_compile_builds_total", "Networks actually built (deduplicated misses).",
+		nil, func() float64 { return float64(p.comp.Stats().Compiles) })
+	r.GaugeFunc("dfg_compile_inflight", "Builds running right now (singleflight leaders).",
+		nil, func() float64 { return float64(p.comp.Stats().Inflight) })
+	r.GaugeFunc("dfg_compile_cache_entries", "Cached compiled networks.",
+		nil, func() float64 { return float64(p.comp.Stats().Entries) })
+
+	for i := range p.busy {
+		i := i
+		labels := obs.Labels{"worker": strconv.Itoa(i)}
+		r.CounterFunc("dfg_worker_busy_seconds_total", "Cumulative execution time per worker.",
+			labels, func() float64 { return time.Duration(p.busy[i].Load()).Seconds() })
+		r.GaugeFunc("dfg_worker_utilization", "Fraction of pool uptime the worker spent executing.",
+			labels, func() float64 {
+				up := p.uptime().Seconds()
+				if up <= 0 {
+					return 0
+				}
+				return time.Duration(p.busy[i].Load()).Seconds() / up
+			})
+	}
+
+	deviceCounters := []struct {
+		name, help string
+		get        func(ocl.Profile) float64
+	}{
+		{"dfg_device_writes_total", "Host-to-device transfers across all workers.",
+			func(pr ocl.Profile) float64 { return float64(pr.Writes) }},
+		{"dfg_device_reads_total", "Device-to-host transfers across all workers.",
+			func(pr ocl.Profile) float64 { return float64(pr.Reads) }},
+		{"dfg_device_kernels_total", "Kernel launches across all workers.",
+			func(pr ocl.Profile) float64 { return float64(pr.Kernels) }},
+		{"dfg_device_write_bytes_total", "Bytes moved host-to-device.",
+			func(pr ocl.Profile) float64 { return float64(pr.WriteBytes) }},
+		{"dfg_device_read_bytes_total", "Bytes moved device-to-host.",
+			func(pr ocl.Profile) float64 { return float64(pr.ReadBytes) }},
+		{"dfg_device_write_seconds_total", "Modeled host-to-device transfer time.",
+			func(pr ocl.Profile) float64 { return pr.WriteTime.Seconds() }},
+		{"dfg_device_read_seconds_total", "Modeled device-to-host transfer time.",
+			func(pr ocl.Profile) float64 { return pr.ReadTime.Seconds() }},
+		{"dfg_device_kernel_seconds_total", "Modeled kernel execution time.",
+			func(pr ocl.Profile) float64 { return pr.KernelTime.Seconds() }},
+	}
+	for _, dc := range deviceCounters {
+		get := dc.get
+		r.CounterFunc(dc.name, dc.help, nil, func() float64 {
+			prof, _, _ := p.acc.Snapshot()
+			return get(prof)
+		})
+	}
+	r.GaugeFunc("dfg_peak_device_bytes", "Largest single-run device-memory high-water mark.",
+		nil, func() float64 {
+			_, _, peak := p.acc.Snapshot()
+			return float64(peak)
+		})
+
+	p.waitHist = r.Histogram("dfg_request_wait_seconds", "Time requests spent queued.", nil)
+	p.runHist = r.Histogram("dfg_request_run_seconds", "Time requests spent executing.", nil)
+}
+
+// Registry exposes the pool's metrics registry — the /metrics endpoint's
+// source, also usable for embedding the pool behind an existing scrape
+// surface.
+func (p *Pool) Registry() *obs.Registry { return p.reg }
+
+// Tracer exposes the pool's request tracer (nil when tracing is
+// disabled via TraceKeep < 0).
+func (p *Pool) Tracer() *obs.Tracer { return p.tracer }
+
 // worker drains the queue until it is closed, running each job on its
 // private engine. Closing the queue (not a signal channel) is what ends
 // the loop, so every job accepted before Close is still served.
+//
+// Each executed job records a "request" trace rooted at enqueue time:
+// an explicit "queue-wait" child covering the time spent in the bounded
+// queue, then the engine's pipeline spans (compile/bind/execute with
+// device events) via EvalTraced — so a request's stages account for its
+// full end-to-end latency, and the slow-request threshold applies to
+// what the client actually waited.
 func (p *Pool) worker(id int, eng *dfg.Engine) {
 	defer p.workers.Done()
 	for j := range p.queue {
-		resp := Response{Worker: id, Wait: time.Since(j.enqueued)}
+		pickup := time.Now()
+		wait := pickup.Sub(j.enqueued)
+		resp := Response{Worker: id, Wait: wait}
 		if err := j.ctx.Err(); err != nil {
 			// Expired (or canceled) while queued: fail fast, don't touch
 			// the device.
 			p.expired.Add(1)
 			resp.Err = fmt.Errorf("%w: %v", ErrQueueTimeout, err)
 		} else {
-			start := time.Now()
-			res, err := eng.Eval(j.req.Expr, j.req.N, j.req.Inputs)
-			resp.Run = time.Since(start)
+			root := p.tracer.Start("request")
+			if root != nil {
+				root.Start = j.enqueued // the trace covers queue wait too
+				root.SetAttr("worker", strconv.Itoa(id))
+				root.Event("queue-wait", "", j.enqueued, pickup)
+			}
+			res, err := eng.EvalTraced(root, j.req.Expr, j.req.N, j.req.Inputs)
+			run := time.Since(pickup)
+			if root != nil {
+				if err != nil {
+					root.SetAttr("error", err.Error())
+				}
+				root.Finish()
+			}
+			p.busy[id].Add(int64(run))
+			p.waitHist.Observe(wait)
+			p.runHist.Observe(run)
+			resp.Run = run
 			resp.Result, resp.Err = res, err
 			if err != nil {
 				p.failed.Add(1)
@@ -252,6 +436,13 @@ func (p *Pool) Definitions() []string { return p.comp.Definitions() }
 // stops the workers. Every request accepted before Close receives a
 // response; requests submitted after it fail with ErrPoolClosed. Close
 // is idempotent.
+//
+// Shutdown flushes observability state rather than dropping it: the
+// uptime clock freezes (so utilisation gauges stop decaying), and the
+// metrics registry, aggregate device profile and trace rings all remain
+// readable — Stats, Registry, Tracer and Report keep working on a
+// closed pool, and an HTTP introspection endpoint can keep serving
+// final state after the workers are gone.
 func (p *Pool) Close() error {
 	p.closeOnce.Do(func() {
 		p.sendMu.Lock()
@@ -261,8 +452,61 @@ func (p *Pool) Close() error {
 		p.senders.Wait() // every in-flight enqueue has resolved
 		close(p.queue)   // workers drain the remainder and exit
 		p.workers.Wait()
+		p.closedAt.Store(time.Now().UnixNano()) // freeze uptime for final metrics
 	})
 	return p.closeErr
+}
+
+// Report writes the pool's service-level summary — request outcomes,
+// wait/run latency quantiles, shared-cache effectiveness, per-worker
+// utilisation, and the aggregate device profile — in aligned text. It
+// reads the same state /metrics exposes and works before or after
+// Close; cmd/dfg-serve prints it on graceful shutdown so the final
+// metrics state outlives the load generator.
+func (p *Pool) Report(w io.Writer) {
+	st := p.Stats()
+	up := p.uptime()
+	fmt.Fprintf(w, "%-28s %v\n", "uptime:", up.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %d served, %d failed, %d expired, %d rejected\n",
+		"requests:", st.Served, st.Failed, st.Expired, st.Rejected)
+	if n := p.runHist.Count(); n > 0 {
+		fmt.Fprintf(w, "%-28s p50=%v p90=%v p99=%v\n", "run latency:",
+			p.runHist.Quantile(0.5).Round(time.Microsecond),
+			p.runHist.Quantile(0.9).Round(time.Microsecond),
+			p.runHist.Quantile(0.99).Round(time.Microsecond))
+		fmt.Fprintf(w, "%-28s p50=%v p90=%v p99=%v\n", "queue wait:",
+			p.waitHist.Quantile(0.5).Round(time.Microsecond),
+			p.waitHist.Quantile(0.9).Round(time.Microsecond),
+			p.waitHist.Quantile(0.99).Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "%-28s %d builds, %d hits, %d misses, %d entries\n",
+		"shared compile cache:", st.Compiles, st.CacheHits, st.CacheMisses, st.CacheEntries)
+	for i := range p.busy {
+		busy := time.Duration(p.busy[i].Load())
+		util := 0.0
+		if up > 0 {
+			util = busy.Seconds() / up.Seconds()
+		}
+		fmt.Fprintf(w, "%-28s busy %v (%.0f%% utilisation)\n",
+			fmt.Sprintf("worker %d:", i), busy.Round(time.Millisecond), 100*util)
+	}
+	fmt.Fprintf(w, "%-28s %s\n", "aggregate device profile:", st.Profile.String())
+	fmt.Fprintf(w, "%-28s %d bytes\n", "peak device memory (1 run):", st.PeakDeviceBytes)
+	if slow := p.tracer.Slow(0); len(slow) > 0 {
+		fmt.Fprintf(w, "%-28s %d (slowest %v)\n", "slow requests:",
+			len(slow), slowest(slow).Round(time.Microsecond))
+	}
+}
+
+// slowest returns the longest duration among the traces.
+func slowest(spans []*obs.Span) time.Duration {
+	var max time.Duration
+	for _, sp := range spans {
+		if d := sp.Duration(); d > max {
+			max = d
+		}
+	}
+	return max
 }
 
 // Stats is a point-in-time snapshot of pool activity.

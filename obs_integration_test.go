@@ -1,0 +1,162 @@
+package dfg_test
+
+// Integration tests for the observability layer threaded through the
+// engine: span coverage of the pipeline stages, device events on their
+// tracks, and the per-(fingerprint, strategy) latency histograms.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dfg"
+	"dfg/internal/obs"
+)
+
+func instrumentedEngine(t *testing.T) (*dfg.Engine, *obs.Tracer, *obs.Registry) {
+	t.Helper()
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(16)
+	reg := obs.NewRegistry()
+	eng.Instrument(tr, reg)
+	return eng, tr, reg
+}
+
+func evalInputs(n int) map[string][]float32 {
+	u := make([]float32, n)
+	v := make([]float32, n)
+	w := make([]float32, n)
+	for i := 0; i < n; i++ {
+		u[i] = float32(i%7) * 0.5
+		v[i] = float32(i % 5)
+		w[i] = float32(i%3) - 1
+	}
+	return map[string][]float32{"u": u, "v": v, "w": w}
+}
+
+// TestEvalTraceCoversWallTime is the acceptance check: the pipeline
+// stages of a request's span tree sum to within 5% of the request's
+// measured wall time.
+func TestEvalTraceCoversWallTime(t *testing.T) {
+	eng, tr, _ := instrumentedEngine(t)
+	// Large enough that execution dominates and scheduling noise in the
+	// inter-span gaps stays well under the 5% budget.
+	const n = 1 << 18
+	inputs := evalInputs(n)
+
+	for i := 0; i < 2; i++ { // second run: cache-hit trace
+		wallStart := time.Now()
+		if _, err := eng.Eval("m = sqrt(u*u + v*v + w*w)", n, inputs); err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(wallStart)
+
+		traces := tr.Last(1)
+		if len(traces) != 1 {
+			t.Fatalf("want 1 trace, got %d", len(traces))
+		}
+		root := traces[0]
+		if root.Name != "eval" {
+			t.Fatalf("root span = %q", root.Name)
+		}
+		var stages time.Duration
+		for _, c := range root.Children { // compile, bind, execute
+			stages += c.Duration()
+		}
+		if stages > wall {
+			t.Fatalf("stage sum %v exceeds wall %v", stages, wall)
+		}
+		if gap := wall - stages; gap > wall/20 {
+			t.Fatalf("run %d: stages %v cover only %v of wall %v (gap %v > 5%%)",
+				i, root.Children, stages, wall, gap)
+		}
+		for _, stage := range []string{"compile", "parse", "cache", "bind", "execute"} {
+			if root.Find(stage) == nil {
+				t.Fatalf("trace lacks %q span", stage)
+			}
+		}
+	}
+}
+
+// TestEvalTraceDeviceEvents checks the device events ride along as
+// fixed-time children on per-category tracks.
+func TestEvalTraceDeviceEvents(t *testing.T) {
+	eng, tr, _ := instrumentedEngine(t)
+	res, err := eng.Eval("m = u + v", 1024, evalInputs(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Last(1)[0]
+	exec := root.Find("execute")
+	if exec == nil {
+		t.Fatal("no execute span")
+	}
+	tracks := map[string]int{}
+	for _, c := range exec.Children {
+		tracks[c.Track]++
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("run recorded no device events")
+	}
+	total := tracks["host-to-device"] + tracks["kernel"] + tracks["device-to-host"]
+	if total != len(res.Events) {
+		t.Fatalf("attached %d device-event spans for %d events (%v)", total, len(res.Events), tracks)
+	}
+	if tracks["kernel"] == 0 || tracks["host-to-device"] == 0 {
+		t.Fatalf("missing device tracks: %v", tracks)
+	}
+	// Device-event spans live on the modeled timeline and must be
+	// excluded from pipeline-stage accounting.
+	if _, ok := root.StageDurations()["execute"]; !ok {
+		t.Fatal("execute missing from stage durations")
+	}
+}
+
+// TestEvalHistograms checks latency series are keyed by fingerprint and
+// strategy and show up in the exposition.
+func TestEvalHistograms(t *testing.T) {
+	eng, _, reg := instrumentedEngine(t)
+	inputs := evalInputs(512)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Eval("a = u + v", 512, inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Eval("b = u * w", 512, inputs); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := obs.WritePrometheus(&sb, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE dfg_eval_seconds histogram") {
+		t.Fatalf("no eval histogram family:\n%s", out)
+	}
+	if !strings.Contains(out, `strategy="fusion"`) {
+		t.Fatalf("histogram not keyed by strategy:\n%s", out)
+	}
+	if n := strings.Count(out, "dfg_eval_seconds_count"); n != 2 {
+		t.Fatalf("want 2 fingerprint series, got %d:\n%s", n, out)
+	}
+}
+
+// TestUninstrumentedEngineUnchanged: a plain engine records nothing and
+// still evaluates correctly (the nil-tracer no-op path).
+func TestUninstrumentedEngineUnchanged(t *testing.T) {
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Eval("m = u + v", 64, evalInputs(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != 64 {
+		t.Fatalf("bad result length %d", len(res.Data))
+	}
+}
