@@ -78,6 +78,7 @@ type Histogram struct {
 	buckets [histBuckets + 1]atomic.Int64 // last slot is +Inf
 	count   atomic.Int64
 	sumNS   atomic.Int64
+	maxNS   atomic.Int64 // largest single observation, for overflow-bucket quantiles
 }
 
 const (
@@ -101,6 +102,12 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketFor(ns)].Add(1)
 	h.count.Add(1)
 	h.sumNS.Add(ns)
+	for {
+		max := h.maxNS.Load()
+		if ns <= max || h.maxNS.CompareAndSwap(max, ns) {
+			break
+		}
+	}
 }
 
 // bucketFor maps a duration in ns to its bucket index.
@@ -130,7 +137,10 @@ func (h *Histogram) Sum() time.Duration {
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1), e.g. 0.5, 0.9, 0.99.
-// Returns 0 with no observations.
+// Returns 0 with no observations. Quantiles that land in the overflow
+// bucket (observations above ~67s, the top bounded bucket) return the
+// largest single observation seen, so tail estimates saturate at the
+// true maximum rather than the bucket's lower bound.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
@@ -157,8 +167,11 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 				lo = histBound(i - 1)
 			}
 			hi := histBound(i)
-			if i == histBuckets { // overflow bucket: no upper bound
-				return time.Duration(lo)
+			if i == histBuckets {
+				// Overflow bucket: no upper bound to interpolate
+				// against, so report the largest value actually seen
+				// (always >= lo when this bucket is non-empty).
+				return time.Duration(h.maxNS.Load())
 			}
 			frac := (rank - float64(cum)) / float64(n)
 			return time.Duration(float64(lo) + frac*float64(hi-lo))
@@ -267,6 +280,11 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) *se
 	sig := labelSignature(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.lookupLocked(name, help, kind, sig)
+}
+
+// lookupLocked is lookup with r.mu already held.
+func (r *Registry) lookupLocked(name, help string, kind metricKind, sig string) *series {
 	f := r.families[name]
 	if f == nil {
 		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
@@ -323,17 +341,24 @@ func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
 // stats). fn is called at exposition time and must be concurrency-safe
 // and monotone.
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
-	if r == nil {
-		return
-	}
-	r.lookup(name, help, kindCounterFunc, labels).fn = fn
+	r.setFunc(name, help, kindCounterFunc, labels, fn)
 }
 
 // GaugeFunc registers a callback-backed gauge, evaluated at exposition
 // time.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.setFunc(name, help, kindGaugeFunc, labels, fn)
+}
+
+// setFunc installs a callback under r.mu: exposition snapshots series
+// (including fn) while holding the lock, so the assignment must not
+// happen after lookup unlocks.
+func (r *Registry) setFunc(name, help string, kind metricKind, labels Labels, fn func() float64) {
 	if r == nil {
 		return
 	}
-	r.lookup(name, help, kindGaugeFunc, labels).fn = fn
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lookupLocked(name, help, kind, sig).fn = fn
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -286,6 +287,11 @@ func TestConcurrency(t *testing.T) {
 				sp.Finish()
 				r.Counter("c", "", Labels{"g": "x"}).Inc()
 				r.Histogram("h", "", nil).Observe(time.Microsecond)
+				// New label sets append to family state mid-scrape —
+				// the engine does this per fingerprint at eval time, so
+				// exposition must tolerate concurrent series creation.
+				r.Histogram("h", "", Labels{"fp": strconv.Itoa(i)}).Observe(time.Microsecond)
+				r.GaugeFunc("gf", "", Labels{"fp": strconv.Itoa(i)}, func() float64 { return 1 })
 			}
 		}()
 	}

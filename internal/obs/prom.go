@@ -19,13 +19,33 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	if r == nil {
 		return nil
 	}
+	// Snapshot every family's series list while holding r.mu: lookup
+	// appends to family.order and family.series when a new label set
+	// appears (the engine creates eval-histogram series lazily per
+	// fingerprint), so touching them after unlocking would race with live
+	// traffic. The series copies carry only pointers to atomic state and
+	// the immutable label signature, which are safe to render unlocked.
+	type famSnapshot struct {
+		name, help string
+		kind       metricKind
+		series     []series
+	}
 	r.mu.Lock()
 	names := make([]string, len(r.order))
 	copy(names, r.order)
 	sort.Strings(names)
-	fams := make([]*family, 0, len(names))
+	fams := make([]famSnapshot, 0, len(names))
 	for _, name := range names {
-		fams = append(fams, r.families[name])
+		f := r.families[name]
+		sigs := make([]string, len(f.order))
+		copy(sigs, f.order)
+		sort.Strings(sigs)
+		snap := famSnapshot{name: f.name, help: f.help, kind: f.kind,
+			series: make([]series, 0, len(sigs))}
+		for _, sig := range sigs {
+			snap.series = append(snap.series, *f.series[sig])
+		}
+		fams = append(fams, snap)
 	}
 	r.mu.Unlock()
 
@@ -38,12 +58,8 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType()); err != nil {
 			return err
 		}
-		sigs := make([]string, len(f.order))
-		copy(sigs, f.order)
-		sort.Strings(sigs)
-		for _, sig := range sigs {
-			s := f.series[sig]
-			if err := writeSeries(w, f, s); err != nil {
+		for i := range f.series {
+			if err := writeSeries(w, f.name, f.kind, &f.series[i]); err != nil {
 				return err
 			}
 		}
@@ -52,23 +68,23 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 }
 
 // writeSeries renders one series' sample lines.
-func writeSeries(w io.Writer, f *family, s *series) error {
-	switch f.kind {
+func writeSeries(w io.Writer, name string, kind metricKind, s *series) error {
+	switch kind {
 	case kindCounter:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.ctr.Value())
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.ctr.Value())
 		return err
 	case kindGauge:
-		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.gauge.Value())
 		return err
 	case kindCounterFunc, kindGaugeFunc:
 		v := 0.0
 		if s.fn != nil {
 			v = s.fn()
 		}
-		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(v))
 		return err
 	case kindHistogram:
-		return writeHistogram(w, f.name, s)
+		return writeHistogram(w, name, s)
 	}
 	return nil
 }

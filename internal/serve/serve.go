@@ -324,6 +324,11 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 		pickup := time.Now()
 		wait := pickup.Sub(j.enqueued)
 		resp := Response{Worker: id, Wait: wait}
+		// Record queue wait for every dequeued job, including ones that
+		// expired while queued — otherwise the histogram only sees
+		// survivors and under overload (exactly when wait matters) its
+		// quantiles are biased toward short waits.
+		p.waitHist.Observe(wait)
 		if err := j.ctx.Err(); err != nil {
 			// Expired (or canceled) while queued: fail fast, don't touch
 			// the device.
@@ -345,7 +350,6 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 				root.Finish()
 			}
 			p.busy[id].Add(int64(run))
-			p.waitHist.Observe(wait)
 			p.runHist.Observe(run)
 			resp.Run = run
 			resp.Result, resp.Err = res, err
