@@ -34,10 +34,15 @@ func main() {
 		streaming = flag.Bool("streaming", false, "include the future-work streaming strategy in the sweep")
 		outDir    = flag.String("out", "", "also write each artifact into this directory")
 		asJSON    = flag.Bool("json", false, "emit the sweep as machine-readable JSON on stdout (per-grid, per-strategy)")
+		repeat    = flag.Int("repeat", 0, "warm-vs-cold prepared-eval smoke: prepare Q-criterion once, eval cold then N warm times per strategy; exits 1 if warm evals allocate device buffers")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *fig2, *fig5, *fig6 = true, true, true, true, true
+	}
+	if *repeat > 0 {
+		runRepeat(*repeat, *asJSON, *outDir)
+		return
 	}
 	if !(*table1 || *table2 || *fig2 || *fig5 || *fig6 || *asJSON) {
 		flag.Usage()
@@ -197,6 +202,50 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 		return nil, err
 	}
 	return append(out, '\n'), nil
+}
+
+// runRepeat is the warm-vs-cold smoke mode: it prepares the Q-criterion
+// expression once per strategy, evaluates it cold and then warm times
+// warm, and fails (exit 1) if any strategy's warm evaluations allocated
+// fresh device buffers or diverged from the cold output — the CI gate
+// on the prepared-plan and buffer-arena machinery.
+func runRepeat(warm int, asJSON bool, outDir string) {
+	cases, err := metrics.RunRepeat(warm)
+	if err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		doc, err := json.MarshalIndent(struct {
+			WarmEvals int                  `json:"warm_evals"`
+			Cases     []metrics.RepeatCase `json:"cases"`
+		}{warm, cases}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		doc = append(doc, '\n')
+		os.Stdout.Write(doc)
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(outDir, "warmcold.json"), doc, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		fmt.Println(metrics.RepeatTable(cases).Text())
+	}
+	ok := true
+	for _, c := range cases {
+		if !c.Reduced() {
+			ok = false
+			fmt.Fprintf(os.Stderr, "dfg-bench: %s warm path did not beat cold: allocs cold=%d warm=%d identical=%v\n",
+				c.Strategy, c.ColdAllocs, c.WarmAllocs, c.Identical)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -145,6 +145,10 @@ type Engine struct {
 	// suffices; the histograms themselves are concurrency-safe and may
 	// be shared across a pool through the shared registry.
 	evalHist map[string]*obs.Histogram
+
+	// prepCount tracks open Prepared handles; when the last one closes,
+	// the engine drains its buffer arena (see Prepared.Close).
+	prepCount int
 }
 
 // NewDeviceFor builds the simulated device a Config selects — the same
@@ -300,7 +304,7 @@ func (e *Engine) EvalTraced(parent *obs.Span, text string, n int, inputs map[str
 	if e.reg != nil {
 		t0 = time.Now()
 	}
-	net, fp, err := e.comp.CompileTraced(text, parent)
+	plan, fp, err := e.comp.PlanTraced(text, e.strat, e.env.Device(), parent)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +314,7 @@ func (e *Engine) EvalTraced(parent *obs.Span, text string, n int, inputs map[str
 		bind.Sources[name] = strategy.Source{Data: data, Width: 1}
 	}
 	bs.Finish()
-	return e.run(net, bind, parent, fp, t0)
+	return e.runPlan(plan, bind, nil, parent, fp, t0)
 }
 
 // EvalOnMesh evaluates an expression over cell-centered fields on a
@@ -326,7 +330,7 @@ func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (
 	if e.reg != nil {
 		t0 = time.Now()
 	}
-	net, fp, err := e.comp.CompileTraced(text, sp)
+	plan, fp, err := e.comp.PlanTraced(text, e.strat, e.env.Device(), sp)
 	if err != nil {
 		return nil, err
 	}
@@ -336,16 +340,23 @@ func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (
 	if err != nil {
 		return nil, err
 	}
-	return e.run(net, bind, sp, fp, t0)
+	return e.runPlan(plan, bind, nil, sp, fp, t0)
 }
 
-// run executes a compiled network, recording the execute span (with the
+// runPlan executes a prepared plan, recording the execute span (with the
 // simulated device events attached as fixed-time children on per-
 // category tracks) and the per-(fingerprint, strategy) latency
-// observation.
-func (e *Engine) run(net *dataflow.Network, bind strategy.Bindings, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+// observation. pool, when non-nil, is attached to the environment for
+// the duration of the execution (the Prepared warm path); one-shot Eval
+// passes nil so per-run allocate/free — and with it the paper's
+// Table II event counts and Figure 6 memory profile — stays exact.
+func (e *Engine) runPlan(plan strategy.Plan, bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+	if pool != nil {
+		e.env.SetPool(pool)
+		defer e.env.SetPool(nil)
+	}
 	es := sp.Child("execute")
-	res, err := e.strat.Execute(e.env, net, bind)
+	res, err := plan.Execute(e.env, bind)
 	es.Finish()
 	if err != nil {
 		if es != nil {

@@ -30,6 +30,8 @@ import (
 	"dfg/internal/dataflow"
 	"dfg/internal/expr"
 	"dfg/internal/obs"
+	"dfg/internal/ocl"
+	"dfg/internal/strategy"
 )
 
 // DefaultMaxEntries bounds the cache when the caller does not: old
@@ -44,6 +46,7 @@ type Compiler struct {
 	mu         sync.RWMutex
 	defs       map[string]string // copy-on-write: replaced wholesale, never mutated
 	entries    map[string]*entry
+	plans      map[string]*planEntry // keyed (fingerprint, strategy, device class)
 	maxEntries int
 
 	clock    atomic.Int64 // advances on every cache touch, for LRU eviction
@@ -51,6 +54,10 @@ type Compiler struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 	inflight atomic.Int64 // builds currently running (singleflight leaders)
+
+	planBuilds atomic.Int64 // plans actually constructed
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // entry is one cache slot. once guarantees the compile runs exactly one
@@ -65,11 +72,23 @@ type entry struct {
 	lastUse atomic.Int64
 }
 
+// planEntry is one plan-cache slot, with the same singleflight shape as
+// entry: the plan is built exactly once per (fingerprint, strategy,
+// device class) no matter how many engines request it concurrently.
+type planEntry struct {
+	once    sync.Once
+	done    atomic.Bool
+	plan    strategy.Plan
+	err     error
+	lastUse atomic.Int64
+}
+
 // NewCompiler returns an empty compiler with the default cache bound.
 func NewCompiler() *Compiler {
 	return &Compiler{
 		defs:       map[string]string{},
 		entries:    make(map[string]*entry),
+		plans:      make(map[string]*planEntry),
 		maxEntries: DefaultMaxEntries,
 	}
 }
@@ -194,6 +213,101 @@ func (c *Compiler) CompileTraced(text string, parent *obs.Span) (*dataflow.Netwo
 	return e.net, key, e.err
 }
 
+// PlanKey builds the plan-cache key for a network fingerprint executed
+// under a strategy on a device class. Components are NUL-separated;
+// fingerprints are hex and names never contain NUL, so the encoding is
+// injective.
+func PlanKey(fingerprint, strategyName, deviceClass string) string {
+	return fingerprint + "\x00" + strategyName + "\x00" + deviceClass
+}
+
+// Plan returns the cached execution plan for text under strat on dev,
+// compiling and planning on first use.
+func (c *Compiler) Plan(text string, strat strategy.Strategy, dev *ocl.Device) (strategy.Plan, string, error) {
+	return c.PlanTraced(text, strat, dev, nil)
+}
+
+// PlanTraced is the prepared-execution front door: it compiles text via
+// CompileTraced, then resolves the strategy's execution plan from a
+// second cache keyed by (network fingerprint, strategy name, device
+// class). Plans precompute everything that depends only on the network
+// and the device — topological order, kernel resolution, fused program
+// generation — so engines sharing this compiler also share one plan per
+// hot expression. The "plan" child span annotates its cache outcome
+// like the network cache does. Returns the plan, the network
+// fingerprint, and any compile or planning error.
+func (c *Compiler) PlanTraced(text string, strat strategy.Strategy, dev *ocl.Device, parent *obs.Span) (strategy.Plan, string, error) {
+	net, fp, err := c.CompileTraced(text, parent)
+	if err != nil {
+		return nil, fp, err
+	}
+	key := PlanKey(fp, strat.Name(), dev.Name())
+
+	ps := parent.Child("plan")
+	defer ps.Finish()
+	pe := c.planLookup(key)
+	wasDone := pe.done.Load()
+	ran := false
+	pe.once.Do(func() {
+		ran = true
+		c.planBuilds.Add(1)
+		pe.plan, pe.err = strat.Plan(net, dev)
+		pe.done.Store(true)
+	})
+	switch {
+	case ran:
+		ps.SetAttr("outcome", "miss")
+	case wasDone:
+		ps.SetAttr("outcome", "hit")
+	default:
+		ps.SetAttr("outcome", "singleflight-wait")
+	}
+	return pe.plan, fp, pe.err
+}
+
+// planLookup returns the plan entry for key, creating (and bounding the
+// plan cache) as needed.
+func (c *Compiler) planLookup(key string) *planEntry {
+	now := c.clock.Add(1)
+	c.mu.RLock()
+	pe := c.plans[key]
+	c.mu.RUnlock()
+	if pe != nil {
+		c.planHits.Add(1)
+		pe.lastUse.Store(now)
+		return pe
+	}
+	c.mu.Lock()
+	if pe = c.plans[key]; pe == nil {
+		c.planMisses.Add(1)
+		pe = &planEntry{}
+		pe.lastUse.Store(now)
+		c.plans[key] = pe
+		c.evictPlansLocked()
+	} else {
+		c.planHits.Add(1)
+		pe.lastUse.Store(now)
+	}
+	c.mu.Unlock()
+	return pe
+}
+
+// evictPlansLocked drops least-recently-used plans until the plan cache
+// fits the shared bound. Plans are immutable, so a goroutine holding an
+// evicted plan keeps executing it safely.
+func (c *Compiler) evictPlansLocked() {
+	for len(c.plans) > c.maxEntries {
+		var oldestKey string
+		oldest := int64(1<<63 - 1)
+		for k, pe := range c.plans {
+			if u := pe.lastUse.Load(); u < oldest {
+				oldest, oldestKey = u, k
+			}
+		}
+		delete(c.plans, oldestKey)
+	}
+}
+
 // ShortKey abbreviates a cache fingerprint for use as a label or span
 // attribute (12 hex chars ~ 48 bits, ample for a bounded cache).
 func ShortKey(key string) string {
@@ -274,12 +388,18 @@ type Stats struct {
 	Entries int
 	// Definitions is the current number of named definitions.
 	Definitions int
+	// PlanBuilds is how many execution plans were actually constructed.
+	PlanBuilds int64
+	// PlanHits and PlanMisses count plan-cache lookups.
+	PlanHits, PlanMisses int64
+	// PlanEntries is the current number of cached plans.
+	PlanEntries int
 }
 
 // Stats returns a consistent snapshot of the counters.
 func (c *Compiler) Stats() Stats {
 	c.mu.RLock()
-	entries, ndefs := len(c.entries), len(c.defs)
+	entries, ndefs, plans := len(c.entries), len(c.defs), len(c.plans)
 	c.mu.RUnlock()
 	return Stats{
 		Compiles:    c.compiles.Load(),
@@ -288,6 +408,10 @@ func (c *Compiler) Stats() Stats {
 		Inflight:    c.inflight.Load(),
 		Entries:     entries,
 		Definitions: ndefs,
+		PlanBuilds:  c.planBuilds.Load(),
+		PlanHits:    c.planHits.Load(),
+		PlanMisses:  c.planMisses.Load(),
+		PlanEntries: plans,
 	}
 }
 

@@ -46,6 +46,10 @@ type App struct {
 	field    *rtsim.Field
 
 	exprs []PythonExpression
+	// prepared caches each expression's prepared plan (compile + plan
+	// once; the arena then keeps buffers and unchanged sources — the
+	// mesh coordinates — device-resident across time steps).
+	prepared map[string]*dfg.Prepared
 	// derived caches each expression's result for the current time step.
 	derived map[string]*dfg.Result
 	dirty   bool
@@ -63,7 +67,13 @@ func NewApp(m *mesh.Mesh, seed int64, engine *dfg.Engine) (*App, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("host: nil engine")
 	}
-	a := &App{engine: engine, mesh: m, seed: seed, derived: make(map[string]*dfg.Result)}
+	a := &App{
+		engine:   engine,
+		mesh:     m,
+		seed:     seed,
+		prepared: make(map[string]*dfg.Prepared),
+		derived:  make(map[string]*dfg.Result),
+	}
 	a.LoadTimeStep(0)
 	return a, nil
 }
@@ -95,10 +105,25 @@ func (a *App) TimeStep() int { return a.timeStep }
 func (a *App) Field() *rtsim.Field { return a.field }
 
 // execute runs the pipeline: every registered expression is evaluated by
-// the framework against the current time step's arrays.
+// the framework against the current time step's arrays. Expressions are
+// prepared on their first execution and the plans reused across time
+// steps — the framework recompiles nothing when only the data changes,
+// and the unchanged mesh-derived sources stay device-resident.
 func (a *App) execute() error {
 	for _, e := range a.exprs {
-		res, err := a.engine.EvalOnMesh(e.Text, a.mesh, map[string][]float32{
+		pr, ok := a.prepared[e.Name]
+		if !ok || pr.Text() != e.Text {
+			if ok {
+				pr.Close()
+			}
+			var err error
+			pr, err = a.engine.Prepare(e.Text)
+			if err != nil {
+				return fmt.Errorf("host: expression %q: %w", e.Name, err)
+			}
+			a.prepared[e.Name] = pr
+		}
+		res, err := pr.EvalMesh(a.mesh, map[string][]float32{
 			"u": a.field.U, "v": a.field.V, "w": a.field.W,
 		})
 		if err != nil {
@@ -109,6 +134,15 @@ func (a *App) execute() error {
 	a.pipelineExecutions++
 	a.dirty = false
 	return nil
+}
+
+// Close releases every prepared plan; the engine's buffer arena drains
+// with the last one, freeing all pooled and device-resident buffers.
+func (a *App) Close() {
+	for name, pr := range a.prepared {
+		pr.Close()
+		delete(a.prepared, name)
+	}
 }
 
 // Render draws the scene from a viewpoint. The first render after a

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+
+	"dfg"
+	"dfg/internal/mesh"
+	"dfg/internal/rtsim"
+	"dfg/internal/strategy"
+	"dfg/internal/vortex"
+)
+
+// RepeatCase is one (strategy) warm-vs-cold comparison: the expression
+// is prepared once, evaluated cold (first call, empty arena), then
+// evaluated warm repeatedly over the same inputs. Cold pays the full
+// allocation and upload bill; warm evals should recycle every device
+// buffer from the arena and skip every unchanged source upload.
+type RepeatCase struct {
+	Expr      string `json:"expr"`
+	Strategy  string `json:"strategy"`
+	Cells     int    `json:"cells"`
+	WarmEvals int    `json:"warm_evals"`
+	// ColdAllocs / WarmAllocs count fresh device-buffer allocations
+	// during the cold eval and across all warm evals combined.
+	ColdAllocs int64 `json:"cold_allocs"`
+	WarmAllocs int64 `json:"warm_allocs"`
+	// ColdWrites / WarmWrites count host-to-device transfer events
+	// (cold eval vs all warm evals combined).
+	ColdWrites int `json:"cold_device_writes"`
+	WarmWrites int `json:"warm_device_writes"`
+	// Reused counts arena free-list hits and UploadsSkipped the source
+	// uploads avoided by content hash, both across the warm evals.
+	Reused         int64 `json:"buffers_reused"`
+	UploadsSkipped int64 `json:"uploads_skipped"`
+	// Identical reports whether every warm output was bitwise equal to
+	// the cold output.
+	Identical bool `json:"warm_output_identical"`
+}
+
+// Reduced reports whether the warm path actually beat the cold path:
+// no fresh device-buffer allocations and bitwise-identical output. This
+// is the CI smoke gate for the prepared-plan machinery.
+func (c RepeatCase) Reduced() bool {
+	return c.Identical && c.WarmAllocs == 0 && c.ColdAllocs > 0
+}
+
+// RunRepeat runs the warm-vs-cold comparison for the paper's Q-criterion
+// expression (the most buffer-hungry of the Figure 3 expressions) under
+// every strategy, with warm repeated evaluations per case. The grid is
+// fixed and small — the point is allocation and transfer counting, not
+// runtime.
+func RunRepeat(warm int) ([]RepeatCase, error) {
+	if warm < 1 {
+		warm = 3
+	}
+	d := mesh.Dims{NX: 24, NY: 24, NZ: 24}
+	m, err := mesh.NewUniform(d, 1.0/float32(d.NX), 1.0/float32(d.NY), 1.0/float32(d.NZ))
+	if err != nil {
+		return nil, err
+	}
+	f := rtsim.Generate(m, rtsim.Options{Seed: 42})
+	fields := map[string][]float32{"u": f.U, "v": f.V, "w": f.W}
+
+	out := make([]RepeatCase, 0, len(strategy.ExtendedNames()))
+	for _, name := range strategy.ExtendedNames() {
+		c, err := repeatCase(name, m, fields, warm)
+		if err != nil {
+			return nil, fmt.Errorf("repeat %s: %w", name, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// repeatCase measures one strategy's cold and warm behavior through the
+// public Prepare/Eval API.
+func repeatCase(strat string, m *mesh.Mesh, fields map[string][]float32, warm int) (RepeatCase, error) {
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: strat})
+	if err != nil {
+		return RepeatCase{}, err
+	}
+	pr, err := eng.Prepare(vortex.QCritExpr)
+	if err != nil {
+		return RepeatCase{}, err
+	}
+	defer pr.Close()
+
+	c := RepeatCase{Expr: "Q-Crit", Strategy: strat, Cells: m.Cells(), WarmEvals: warm}
+
+	before := eng.ArenaStats()
+	cold, err := pr.EvalMesh(m, fields)
+	if err != nil {
+		return c, err
+	}
+	afterCold := eng.ArenaStats()
+	c.ColdAllocs = afterCold.Allocated - before.Allocated
+	c.ColdWrites = cold.Profile.Writes
+
+	c.Identical = true
+	for i := 0; i < warm; i++ {
+		res, err := pr.EvalMesh(m, fields)
+		if err != nil {
+			return c, err
+		}
+		c.WarmWrites += res.Profile.Writes
+		if !bitwiseEqual(cold.Data, res.Data) {
+			c.Identical = false
+		}
+	}
+	afterWarm := eng.ArenaStats()
+	c.WarmAllocs = afterWarm.Allocated - afterCold.Allocated
+	c.Reused = afterWarm.Reused - afterCold.Reused
+	c.UploadsSkipped = afterWarm.UploadsSkipped - afterCold.UploadsSkipped
+	return c, nil
+}
+
+// bitwiseEqual compares two float32 slices exactly (NaN-safe: the
+// comparison is on the stored bits via ==, and the synthetic RT fields
+// produce no NaNs).
+func bitwiseEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RepeatTable renders the warm-vs-cold comparison as an aligned table.
+func RepeatTable(cases []RepeatCase) *Table {
+	t := NewTable("Warm vs cold prepared evaluation (Q-criterion)",
+		"Strategy", "Cold allocs", "Warm allocs", "Cold Dev-W", "Warm Dev-W", "Reused", "Skipped", "Identical")
+	for _, c := range cases {
+		t.Addf("%s|%d|%d|%d|%d|%d|%d|%v", c.Strategy,
+			c.ColdAllocs, c.WarmAllocs, c.ColdWrites, c.WarmWrites,
+			c.Reused, c.UploadsSkipped, c.Identical)
+	}
+	return t
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import "testing"
+
+// TestRunRepeatWarmPath is the warm-vs-cold smoke check CI runs through
+// cmd/dfg-bench -repeat: for every strategy, warm prepared evaluations
+// must allocate zero fresh device buffers, reproduce the cold output
+// bitwise, and (for the resident-source strategies) skip re-uploads of
+// unchanged inputs.
+func TestRunRepeatWarmPath(t *testing.T) {
+	cases, err := RunRepeat(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 4 {
+		t.Fatalf("want 4 strategies, got %d", len(cases))
+	}
+	for _, c := range cases {
+		t.Logf("%-10s cold_allocs=%d warm_allocs=%d cold_writes=%d warm_writes=%d reused=%d skipped=%d identical=%v",
+			c.Strategy, c.ColdAllocs, c.WarmAllocs, c.ColdWrites, c.WarmWrites, c.Reused, c.UploadsSkipped, c.Identical)
+		if !c.Reduced() {
+			t.Errorf("%s: warm path did not beat cold (allocs cold=%d warm=%d identical=%v)",
+				c.Strategy, c.ColdAllocs, c.WarmAllocs, c.Identical)
+		}
+		if c.Strategy != "roundtrip" {
+			// staged, fusion and streaming keep sources device-resident:
+			// warm evals over unchanged inputs skip every source upload.
+			if c.WarmWrites != 0 {
+				t.Errorf("%s: warm evals recorded %d uploads, want 0", c.Strategy, c.WarmWrites)
+			}
+			if c.UploadsSkipped == 0 {
+				t.Errorf("%s: no uploads skipped on the warm path", c.Strategy)
+			}
+		}
+	}
+}

@@ -20,6 +20,8 @@ type Context struct {
 	// injectAfter counts down successful allocations until one injected
 	// failure (-1 = disabled). See InjectAllocFailure.
 	injectAfter int
+	// pool is the context's lazily created buffer arena (see Pool).
+	pool *Arena
 }
 
 // NewContext creates a context on the device.
@@ -92,6 +94,13 @@ type Buffer struct {
 
 	mu       sync.Mutex
 	released bool
+	// pool, pooled and resident implement arena-backed buffers: a buffer
+	// with a pool recycles into it on Release instead of freeing; pooled
+	// marks it idle in a free list; resident marks it owned by the
+	// arena's device-resident source cache, where Release is a no-op.
+	pool     *Arena
+	pooled   bool
+	resident bool
 }
 
 // NewBuffer allocates a device buffer of elems elements, each width
@@ -156,10 +165,21 @@ func (c *Context) MustBuffer(label string, elems, width int) *Buffer {
 
 // Release frees the buffer's device memory. Releasing twice is a no-op,
 // matching clReleaseMemObject reference semantics for a single owner.
+// Arena-backed buffers do not free: a pooled buffer recycles into its
+// arena's free lists (still allocated on the device, ready for reuse),
+// and a resident source buffer ignores Release entirely — the arena
+// owns it until Drain or a shape change retires it.
 func (b *Buffer) Release() {
 	b.mu.Lock()
-	if b.released {
+	if b.released || b.pooled || b.resident {
 		b.mu.Unlock()
+		return
+	}
+	if b.pool != nil {
+		pool := b.pool
+		b.pooled = true
+		b.mu.Unlock()
+		pool.recycle(b)
 		return
 	}
 	b.released = true
@@ -169,6 +189,18 @@ func (b *Buffer) Release() {
 	b.ctx.used -= b.bytes
 	b.ctx.live--
 	b.ctx.mu.Unlock()
+}
+
+// adopt reshapes a recycled pooled buffer for its next checkout. The
+// requested shape's byte size equals the buffer's allocation (free
+// lists are keyed by byte size), so only the logical view changes.
+func (b *Buffer) adopt(label string, elems, width int) {
+	b.mu.Lock()
+	b.label = label
+	b.elems = elems
+	b.width = width
+	b.pooled = false
+	b.mu.Unlock()
 }
 
 // Released reports whether the buffer has been released.

@@ -8,6 +8,13 @@ type Env struct {
 	dev *Device
 	ctx *Context
 	q   *Queue
+	// pool, when attached, routes buffer allocation through the
+	// context's arena: NewBuffer and Upload draw from (and recycle
+	// into) the size-class free lists, and UploadResident keeps
+	// unchanged sources device-resident. Nil for one-shot execution,
+	// where per-run allocate/free keeps the paper's memory-profile
+	// semantics exact.
+	pool *Arena
 }
 
 // NewEnv builds an environment on the device.
@@ -25,18 +32,33 @@ func (e *Env) Context() *Context { return e.ctx }
 // Queue returns the environment's profiling queue.
 func (e *Env) Queue() *Queue { return e.q }
 
-// NewBuffer allocates a device buffer (see Context.NewBuffer).
+// SetPool attaches (or, with nil, detaches) a buffer arena. While a
+// pool is attached, NewBuffer and Upload acquire from it instead of
+// allocating fresh device memory, so released buffers are reused across
+// kernels and executions.
+func (e *Env) SetPool(a *Arena) { e.pool = a }
+
+// Pool returns the attached arena (nil when unpooled).
+func (e *Env) Pool() *Arena { return e.pool }
+
+// NewBuffer allocates a device buffer (see Context.NewBuffer), drawing
+// from the attached arena when one is set.
 func (e *Env) NewBuffer(label string, elems, width int) (*Buffer, error) {
+	if e.pool != nil {
+		return e.pool.Acquire(label, elems, width)
+	}
 	return e.ctx.NewBuffer(label, elems, width)
 }
 
 // Upload allocates a device buffer and writes src into it, recording the
-// host-to-device event. On allocation failure no event is recorded.
+// host-to-device event. On allocation failure no event is recorded. With
+// an arena attached the buffer comes from the pool, so strategies that
+// re-upload per kernel (roundtrip) stop churning fresh allocations.
 func (e *Env) Upload(label string, src []float32, width int) (*Buffer, error) {
 	if width < 1 {
 		width = 1
 	}
-	b, err := e.ctx.NewBuffer(label, len(src)/width, width)
+	b, err := e.NewBuffer(label, len(src)/width, width)
 	if err != nil {
 		return nil, err
 	}
@@ -45,6 +67,19 @@ func (e *Env) Upload(label string, src []float32, width int) (*Buffer, error) {
 		return nil, err
 	}
 	return b, nil
+}
+
+// UploadResident uploads a source that should stay device-resident
+// across executions. key identifies the resident slot (label is the
+// buffer/event label; they differ for tiled windows). Without a pool
+// this is a plain Upload; with one, an unchanged source skips the
+// transfer entirely and skipped reports true.
+func (e *Env) UploadResident(key, label string, src []float32, width int) (*Buffer, bool, error) {
+	if e.pool == nil {
+		b, err := e.Upload(label, src, width)
+		return b, false, err
+	}
+	return e.pool.UploadResident(e.q, key, label, src, width)
 }
 
 // Download reads the whole buffer back to a fresh host slice, recording

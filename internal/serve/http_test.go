@@ -79,6 +79,15 @@ func TestHTTPEndpoints(t *testing.T) {
 		`dfg_worker_utilization{worker="0"}`,
 		"dfg_device_kernels_total 6",
 		"dfg_compile_cache_entries 1",
+		"dfg_plan_cache_hits_total 5",
+		"dfg_plan_cache_misses_total 1",
+		"dfg_plan_builds_total 1",
+		"dfg_plan_cache_entries 1",
+		"# TYPE dfg_arena_buffers_reused_total counter",
+		"dfg_arena_buffers_allocated_total",
+		"dfg_arena_upload_skips_total",
+		"# TYPE dfg_arena_resident_bytes gauge",
+		"dfg_arena_pooled_bytes",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, body)

@@ -117,6 +117,11 @@ type Pool struct {
 	queue chan *job
 	done  chan struct{}
 
+	// engines holds each worker's engine, for scrape-time aggregation of
+	// the per-engine buffer-arena counters. Written once in NewPool,
+	// read-only afterwards.
+	engines []*dfg.Engine
+
 	sendMu  sync.RWMutex // guards closed against in-flight senders
 	closed  bool
 	senders sync.WaitGroup
@@ -195,6 +200,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		// Workers pass their per-request span into EvalTraced, so the
 		// engines get only the registry (per-fingerprint histograms).
 		eng.Instrument(nil, p.reg)
+		p.engines = append(p.engines, eng)
 		p.workers.Add(1)
 		go p.worker(i, eng)
 	}
@@ -234,6 +240,40 @@ func (p *Pool) registerMetrics() {
 		nil, func() float64 { return float64(p.cfg.Workers) })
 	r.GaugeFunc("dfg_uptime_seconds", "Time since the pool started (frozen at Close).",
 		nil, func() float64 { return p.uptime().Seconds() })
+
+	r.CounterFunc("dfg_plan_cache_hits_total", "Shared plan-cache hits.",
+		nil, func() float64 { return float64(p.comp.Stats().PlanHits) })
+	r.CounterFunc("dfg_plan_cache_misses_total", "Shared plan-cache misses.",
+		nil, func() float64 { return float64(p.comp.Stats().PlanMisses) })
+	r.CounterFunc("dfg_plan_builds_total", "Execution plans actually constructed (deduplicated misses).",
+		nil, func() float64 { return float64(p.comp.Stats().PlanBuilds) })
+	r.GaugeFunc("dfg_plan_cache_entries", "Cached execution plans.",
+		nil, func() float64 { return float64(p.comp.Stats().PlanEntries) })
+
+	// Buffer-arena counters, summed across every worker engine at scrape
+	// time. p.engines is complete before the pool is returned, so the
+	// closures see a fixed slice.
+	arena := func(get func(ocl.ArenaStats) float64) func() float64 {
+		return func() float64 {
+			var sum float64
+			for _, eng := range p.engines {
+				sum += get(eng.ArenaStats())
+			}
+			return sum
+		}
+	}
+	r.CounterFunc("dfg_arena_buffers_reused_total", "Device buffers served from arena free lists.",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.Reused) }))
+	r.CounterFunc("dfg_arena_buffers_allocated_total", "Device buffers freshly allocated through arenas.",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.Allocated) }))
+	r.CounterFunc("dfg_arena_uploads_total", "Resident-source uploads that moved data.",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.Uploads) }))
+	r.CounterFunc("dfg_arena_upload_skips_total", "Resident-source uploads skipped (content unchanged).",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.UploadsSkipped) }))
+	r.GaugeFunc("dfg_arena_resident_bytes", "Device memory pinned by resident source buffers.",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.ResidentBytes) }))
+	r.GaugeFunc("dfg_arena_pooled_bytes", "Device memory idle in arena free lists.",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.PooledBytes) }))
 
 	r.CounterFunc("dfg_compile_cache_hits_total", "Shared compile-cache hits.",
 		nil, func() float64 { return float64(p.comp.Stats().Hits) })
@@ -308,18 +348,37 @@ func (p *Pool) Registry() *obs.Registry { return p.reg }
 // disabled via TraceKeep < 0).
 func (p *Pool) Tracer() *obs.Tracer { return p.tracer }
 
+// maxPreparedPerWorker bounds each worker's cache of open prepared-plan
+// handles (and with it the device memory its arena keeps resident).
+const maxPreparedPerWorker = 64
+
 // worker drains the queue until it is closed, running each job on its
 // private engine. Closing the queue (not a signal channel) is what ends
 // the loop, so every job accepted before Close is still served.
 //
 // Each executed job records a "request" trace rooted at enqueue time:
 // an explicit "queue-wait" child covering the time spent in the bounded
-// queue, then the engine's pipeline spans (compile/bind/execute with
-// device events) via EvalTraced — so a request's stages account for its
-// full end-to-end latency, and the slow-request threshold applies to
-// what the client actually waited.
+// queue, then the engine's pipeline spans (compile/plan/bind/execute
+// with device events) — so a request's stages account for its full
+// end-to-end latency, and the slow-request threshold applies to what
+// the client actually waited.
+//
+// Requests run through prepared plans: the worker keeps a bounded cache
+// of open dfg.Prepared handles keyed by expression fingerprint, so a
+// hot expression's device buffers recycle through the engine's arena
+// and its unchanged sources stay device-resident across requests.
+// Fingerprints incorporate the referenced definitions, so a Define
+// invalidates exactly the prepared handles it affects (they age out of
+// the cache); when the worker exits it closes every handle, draining
+// the engine's arena.
 func (p *Pool) worker(id int, eng *dfg.Engine) {
 	defer p.workers.Done()
+	prepared := make(map[string]*dfg.Prepared)
+	defer func() {
+		for _, pr := range prepared {
+			pr.Close()
+		}
+	}()
 	for j := range p.queue {
 		pickup := time.Now()
 		wait := pickup.Sub(j.enqueued)
@@ -341,7 +400,7 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 				root.SetAttr("worker", strconv.Itoa(id))
 				root.Event("queue-wait", "", j.enqueued, pickup)
 			}
-			res, err := eng.EvalTraced(root, j.req.Expr, j.req.N, j.req.Inputs)
+			res, err := evalPrepared(eng, prepared, root, j.req)
 			run := time.Since(pickup)
 			if root != nil {
 				if err != nil {
@@ -363,6 +422,35 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 		j.cancel()
 		j.resp <- resp
 	}
+}
+
+// evalPrepared runs one request through the worker's prepared-plan
+// cache. Preparing records the compile and plan spans under root (both
+// are cache hits for a hot expression, so every request trace keeps the
+// full stage set); a handle already cached under the same fingerprint
+// wins, and the fresh one — which shares the cached plan anyway — is
+// closed. The cache is bounded by closing an arbitrary old handle; the
+// plan it wrapped stays in the shared compiler cache, so re-preparing
+// is a map lookup.
+func evalPrepared(eng *dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
+	pr, err := eng.PrepareTraced(root, req.Expr)
+	if err != nil {
+		return nil, err
+	}
+	if cached, ok := cache[pr.Fingerprint()]; ok {
+		pr.Close()
+		pr = cached
+	} else {
+		if len(cache) >= maxPreparedPerWorker {
+			for fp, old := range cache {
+				old.Close()
+				delete(cache, fp)
+				break
+			}
+		}
+		cache[pr.Fingerprint()] = pr
+	}
+	return pr.EvalTraced(root, req.N, req.Inputs)
 }
 
 // EvalAsync submits a request and returns a buffered channel that will
@@ -485,6 +573,8 @@ func (p *Pool) Report(w io.Writer) {
 	}
 	fmt.Fprintf(w, "%-28s %d builds, %d hits, %d misses, %d entries\n",
 		"shared compile cache:", st.Compiles, st.CacheHits, st.CacheMisses, st.CacheEntries)
+	fmt.Fprintf(w, "%-28s %d builds, %d hits, %d misses, %d entries\n",
+		"shared plan cache:", st.PlanBuilds, st.PlanHits, st.PlanMisses, st.PlanEntries)
 	for i := range p.busy {
 		busy := time.Duration(p.busy[i].Load())
 		util := 0.0
@@ -525,6 +615,10 @@ type Stats struct {
 	// cache; CacheEntries is its current size.
 	Compiles, CacheHits, CacheMisses int64
 	CacheEntries                     int
+	// PlanBuilds, PlanHits and PlanMisses describe the shared
+	// execution-plan cache; PlanEntries is its current size.
+	PlanBuilds, PlanHits, PlanMisses int64
+	PlanEntries                      int
 	// Profile is the aggregate device profile across all successful
 	// runs on all workers; PeakDeviceBytes the largest single-run
 	// device-memory high-water mark.
@@ -546,6 +640,10 @@ func (p *Pool) Stats() Stats {
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,
 		CacheEntries:    cs.Entries,
+		PlanBuilds:      cs.PlanBuilds,
+		PlanHits:        cs.PlanHits,
+		PlanMisses:      cs.PlanMisses,
+		PlanEntries:     cs.PlanEntries,
 		Profile:         prof,
 		PeakDeviceBytes: peak,
 	}

@@ -2,10 +2,59 @@ package strategy
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dfg/internal/kernels"
 	"dfg/internal/mesh"
 )
+
+// meshDerived caches the arrays BindMesh derives from a mesh: the dims
+// array and the three problem-sized cell-center coordinate fields.
+type meshDerived struct {
+	dims, x, y, z []float32
+}
+
+// meshDerivedCache memoizes derived coordinate arrays per *mesh.Mesh,
+// so repeated evaluations over one mesh (the in-situ pattern: one mesh,
+// many timesteps) stop paying O(cells) setup per call. Meshes must not
+// be mutated after their first BindMesh — the same immutability
+// contract sealed networks already carry.
+//
+// The cache is keyed by pointer identity and bounded: a host juggling
+// more than meshCacheLimit live meshes wholesale-resets it (derived
+// arrays are recomputable; a reset only costs the next call's setup).
+var (
+	meshDerivedCache sync.Map // *mesh.Mesh -> *meshDerived
+	meshCacheSize    atomic.Int64
+)
+
+const meshCacheLimit = 64
+
+// derivedFor returns the mesh's memoized derived arrays, computing them
+// on first use.
+func derivedFor(m *mesh.Mesh) *meshDerived {
+	if v, ok := meshDerivedCache.Load(m); ok {
+		return v.(*meshDerived)
+	}
+	x, y, z := m.CellCenterFields()
+	d := &meshDerived{
+		dims: kernels.DimsArray(m.Dims.NX, m.Dims.NY, m.Dims.NZ),
+		x:    x, y: y, z: z,
+	}
+	if _, loaded := meshDerivedCache.LoadOrStore(m, d); !loaded {
+		if meshCacheSize.Add(1) > meshCacheLimit {
+			meshDerivedCache.Range(func(k, _ any) bool {
+				meshDerivedCache.Delete(k)
+				return true
+			})
+			meshCacheSize.Store(0)
+			meshDerivedCache.Store(m, d)
+			meshCacheSize.Add(1)
+		}
+	}
+	return d
+}
 
 // BindMesh builds the bindings for an expression over cell-centered
 // fields on a mesh: the caller's field arrays plus the mesh-derived
@@ -13,19 +62,24 @@ import (
 // center coordinate arrays x, y, z. This mirrors what the host
 // application (VisIt, in the paper) hands the framework for each
 // sub-grid. Caller-provided entries win on name collisions.
+//
+// The derived arrays are memoized per mesh (see meshDerivedCache), so
+// repeated binds over one mesh share the same backing arrays — which
+// also lets arena-backed executions recognize them as unchanged and
+// keep them device-resident.
 func BindMesh(m *mesh.Mesh, fields map[string][]float32) (Bindings, error) {
 	if err := m.Validate(); err != nil {
 		return Bindings{}, err
 	}
 	n := m.Cells()
-	x, y, z := m.CellCenterFields()
+	d := derivedFor(m)
 	b := Bindings{
 		N: n,
 		Sources: map[string]Source{
-			"dims": {Data: kernels.DimsArray(m.Dims.NX, m.Dims.NY, m.Dims.NZ), Width: 1},
-			"x":    {Data: x, Width: 1},
-			"y":    {Data: y, Width: 1},
-			"z":    {Data: z, Width: 1},
+			"dims": {Data: d.dims, Width: 1},
+			"x":    {Data: d.x, Width: 1},
+			"y":    {Data: d.y, Width: 1},
+			"z":    {Data: d.z, Width: 1},
 		},
 	}
 	for name, data := range fields {

@@ -59,6 +59,93 @@ func TestAllocFailureAtEveryPoint(t *testing.T) {
 	}
 }
 
+// TestAllocFailurePooledSweep sweeps injected allocation failures
+// through the prepared path — plan, bind, execute on an arena-backed
+// environment — for every strategy. Planning must touch no device
+// memory; wherever execution fails, the typed *ocl.AllocError must
+// surface, and draining the arena must release every buffer the run
+// (and the pool) held. Finally, a warm run with a fault armed on the
+// very next allocation must still succeed, because warm executions
+// allocate nothing.
+func TestAllocFailurePooledSweep(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, sname := range ExtendedNames() {
+		s, _ := ForName(sname)
+
+		// Plan phase: planning is host-side only, so an armed fault must
+		// not fire and no device memory may move.
+		{
+			env := pooledEnv()
+			env.Context().InjectAllocFailure(0)
+			if _, err := s.Plan(net, env.Device()); err != nil {
+				t.Fatalf("%s: Plan failed under armed fault: %v", sname, err)
+			}
+			if env.Context().Allocations() != 0 {
+				t.Fatalf("%s: Plan allocated device memory", sname)
+			}
+		}
+
+		// Count a clean pooled cold run's allocations.
+		clean := pooledEnv()
+		cleanPlan, err := s.Plan(net, clean.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cleanPlan.Execute(clean, bind); err != nil {
+			t.Fatalf("%s: clean pooled run failed: %v", sname, err)
+		}
+		total := clean.Context().Allocations()
+		if total == 0 {
+			t.Fatalf("%s: no allocations to fault", sname)
+		}
+
+		// Execute phase: sweep the fault across every cold allocation.
+		for k := 0; k < total; k++ {
+			env := pooledEnv()
+			plan, err := s.Plan(net, env.Device())
+			if err != nil {
+				t.Fatal(err)
+			}
+			env.Context().InjectAllocFailure(k)
+			_, err = plan.Execute(env, bind)
+			var ae *ocl.AllocError
+			if !errors.As(err, &ae) {
+				t.Fatalf("%s: pooled fault at allocation %d/%d: want *ocl.AllocError, got %v",
+					sname, k, total, err)
+			}
+			if !errors.Is(err, ocl.ErrOutOfDeviceMemory) {
+				t.Fatalf("%s: pooled fault at allocation %d/%d: error does not wrap ErrOutOfDeviceMemory: %v",
+					sname, k, total, err)
+			}
+			// A failed pooled run may leave recycled buffers idle in the
+			// arena — that is the pool working as designed — but draining
+			// it must release everything.
+			env.Pool().Drain()
+			if live := env.Context().LiveBuffers(); live != 0 {
+				t.Fatalf("%s: pooled fault at allocation %d/%d leaked %d buffers after Drain",
+					sname, k, total, live)
+			}
+			if used := env.Context().Used(); used != 0 {
+				t.Fatalf("%s: pooled fault at allocation %d/%d left %d bytes after Drain",
+					sname, k, total, used)
+			}
+		}
+
+		// Warm phase: after a clean cold run, arm a fault on the next
+		// allocation. The warm run draws everything from the arena, so
+		// the fault never fires.
+		clean.Context().InjectAllocFailure(0)
+		if _, err := cleanPlan.Execute(clean, bind); err != nil {
+			t.Fatalf("%s: warm run under armed fault failed (allocated fresh memory?): %v", sname, err)
+		}
+	}
+}
+
 // TestMultiDeviceFaultInjection: a failure on one of the two devices
 // fails the whole multi-device execution and both devices end clean.
 func TestMultiDeviceFaultInjection(t *testing.T) {

@@ -42,25 +42,49 @@ func fusionProgram(net *dataflow.Network) (*codegen.Program, error) {
 // fused kernel into barrier-separated passes with a global scratch
 // array; this remains a single dispatch but costs one extra
 // problem-sized buffer (the paper's Figure 2 fusion column).
+//
+// With a buffer arena attached, warm executions of an unchanged source
+// set reduce to the kernel dispatch and the one download: sources stay
+// device-resident and the output/scratch buffers recycle from the pool.
 type Fusion struct{}
 
 // Name returns "fusion".
 func (Fusion) Name() string { return "fusion" }
 
-// Execute generates and runs the fused kernel.
-func (Fusion) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
-	if _, err := prepare(env, net, bind); err != nil {
+// fusionPlan holds the fused program — kernel generation is the
+// planning step.
+type fusionPlan struct {
+	planBase
+	prog *codegen.Program
+}
+
+// Plan generates (or reuses) the network's fused kernel program.
+func (Fusion) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
+	base, err := newPlanBase("fusion", net)
+	if err != nil {
 		return nil, err
 	}
-	n := bind.N
-
 	prog, err := fusionProgram(net)
 	if err != nil {
 		return nil, err
 	}
-	// Generation happens on the host; only events after this point are
-	// device activity.
-	env.Reset()
+	return &fusionPlan{planBase: base, prog: prog}, nil
+}
+
+// Execute generates and runs the fused kernel.
+func (s Fusion) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	return executeViaPlan(s, env, net, bind)
+}
+
+// Execute runs the fused kernel.
+func (p *fusionPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
+	// Generation happened at plan time, on the host; every event from
+	// here on is device activity.
+	if err := beginRun(env, bind); err != nil {
+		return nil, err
+	}
+	n := bind.N
+	prog := p.prog
 
 	bufs := make([]*ocl.Buffer, len(prog.Args))
 	named := make(map[string]*ocl.Buffer, len(prog.Args))
@@ -74,7 +98,7 @@ func (Fusion) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Resu
 			if err != nil {
 				return nil, err
 			}
-			b, err := env.Upload(a.Name, src.Data, src.Width)
+			b, _, err := env.UploadResident(a.Name, a.Name, src.Data, src.Width)
 			if err != nil {
 				return nil, fmt.Errorf("fusion: source %q: %w", a.Name, err)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dfg/internal/codegen"
 	"dfg/internal/dataflow"
 	"dfg/internal/ocl"
 )
@@ -12,30 +13,58 @@ import (
 // section proposes: using multiple target devices on a single node (the
 // Edge nodes carry two M2050s). The mesh splits into one Z slab per
 // device — haloed like streaming tiles so stencils stay exact — and the
-// fused kernel runs on all devices concurrently.
+// fused kernel runs on all devices concurrently. It is PlanMultiDevice
+// followed by MultiPlan.Execute.
 //
 // The returned Result aggregates every device's profile; PeakBytes is
 // the maximum over devices (each device holds only its slab).
 func ExecuteMultiDevice(envs []*ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
-	if len(envs) == 0 {
-		return nil, fmt.Errorf("strategy: multi-device execution needs at least one device")
-	}
-	order, err := prepare(envs[0], net, bind)
+	p, err := PlanMultiDevice(net)
 	if err != nil {
 		return nil, err
 	}
-	for _, env := range envs[1:] {
-		env.Reset()
-	}
+	return p.Execute(envs, bind)
+}
 
+// MultiPlan is the reusable multi-device execution plan: the fused
+// program plus the network's topological order (for halo detection).
+// Like single-device plans it is immutable and shareable; the slab
+// split depends on how many environments Execute receives.
+type MultiPlan struct {
+	planBase
+	prog *codegen.Program
+}
+
+// PlanMultiDevice precomputes the multi-device plan for the network.
+func PlanMultiDevice(net *dataflow.Network) (*MultiPlan, error) {
+	base, err := newPlanBase("multidevice", net)
+	if err != nil {
+		return nil, err
+	}
 	prog, err := fusionProgram(net)
 	if err != nil {
 		return nil, err
 	}
-	geom, err := tileGeometry(order, bind)
+	return &MultiPlan{planBase: base, prog: prog}, nil
+}
+
+// Execute runs the plan's fused kernel concurrently, one Z slab per
+// environment. Environments with an arena attached keep their slab's
+// source windows device-resident across executions.
+func (p *MultiPlan) Execute(envs []*ocl.Env, bind Bindings) (*Result, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("strategy: multi-device execution needs at least one device")
+	}
+	geom, err := tileGeometry(p.order, bind)
 	if err != nil {
 		return nil, err
 	}
+	for _, env := range envs {
+		if err := beginRun(env, bind); err != nil {
+			return nil, err
+		}
+	}
+	prog := p.prog
 	tiles := tilePlan(geom, len(envs))
 
 	out := make([]float32, bind.N*prog.OutWidth)

@@ -1,0 +1,104 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+)
+
+// A Plan is a strategy's reusable execution plan for one sealed
+// network: everything derivable from the network and device class alone
+// — topological order, the kernel sequence or fused program, the
+// refcount schedule — is computed once at planning time, so repeated
+// executions pay only for binding and device work. Plans are immutable
+// and safe to share across engines and goroutines; all per-call state
+// (bindings, device buffers) lives inside Execute.
+//
+// The lifecycle is compile -> Plan -> Bind -> Execute: internal/compile
+// caches plans keyed by (expression fingerprint, strategy, device
+// class), dfg.Engine.Prepare pins one plan and binds it per call, and a
+// strategy's classic one-shot Execute is now exactly Plan followed by
+// Plan.Execute, so the cold path runs the same code.
+type Plan interface {
+	// Strategy names the strategy that produced the plan.
+	Strategy() string
+	// Network returns the planned (sealed) network.
+	Network() *dataflow.Network
+	// Execute runs the plan against bound sources on an environment.
+	// If the environment has a buffer arena attached (ocl.Env.SetPool)
+	// the plan's buffers are drawn from the pool and unchanged sources
+	// stay device-resident (staged/fusion/streaming skip their
+	// re-upload); otherwise behavior — events, allocations, memory
+	// high-water mark — is identical to the strategy's one-shot
+	// Execute.
+	Execute(env *ocl.Env, bind Bindings) (*Result, error)
+}
+
+// planBase carries what every plan precomputes.
+type planBase struct {
+	name  string
+	net   *dataflow.Network
+	order []*dataflow.Node
+}
+
+// Strategy names the planning strategy.
+func (p *planBase) Strategy() string { return p.name }
+
+// Network returns the planned network.
+func (p *planBase) Network() *dataflow.Network { return p.net }
+
+// newPlanBase validates the network and fixes its topological order —
+// the planning work every strategy shares.
+func newPlanBase(name string, net *dataflow.Network) (planBase, error) {
+	if err := net.Validate(); err != nil {
+		return planBase{}, err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return planBase{}, err
+	}
+	return planBase{name: name, net: net, order: order}, nil
+}
+
+// beginRun validates per-call preconditions and resets the
+// environment's profiling state, so the Result captures exactly this
+// run.
+func beginRun(env *ocl.Env, bind Bindings) error {
+	if bind.N <= 0 {
+		return fmt.Errorf("strategy: global work size must be positive, got %d", bind.N)
+	}
+	env.Reset()
+	return nil
+}
+
+// planKernels resolves each distinct device-dispatched filter's kernel
+// once. hostSide filters (handled without a kernel by the strategy) are
+// skipped.
+func planKernels(order []*dataflow.Node, hostSide func(filter string) bool) (map[string]*ocl.Kernel, error) {
+	ks := make(map[string]*ocl.Kernel)
+	for _, node := range order {
+		if node.Filter == "source" || hostSide(node.Filter) || ks[node.Filter] != nil {
+			continue
+		}
+		k, err := kernels.ForFilter(node.Filter)
+		if err != nil {
+			return nil, err
+		}
+		ks[node.Filter] = k
+	}
+	return ks, nil
+}
+
+// executeViaPlan is the shared one-shot path: plan, then execute. Every
+// strategy's classic Execute routes through it, so the Table II
+// counting tests and the differential harness exercise the
+// Plan/Bind/Execute pipeline on every run.
+func executeViaPlan(s Strategy, env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	p, err := s.Plan(net, env.Device())
+	if err != nil {
+		return nil, err
+	}
+	return p.Execute(env, bind)
+}

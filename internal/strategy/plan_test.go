@@ -1,0 +1,239 @@
+package strategy
+
+import (
+	"sync"
+	"testing"
+
+	"dfg/internal/expr"
+	"dfg/internal/mesh"
+	"dfg/internal/ocl"
+	"dfg/internal/vortex"
+)
+
+// pooledEnv builds a CPU environment with its context's buffer arena
+// attached — the prepared warm path the engine uses.
+func pooledEnv() *ocl.Env {
+	env := cpuEnv()
+	env.SetPool(env.Context().Pool())
+	return env
+}
+
+// sameFloats compares two slices bitwise (by value; the test data has
+// no NaNs).
+func sameFloats(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlanWarmPathZeroAllocations: for every strategy, a plan executed
+// repeatedly on an arena-backed environment allocates device buffers
+// only on the cold run — warm runs recycle everything from the pool —
+// and every warm output is bitwise identical to the cold one. The
+// resident-source strategies (staged, fusion, streaming) additionally
+// record zero host-to-device transfers warm, since their unchanged
+// sources stay device-resident.
+func TestPlanWarmPathZeroAllocations(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 10, NY: 10, NZ: 12})
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sname := range ExtendedNames() {
+		s, _ := ForName(sname)
+		env := pooledEnv()
+		plan, err := s.Plan(net, env.Device())
+		if err != nil {
+			t.Fatalf("%s: Plan: %v", sname, err)
+		}
+		if got := plan.Strategy(); got != sname {
+			t.Fatalf("plan.Strategy() = %q, want %q", got, sname)
+		}
+		if env.Context().Allocations() != 0 {
+			t.Fatalf("%s: planning touched device memory (%d allocations)",
+				sname, env.Context().Allocations())
+		}
+
+		cold, err := plan.Execute(env, bind)
+		if err != nil {
+			t.Fatalf("%s: cold execute: %v", sname, err)
+		}
+		coldAllocs := env.Context().Allocations()
+		if coldAllocs == 0 {
+			t.Fatalf("%s: cold run allocated nothing", sname)
+		}
+
+		for i := 0; i < 3; i++ {
+			warm, err := plan.Execute(env, bind)
+			if err != nil {
+				t.Fatalf("%s: warm execute %d: %v", sname, i, err)
+			}
+			if !sameFloats(cold.Data, warm.Data) {
+				t.Fatalf("%s: warm run %d diverged from cold output", sname, i)
+			}
+			if sname != "roundtrip" && warm.Profile.Writes != 0 {
+				t.Fatalf("%s: warm run %d uploaded %d buffers, want 0 (sources should be resident)",
+					sname, i, warm.Profile.Writes)
+			}
+		}
+		if got := env.Context().Allocations(); got != coldAllocs {
+			t.Fatalf("%s: warm runs allocated %d fresh device buffers", sname, got-coldAllocs)
+		}
+	}
+}
+
+// TestArenaNoStaleData: recycled arena buffers must never leak one
+// execution's data into the next. Evaluating input set B on an arena
+// warmed by input set A must match a fresh, unpooled evaluation of B
+// exactly.
+func TestArenaNoStaleData(t *testing.T) {
+	d := mesh.Dims{NX: 10, NY: 10, NZ: 12}
+	bindA, m := qcritSetup(t, d)
+
+	// Second input set: perturb the velocity fields.
+	fieldsB := map[string][]float32{}
+	for _, name := range []string{"u", "v", "w"} {
+		src := bindA.Sources[name].Data
+		mod := make([]float32, len(src))
+		for i, v := range src {
+			mod[i] = v*1.5 + 0.25
+		}
+		fieldsB[name] = mod
+	}
+	bindB, err := BindMesh(m, fieldsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sname := range ExtendedNames() {
+		s, _ := ForName(sname)
+
+		// Reference: fresh unpooled environment evaluates B alone.
+		ref := cpuEnv()
+		want, err := s.Execute(ref, net, bindB)
+		if err != nil {
+			t.Fatalf("%s: reference run: %v", sname, err)
+		}
+
+		// Pooled environment warmed on A, then evaluating B.
+		env := pooledEnv()
+		plan, err := s.Plan(net, env.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plan.Execute(env, bindA); err != nil {
+			t.Fatalf("%s: warmup on A: %v", sname, err)
+		}
+		got, err := plan.Execute(env, bindB)
+		if err != nil {
+			t.Fatalf("%s: pooled run on B: %v", sname, err)
+		}
+		if !sameFloats(want.Data, got.Data) {
+			t.Fatalf("%s: pooled evaluation of changed inputs diverged from a fresh environment (stale arena data?)", sname)
+		}
+	}
+}
+
+// TestArenaDrainRestoresBaseline: pooled and resident buffers keep the
+// context's live-buffer count elevated between executions (that is the
+// point of the pool); Drain must return it — and the used-byte
+// accounting — to zero.
+func TestArenaDrainRestoresBaseline(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sname := range ExtendedNames() {
+		s, _ := ForName(sname)
+		env := pooledEnv()
+		plan, err := s.Plan(net, env.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := plan.Execute(env, bind); err != nil {
+				t.Fatalf("%s: execute %d: %v", sname, i, err)
+			}
+		}
+		if env.Context().LiveBuffers() == 0 {
+			t.Fatalf("%s: expected pooled buffers to stay live between executions", sname)
+		}
+		env.Pool().Drain()
+		if live := env.Context().LiveBuffers(); live != 0 {
+			t.Fatalf("%s: %d buffers still live after Drain", sname, live)
+		}
+		if used := env.Context().Used(); used != 0 {
+			t.Fatalf("%s: %d bytes still allocated after Drain", sname, used)
+		}
+	}
+}
+
+// TestPlanSharedAcrossGoroutines: a single plan is immutable and may be
+// executed concurrently by many environments (the serve pool shares
+// plans through the compiler cache). Run under -race in CI.
+func TestPlanSharedAcrossGoroutines(t *testing.T) {
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 8, NY: 8, NZ: 10})
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sname := range ExtendedNames() {
+		s, _ := ForName(sname)
+		ref := cpuEnv()
+		want, err := s.Execute(ref, net, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := s.Plan(net, cpuEnv().Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const workers = 4
+		var wg sync.WaitGroup
+		errs := make([]error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				env := pooledEnv()
+				for i := 0; i < 3; i++ {
+					res, err := plan.Execute(env, bind)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if !sameFloats(want.Data, res.Data) {
+						errs[w] = errDiverged
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: worker %d: %v", sname, w, err)
+			}
+		}
+	}
+}
+
+// errDiverged marks a concurrent execution whose output differed from
+// the single-threaded reference.
+var errDiverged = &divergedError{}
+
+type divergedError struct{}
+
+func (*divergedError) Error() string { return "concurrent execution diverged from reference output" }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dfg/internal/dataflow"
-	"dfg/internal/kernels"
 	"dfg/internal/ocl"
 )
 
@@ -22,25 +21,59 @@ import (
 //     use like any other input;
 //   - decompose runs on the host (intermediates are host-resident
 //     anyway), dispatching no kernel and moving no extra data.
+//
+// With a buffer arena attached the re-uploads keep their Dev-W events
+// (that is the strategy's defining traffic pattern) but draw their
+// buffers from the pool, so repeated and warm executions allocate no
+// fresh device memory.
 type Roundtrip struct{}
 
 // Name returns "roundtrip".
 func (Roundtrip) Name() string { return "roundtrip" }
 
-// Execute runs the network with per-primitive host round trips.
-func (Roundtrip) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
-	order, err := prepare(env, net, bind)
+// roundtripPlan precomputes the topological order and the kernel for
+// each distinct device-dispatched filter.
+type roundtripPlan struct {
+	planBase
+	kernels map[string]*ocl.Kernel
+}
+
+// roundtripHostSide marks the filters roundtrip handles without a
+// kernel dispatch.
+func roundtripHostSide(filter string) bool {
+	return filter == "const" || filter == "decompose"
+}
+
+// Plan precomputes the roundtrip execution plan for the network.
+func (Roundtrip) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
+	base, err := newPlanBase("roundtrip", net)
 	if err != nil {
+		return nil, err
+	}
+	ks, err := planKernels(base.order, roundtripHostSide)
+	if err != nil {
+		return nil, err
+	}
+	return &roundtripPlan{planBase: base, kernels: ks}, nil
+}
+
+// Execute runs the network with per-primitive host round trips.
+func (s Roundtrip) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	return executeViaPlan(s, env, net, bind)
+}
+
+// Execute runs the plan with per-primitive host round trips.
+func (p *roundtripPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
+	if err := beginRun(env, bind); err != nil {
 		return nil, err
 	}
 	n := bind.N
 
 	// host holds every value as a host array: sources, constants and all
 	// computed intermediates.
-	host := make(map[string]Source, len(order))
-	kcache := make(map[string]*ocl.Kernel)
+	host := make(map[string]Source, len(p.order))
 
-	for _, node := range order {
+	for _, node := range p.order {
 		switch node.Filter {
 		case "source":
 			src, err := bind.source(node.ID)
@@ -68,15 +101,7 @@ func (Roundtrip) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*R
 			host[node.ID] = Source{Data: out, Width: 1}
 
 		default:
-			k := kcache[node.Filter]
-			if k == nil {
-				k, err = kernels.ForFilter(node.Filter)
-				if err != nil {
-					return nil, err
-				}
-				kcache[node.Filter] = k
-			}
-			res, err := roundtripKernel(env, k, node, host, n)
+			res, err := roundtripKernel(env, p.kernels[node.Filter], node, host, n)
 			if err != nil {
 				return nil, err
 			}
@@ -84,15 +109,16 @@ func (Roundtrip) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*R
 		}
 	}
 
-	out, ok := host[net.Output()]
+	out, ok := host[p.net.Output()]
 	if !ok {
-		return nil, fmt.Errorf("roundtrip: output %q was never computed", net.Output())
+		return nil, fmt.Errorf("roundtrip: output %q was never computed", p.net.Output())
 	}
 	return finish(env, out.Data, out.Width), nil
 }
 
 // roundtripKernel uploads the node's inputs, runs one kernel, reads the
-// result back and releases everything.
+// result back and releases everything (recycling into the arena when
+// one is attached).
 func roundtripKernel(env *ocl.Env, k *ocl.Kernel, node *dataflow.Node, host map[string]Source, n int) (res Source, err error) {
 	bufs := make([]*ocl.Buffer, 0, len(node.Inputs)+1)
 	defer func() {

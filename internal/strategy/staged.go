@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"dfg/internal/dataflow"
-	"dfg/internal/kernels"
 	"dfg/internal/ocl"
 )
 
@@ -23,6 +22,11 @@ import (
 //     consumer counts and released the moment they drain, yet staged
 //     still has the largest memory high-water mark of the three
 //     strategies, because whole chains of intermediates overlap.
+//
+// With a buffer arena attached, sources become device-resident: an
+// unchanged source skips its upload entirely on warm executions, and
+// intermediates recycle through the pool instead of churning fresh
+// allocations.
 type Staged struct {
 	// KeepIntermediates disables the reference-count-driven buffer
 	// releases — an ablation of the dataflow module's refcounting
@@ -33,29 +37,62 @@ type Staged struct {
 // Name returns "staged".
 func (Staged) Name() string { return "staged" }
 
-// Execute runs the network with device-resident intermediates.
-func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
-	order, err := prepare(env, net, bind)
+// stagedPlan precomputes the topological order, the kernel for every
+// distinct filter, and the refcount schedule (consumer counts per node,
+// plus one for the sink).
+type stagedPlan struct {
+	planBase
+	keep    bool
+	kernels map[string]*ocl.Kernel
+	// refs is the immutable refcount template; Execute works on a copy.
+	refs map[string]int
+}
+
+// Plan precomputes the staged execution plan for the network.
+func (s Staged) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
+	base, err := newPlanBase("staged", net)
 	if err != nil {
 		return nil, err
 	}
-	n := bind.N
-
-	bufs := make(map[string]*ocl.Buffer, len(order))
-	defer releaseAll(bufs)
-	// Reference counts over the live (scheduled) graph only, plus one
-	// for the sink, so buffers release the moment they drain.
-	refs := make(map[string]int, len(order))
-	for _, node := range order {
+	ks, err := planKernels(base.order, func(string) bool { return false })
+	if err != nil {
+		return nil, err
+	}
+	refs := make(map[string]int, len(base.order))
+	for _, node := range base.order {
 		for _, in := range node.Inputs {
 			refs[in]++
 		}
 	}
 	refs[net.Output()]++
-	kcache := make(map[string]*ocl.Kernel)
+	return &stagedPlan{planBase: base, keep: s.KeepIntermediates, kernels: ks, refs: refs}, nil
+}
+
+// Execute runs the network with device-resident intermediates.
+func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	return executeViaPlan(s, env, net, bind)
+}
+
+// Execute runs the plan with device-resident intermediates.
+func (p *stagedPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
+	if err := beginRun(env, bind); err != nil {
+		return nil, err
+	}
+	n := bind.N
+
+	bufs := make(map[string]*ocl.Buffer, len(p.order))
+	defer releaseAll(bufs)
+	// Per-run copy of the plan's refcount schedule, so buffers release
+	// the moment they drain.
+	refs := make(map[string]int, len(p.refs))
+	for id, c := range p.refs {
+		refs[id] = c
+	}
 
 	// Upload every live source once, in network declaration order.
-	for _, node := range order {
+	// Sources go through the resident path: with an arena attached, an
+	// unchanged source is already on the device and skips its upload.
+	for _, node := range p.order {
 		if node.Filter != "source" {
 			continue
 		}
@@ -63,17 +100,18 @@ func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Re
 		if err != nil {
 			return nil, err
 		}
-		b, err := env.Upload(node.ID, src.Data, src.Width)
+		b, _, err := env.UploadResident(node.ID, node.ID, src.Data, src.Width)
 		if err != nil {
 			return nil, fmt.Errorf("staged: source %q: %w", node.ID, err)
 		}
 		bufs[node.ID] = b
 	}
 
-	// release drains one reference from a node's buffer.
+	// release drains one reference from a node's buffer. Resident
+	// source buffers ignore the Release (the arena owns them).
 	release := func(id string) {
 		refs[id]--
-		if refs[id] <= 0 && !s.KeepIntermediates {
+		if refs[id] <= 0 && !p.keep {
 			if b := bufs[id]; b != nil {
 				b.Release()
 				delete(bufs, id)
@@ -81,18 +119,11 @@ func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Re
 		}
 	}
 
-	for _, node := range order {
+	for _, node := range p.order {
 		if node.Filter == "source" {
 			continue
 		}
-		k := kcache[node.Filter]
-		if k == nil {
-			k, err = kernels.ForFilter(node.Filter)
-			if err != nil {
-				return nil, err
-			}
-			kcache[node.Filter] = k
-		}
+		k := p.kernels[node.Filter]
 
 		out, err := env.NewBuffer(node.ID, n, node.Width)
 		if err != nil {
@@ -133,7 +164,7 @@ func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Re
 		}
 	}
 
-	outID := net.Output()
+	outID := p.net.Output()
 	outBuf, ok := bufs[outID]
 	if !ok {
 		return nil, fmt.Errorf("staged: output %q was not retained (refcount bug)", outID)
@@ -142,7 +173,7 @@ func (s Staged) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Re
 	if err != nil {
 		return nil, err
 	}
-	width := net.OutputNode().Width
+	width := p.net.OutputNode().Width
 	release(outID) // the sink's reference
 	return finish(env, data, width), nil
 }

@@ -84,10 +84,18 @@ type Result struct {
 type Strategy interface {
 	// Name returns the strategy's name as used in the paper.
 	Name() string
-	// Execute runs the network's output computation. The environment's
-	// profile and peak-memory accounting are reset at entry, so the
-	// Result captures exactly this run. All device buffers the strategy
-	// allocates are released before it returns, success or failure.
+	// Plan precomputes the strategy's reusable execution plan for the
+	// network on the given device class: topological order, kernel
+	// sequence or fused program, and the refcount schedule. The plan is
+	// immutable and shareable; repeated executions bind and run it
+	// without re-planning.
+	Plan(net *dataflow.Network, dev *ocl.Device) (Plan, error)
+	// Execute runs the network's output computation — Plan followed by
+	// Plan.Execute. The environment's profile and peak-memory
+	// accounting are reset at entry, so the Result captures exactly
+	// this run. All device buffers the strategy allocates are released
+	// before it returns, success or failure (with an arena attached,
+	// "released" means recycled into the pool).
 	Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error)
 }
 
@@ -113,23 +121,6 @@ func Names() []string { return []string{"roundtrip", "staged", "fusion"} }
 // ExtendedNames adds the future-work streaming strategy implemented in
 // this reproduction.
 func ExtendedNames() []string { return append(Names(), "streaming") }
-
-// prepare validates common preconditions and resets the environment's
-// profiling state.
-func prepare(env *ocl.Env, net *dataflow.Network, bind Bindings) ([]*dataflow.Node, error) {
-	if bind.N <= 0 {
-		return nil, fmt.Errorf("strategy: global work size must be positive, got %d", bind.N)
-	}
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	order, err := net.TopoOrder()
-	if err != nil {
-		return nil, err
-	}
-	env.Reset()
-	return order, nil
-}
 
 // finish collects the run's profile into the result.
 func finish(env *ocl.Env, data []float32, width int) *Result {

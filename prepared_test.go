@@ -1,0 +1,197 @@
+package dfg_test
+
+import (
+	"sync"
+	"testing"
+
+	"dfg"
+	"dfg/internal/compile"
+)
+
+// TestPreparedWarmEvalReusesEverything: Prepare once, Eval repeatedly —
+// the warm evals must allocate no fresh device buffers, skip re-uploads
+// of unchanged sources, and reproduce the cold output bitwise. Close
+// must drain the arena back to the pre-Prepare level.
+func TestPreparedWarmEvalReusesEverything(t *testing.T) {
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4096
+	inputs := evalInputs(n)
+
+	pr, err := eng.Prepare("m = sqrt(u*u + v*v + w*w)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pr.Eval(n, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterCold := eng.ArenaStats()
+	if afterCold.Allocated == 0 {
+		t.Fatal("cold eval allocated nothing through the arena")
+	}
+
+	for i := 0; i < 3; i++ {
+		warm, err := pr.Eval(n, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Profile.Writes != 0 {
+			t.Fatalf("warm eval %d uploaded %d sources, want 0 (resident)", i, warm.Profile.Writes)
+		}
+		for j := range cold.Data {
+			if cold.Data[j] != warm.Data[j] {
+				t.Fatalf("warm eval %d diverged at element %d", i, j)
+			}
+		}
+	}
+	afterWarm := eng.ArenaStats()
+	if afterWarm.Allocated != afterCold.Allocated {
+		t.Fatalf("warm evals allocated %d fresh buffers", afterWarm.Allocated-afterCold.Allocated)
+	}
+	if afterWarm.UploadsSkipped == 0 {
+		t.Fatal("warm evals skipped no uploads")
+	}
+
+	pr.Close()
+	st := eng.ArenaStats()
+	if st.PooledBytes != 0 || st.ResidentBytes != 0 || st.Resident != 0 {
+		t.Fatalf("Close left arena non-empty: %+v", st)
+	}
+	pr.Close() // idempotent
+
+	if _, err := pr.Eval(n, inputs); err == nil {
+		t.Fatal("Eval on a closed Prepared succeeded")
+	}
+}
+
+// TestOneShotEvalStaysCold: plain Engine.Eval must not touch the arena —
+// the paper's per-run allocate/free semantics (Table II event counts,
+// Figure 6 memory profile) stay exact on the one-shot path.
+func TestOneShotEvalStaysCold(t *testing.T) {
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "staged"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1024
+	inputs := evalInputs(n)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Eval("m = u + v*w", n, inputs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.ArenaStats()
+	if st.Allocated != 0 || st.Reused != 0 || st.Uploads != 0 {
+		t.Fatalf("one-shot Eval went through the arena: %+v", st)
+	}
+}
+
+// TestPreparedSharedCompiler: engines sharing one compiler share plans —
+// the plan is built once for the pool — and concurrent Prepare+Eval
+// across engines is race-free (run under -race in CI).
+func TestPreparedSharedCompiler(t *testing.T) {
+	comp := compile.NewCompiler()
+	const workers = 4
+	engines := make([]*dfg.Engine, workers)
+	for i := range engines {
+		dev, err := dfg.NewDeviceFor(dfg.Config{Device: dfg.CPU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[i], err = dfg.NewWith(dev, "fusion", comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const n = 2048
+	inputs := evalInputs(n)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i, eng := range engines {
+		wg.Add(1)
+		go func(i int, eng *dfg.Engine) {
+			defer wg.Done()
+			pr, err := eng.Prepare("m = sqrt(u*u + v*v + w*w)")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer pr.Close()
+			for j := 0; j < 3; j++ {
+				if _, err := pr.Eval(n, inputs); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, eng)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("engine %d: %v", i, err)
+		}
+	}
+
+	st := comp.Stats()
+	if st.PlanBuilds != 1 {
+		t.Fatalf("plan built %d times for one (expr, strategy, device class), want 1", st.PlanBuilds)
+	}
+	if st.PlanEntries != 1 {
+		t.Fatalf("plan cache holds %d entries, want 1", st.PlanEntries)
+	}
+}
+
+// TestPreparedRedefineInvalidates: redefining a referenced name changes
+// the fingerprint, so a fresh Prepare picks up the new definition while
+// an existing handle keeps evaluating its original plan.
+func TestPreparedRedefineInvalidates(t *testing.T) {
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Define("speed", "sqrt(u*u + v*v + w*w)"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	inputs := evalInputs(n)
+
+	pr1, err := eng.Prepare("m = speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr1.Close()
+	res1, err := pr1.Eval(n, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := eng.Define("speed", "u + v + w"); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Fingerprint("m = speed") == pr1.Fingerprint() {
+		t.Fatal("redefinition did not change the fingerprint")
+	}
+	pr2, err := eng.Prepare("m = speed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr2.Close()
+	res2, err := pr2.Eval(n, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := true
+	for i := range res1.Data {
+		if res1.Data[i] != res2.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("prepared plan did not pick up the redefinition")
+	}
+}
