@@ -19,6 +19,7 @@ import (
 	"dfg/internal/obs"
 	"dfg/internal/ocl"
 	"dfg/internal/par"
+	"dfg/internal/passes"
 	"dfg/internal/rtsim"
 	"dfg/internal/strategy"
 	"dfg/internal/vortex"
@@ -179,6 +180,53 @@ func BenchmarkFig6_MemorySweep(b *testing.B) {
 		peak = float64(res.PeakBytes)
 	}
 	b.ReportMetric(peak, "peak-device-B")
+}
+
+// BenchmarkAblation_OptLevel is the optimisation-level ablation: the
+// Q-criterion expression compiled at the Paper level versus O2, run
+// over the first Table I sub-grids, reporting the kernel launches,
+// host-to-device transfers and modeled device time each level pays.
+// The kernel and transfer counts are size-independent, so the per-grid
+// series shows how the O2 savings (67 -> 55 staged launches from
+// gradient-axis forwarding and commuted CSE) scale with cell count.
+func BenchmarkAblation_OptLevel(b *testing.B) {
+	levels := []passes.Level{passes.LevelPaper, passes.LevelO2}
+	nets := map[passes.Level]*dataflow.Network{}
+	for _, lvl := range levels {
+		net, _, err := expr.CompileWithPipeline(vortex.QCritExpr, nil, passes.ForLevel(lvl), passes.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets[lvl] = net
+	}
+	grids := rtsim.TableIGrids(4)[:2]
+	for _, lvl := range levels {
+		for _, g := range grids {
+			m, err := mesh.NewUniform(g.Dims, 1.0/float32(g.Dims.NX), 1.0/float32(g.Dims.NY), 1.0/float32(g.Dims.NZ))
+			if err != nil {
+				b.Fatal(err)
+			}
+			f := rtsim.Generate(m, rtsim.Options{Seed: 42})
+			bind := benchBindings(b, m, f)
+			for _, sname := range []string{"staged", "fusion"} {
+				s, _ := strategy.ForName(sname)
+				b.Run(fmt.Sprintf("%s/%s/%s", lvl, g.Dims, sname), func(b *testing.B) {
+					var prof ocl.Profile
+					for i := 0; i < b.N; i++ {
+						env := ocl.NewEnv(ocl.NewDevice(ocl.XeonX5660Spec(64)))
+						res, err := s.Execute(env, nets[lvl], bind)
+						if err != nil {
+							b.Fatal(err)
+						}
+						prof = res.Profile
+					}
+					b.ReportMetric(float64(prof.Kernels), "kernels/op")
+					b.ReportMetric(float64(prof.Writes), "dev-writes/op")
+					b.ReportMetric(float64(prof.DeviceTime().Nanoseconds()), "modeled-ns/op")
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkFig7_Distributed runs a reduced version of the paper's

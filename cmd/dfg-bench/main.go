@@ -32,6 +32,7 @@ func main() {
 		repeats   = flag.Int("repeats", 3, "repetitions per case (paper used 7, trimmed mean)")
 		seed      = flag.Int64("seed", 42, "synthetic data seed")
 		streaming = flag.Bool("streaming", false, "include the future-work streaming strategy in the sweep")
+		opt       = flag.String("opt", "paper", "optimisation level expressions compile at: paper (the reproduction) or O2")
 		outDir    = flag.String("out", "", "also write each artifact into this directory")
 		asJSON    = flag.Bool("json", false, "emit the sweep as machine-readable JSON on stdout (per-grid, per-strategy)")
 		repeat    = flag.Int("repeat", 0, "warm-vs-cold prepared-eval smoke: prepare Q-criterion once, eval cold then N warm times per strategy; exits 1 if warm evals allocate device buffers")
@@ -71,7 +72,7 @@ func main() {
 		emit("table1", metrics.TableI(*scale), true)
 	}
 	if *table2 {
-		tbl, err := metrics.TableII()
+		tbl, err := metrics.TableIIAt(*opt)
 		if err != nil {
 			fatal(err)
 		}
@@ -88,7 +89,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dfg-bench: running sweep (scale 1/%d, %d repeats)...\n", *scale, *repeats)
 		cfg := metrics.Config{
 			LinScale: *scale, MaxGrids: *grids, Repeats: *repeats, Seed: *seed,
-			IncludeStreaming: *streaming,
+			IncludeStreaming: *streaming, Opt: *opt,
 		}
 		results, err := metrics.RunCases(cfg)
 		if err != nil {
@@ -135,6 +136,7 @@ func main() {
 // nanoseconds and a pre-formatted string for eyeballing.
 type jsonCase struct {
 	Expr       string `json:"expr"`
+	Opt        string `json:"opt"`
 	Strategy   string `json:"strategy"`
 	Device     string `json:"device"`
 	Dims       [3]int `json:"dims"`
@@ -162,6 +164,7 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 	for i, r := range results {
 		cases[i] = jsonCase{
 			Expr:       r.Expr,
+			Opt:        r.Opt,
 			Strategy:   r.Exec,
 			Device:     r.Device.String(),
 			Dims:       [3]int{r.Grid.Dims.NX, r.Grid.Dims.NY, r.Grid.Dims.NZ},
@@ -184,11 +187,12 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 	}
 	doc := struct {
 		Config struct {
-			LinScale  int   `json:"lin_scale"`
-			MaxGrids  int   `json:"max_grids"`
-			Repeats   int   `json:"repeats"`
-			Seed      int64 `json:"seed"`
-			Streaming bool  `json:"streaming"`
+			LinScale  int    `json:"lin_scale"`
+			MaxGrids  int    `json:"max_grids"`
+			Repeats   int    `json:"repeats"`
+			Seed      int64  `json:"seed"`
+			Streaming bool   `json:"streaming"`
+			Opt       string `json:"opt"`
 		} `json:"config"`
 		Cases []jsonCase `json:"cases"`
 	}{Cases: cases}
@@ -197,6 +201,7 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 	doc.Config.Repeats = cfg.Repeats
 	doc.Config.Seed = cfg.Seed
 	doc.Config.Streaming = cfg.IncludeStreaming
+	doc.Config.Opt = cfg.Opt
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return nil, err

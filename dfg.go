@@ -51,6 +51,7 @@ import (
 	"dfg/internal/mesh"
 	"dfg/internal/obs"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 	"dfg/internal/strategy"
 )
 
@@ -109,6 +110,12 @@ type Config struct {
 	// scale (grids scaled by s in each dimension pair with MemScale =
 	// s^3). Default 1: the real 96 GB / 3 GB capacities.
 	MemScale int64
+	// Opt selects the optimisation level the engine compiles at:
+	// "paper" (or empty — the default) for the paper's exact two-pass
+	// front end, or "O2" for the full optimising pipeline, which is
+	// ulp-identical on finite data but launches fewer kernels. All
+	// paper-reproduction harnesses leave this empty.
+	Opt string
 }
 
 // Engine is the host interface: it owns one device environment and one
@@ -149,6 +156,10 @@ type Engine struct {
 	// prepCount tracks open Prepared handles; when the last one closes,
 	// the engine drains its buffer arena (see Prepared.Close).
 	prepCount int
+
+	// lvl is the optimisation level every compile goes through
+	// (Config.Opt, parsed). The zero value is the Paper level.
+	lvl passes.Level
 }
 
 // NewDeviceFor builds the simulated device a Config selects — the same
@@ -181,7 +192,12 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	lvl, err := passes.ParseLevel(cfg.Opt)
+	if err != nil {
+		return nil, fmt.Errorf("dfg: %w", err)
+	}
 	eng.cfg = cfg
+	eng.lvl = lvl
 	return eng, nil
 }
 
@@ -238,6 +254,38 @@ func (e *Engine) Device() string { return e.env.Device().Name() }
 // Strategy returns the engine's execution strategy name.
 func (e *Engine) Strategy() string { return e.strat.Name() }
 
+// OptLevel returns the engine's optimisation level name ("paper" or
+// "O2").
+func (e *Engine) OptLevel() string { return e.lvl.String() }
+
+// WithOptLevel returns a derived engine that compiles at the given
+// optimisation level ("paper" or "O2") but shares everything else with
+// the receiver: the same device environment, strategy, compiler (and
+// therefore cache — the level is folded into cache keys, so the two
+// levels' plans coexist), and observability hooks. Because the device
+// environment is shared, the derived engine inherits the receiver's
+// single-goroutine discipline: use either engine at a time, not both
+// concurrently.
+//
+// The derived engine has its own Prepared-handle count, so closing the
+// last Prepared on one view drains the shared buffer arena even if the
+// other view still holds handles — a performance (re-allocation) effect
+// only, never a correctness one.
+func (e *Engine) WithOptLevel(level string) (*Engine, error) {
+	lvl, err := passes.ParseLevel(level)
+	if err != nil {
+		return nil, fmt.Errorf("dfg: %w", err)
+	}
+	if lvl == e.lvl {
+		return e, nil
+	}
+	d := *e
+	d.cfg.Opt = lvl.String()
+	d.lvl = lvl
+	d.prepCount = 0
+	return &d, nil
+}
+
 // Result is a derived field along with the run's device profile.
 type Result struct {
 	// Data is the derived field, Width float32 components per element.
@@ -276,7 +324,7 @@ func (e *Engine) Definitions() []string { return e.comp.Definitions() }
 // the same expression every time step, so a hot expression compiles
 // once.
 func (e *Engine) compile(text string) (*dataflow.Network, error) {
-	return e.comp.Compile(text)
+	return e.comp.CompileAt(text, e.lvl)
 }
 
 // Eval evaluates an expression program over n elements with the given
@@ -304,7 +352,7 @@ func (e *Engine) EvalTraced(parent *obs.Span, text string, n int, inputs map[str
 	if e.reg != nil {
 		t0 = time.Now()
 	}
-	plan, fp, err := e.comp.PlanTraced(text, e.strat, e.env.Device(), parent)
+	plan, fp, err := e.comp.PlanTracedAt(text, e.lvl, e.strat, e.env.Device(), parent)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +378,7 @@ func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (
 	if e.reg != nil {
 		t0 = time.Now()
 	}
-	plan, fp, err := e.comp.PlanTraced(text, e.strat, e.env.Device(), sp)
+	plan, fp, err := e.comp.PlanTracedAt(text, e.lvl, e.strat, e.env.Device(), sp)
 	if err != nil {
 		return nil, err
 	}

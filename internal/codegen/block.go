@@ -185,6 +185,17 @@ func makeBlockPassFn(plan []instr, numRegs int) ocl.KernelFunc {
 						gx[e], gy[e], gz[e] = kernels.GradAt(field, x, y, z, nx, ny, nz, base+e)
 						pad[e] = 0
 					}
+				case opGradAxis:
+					field := bufs[in.gbufs[0]].Data
+					dims := bufs[in.gbufs[1]].Data
+					x := bufs[in.gbufs[2]].Data
+					y := bufs[in.gbufs[3]].Data
+					z := bufs[in.gbufs[4]].Data
+					nx, ny, nz := int(dims[0]), int(dims[1]), int(dims[2])
+					dst := slot(in.dst, 0)
+					for e := 0; e < n; e++ {
+						dst[e] = kernels.GradAxisAt(field, x, y, z, nx, ny, nz, base+e, in.comp)
+					}
 				case opStore:
 					if in.width == 1 {
 						copy(bufs[in.buf].Data[base:base+n], slot(in.a, 0)[:n])

@@ -115,7 +115,8 @@ const (
 	opNorm
 	opDecomp
 	opGrad
-	opStore // buf[gid] <- a (width from instr.width)
+	opGradAxis // single-axis gradient (instr.comp selects the axis)
+	opStore    // buf[gid] <- a (width from instr.width)
 )
 
 // instr is one step of the per-element plan. Registers are slots of four
@@ -126,9 +127,9 @@ type instr struct {
 	a, b, c int     // register operands
 	buf     int     // buffer index for load/store
 	width   int     // element width for load/store
-	comp    int     // decompose component
+	comp    int     // decompose component / gradient axis
 	val     float32 // constant value
-	gbufs   [5]int  // grad3d: field, dims, x, y, z buffer indices
+	gbufs   [5]int  // stencils: field, dims, x, y, z buffer indices
 }
 
 // Fuse generates the fused kernel program for a validated network with a
@@ -194,9 +195,10 @@ type generator struct {
 func scratchName(id string) string { return "scratch_" + id }
 
 // assignPasses computes each node's pass and the materialization set.
-// A grad3d whose field input is computed must run at least one pass
-// after that input; any value consumed in a later pass than it is
-// computed in must be materialized to global scratch.
+// A stencil (grad3d or a single-axis variant) whose field input is
+// computed must run at least one pass after that input; any value
+// consumed in a later pass than it is computed in must be materialized
+// to global scratch.
 func (g *generator) assignPasses() error {
 	g.materialize = make(map[string]bool)
 	for _, n := range g.order {
@@ -206,11 +208,11 @@ func (g *generator) assignPasses() error {
 				p = ip
 			}
 		}
-		if n.Filter == "grad3d" {
+		if n.Info().Class == dataflow.ClassStencil {
 			field := g.byID[n.Inputs[0]]
 			for _, in := range n.Inputs[1:] {
 				if g.byID[in].Filter != "source" {
-					return fmt.Errorf("codegen: grad3d input %q must be a source array (dims/coords cannot be computed)", in)
+					return fmt.Errorf("codegen: %s input %q must be a source array (dims/coords cannot be computed)", n.Filter, in)
 				}
 			}
 			if field.Filter != "source" {

@@ -102,7 +102,7 @@ func (g *generator) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) 
 		}
 		r := g.reg[n.ID]
 		switch n.Filter {
-		case "grad3d":
+		case "grad3d", "grad3dx", "grad3dy", "grad3dz":
 			field := g.byID[n.Inputs[0]]
 			fieldArg := field.ID
 			if field.Filter != "source" {
@@ -115,10 +115,21 @@ func (g *generator) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) 
 				gb[i+1] = g.bufIdx[in]
 				names = append(names, in)
 			}
-			stmts = append(stmts, fmt.Sprintf("float4 r%d = dfg_grad3d(%s, gid);", r, strings.Join(names, ", ")))
-			plan = append(plan, instr{op: opGrad, dst: r, gbufs: gb})
-			cost = cost.Add(kernels.GradCost())
-			cost.StoreBytes -= 16 // the fused gradient stays in a register
+			if axis, ok := kernels.GradAxisOf(n.Filter); ok {
+				// Single-axis stencil: a scalar result in a register,
+				// reading only the one coordinate array it differences
+				// against.
+				stmts = append(stmts, fmt.Sprintf("float r%d = dfg_grad3d_axis(%s, %s, %s, gid, %d);",
+					r, names[0], names[1], names[2+axis], axis))
+				plan = append(plan, instr{op: opGradAxis, dst: r, comp: axis, gbufs: gb})
+				cost = cost.Add(kernels.GradAxisCost())
+				cost.StoreBytes -= 4 // the fused gradient component stays in a register
+			} else {
+				stmts = append(stmts, fmt.Sprintf("float4 r%d = dfg_grad3d(%s, gid);", r, strings.Join(names, ", ")))
+				plan = append(plan, instr{op: opGrad, dst: r, gbufs: gb})
+				cost = cost.Add(kernels.GradCost())
+				cost.StoreBytes -= 16 // the fused gradient stays in a register
+			}
 		case "decompose":
 			inExpr, a, err := operand(n.Inputs[0])
 			if err != nil {
@@ -253,6 +264,10 @@ func (g *generator) renderSource(bodies []string) string {
 	if g.usesGrad() {
 		b.WriteString("\n")
 		b.WriteString(kernels.Grad3DFunction)
+		if g.usesGradAxis() {
+			b.WriteString("\n")
+			b.WriteString(kernels.Grad3DAxisFunction)
+		}
 	}
 	params := g.renderParams()
 	for p, body := range bodies {
@@ -284,10 +299,21 @@ func (g *generator) renderParams() string {
 	return strings.Join(lines, ",\n")
 }
 
-// usesGrad reports whether any live node is a gradient.
+// usesGrad reports whether any live node is a stencil (full or
+// single-axis gradient; both need the dfg_axis_diff helper).
 func (g *generator) usesGrad() bool {
 	for _, n := range g.order {
-		if n.Filter == "grad3d" {
+		if n.Info().Class == dataflow.ClassStencil {
+			return true
+		}
+	}
+	return false
+}
+
+// usesGradAxis reports whether any live node is a single-axis gradient.
+func (g *generator) usesGradAxis() bool {
+	for _, n := range g.order {
+		if _, ok := kernels.GradAxisOf(n.Filter); ok {
 			return true
 		}
 	}
@@ -398,6 +424,13 @@ func makePassFn(plan []instr, numRegs int) ocl.KernelFunc {
 					regs[in.dst*4+1] = gy
 					regs[in.dst*4+2] = gz
 					regs[in.dst*4+3] = 0
+				case opGradAxis:
+					field := bufs[in.gbufs[0]].Data
+					dims := bufs[in.gbufs[1]].Data
+					x := bufs[in.gbufs[2]].Data
+					y := bufs[in.gbufs[3]].Data
+					z := bufs[in.gbufs[4]].Data
+					regs[in.dst*4] = kernels.GradAxisAt(field, x, y, z, int(dims[0]), int(dims[1]), int(dims[2]), gid, in.comp)
 				case opStore:
 					if in.width == 1 {
 						bufs[in.buf].Data[gid] = regs[in.a*4]

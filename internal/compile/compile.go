@@ -31,6 +31,7 @@ import (
 	"dfg/internal/expr"
 	"dfg/internal/obs"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 	"dfg/internal/strategy"
 )
 
@@ -58,6 +59,17 @@ type Compiler struct {
 	planBuilds atomic.Int64 // plans actually constructed
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+
+	passMu    sync.Mutex
+	passStats map[string]*passAgg // pass name -> cumulative counters
+}
+
+// passAgg accumulates one optimisation pass's counters across every
+// network this compiler built (at any level).
+type passAgg struct {
+	runs         int64
+	nodesRemoved int64
+	seconds      float64
 }
 
 // entry is one cache slot. once guarantees the compile runs exactly one
@@ -90,6 +102,7 @@ func NewCompiler() *Compiler {
 		entries:    make(map[string]*entry),
 		plans:      make(map[string]*planEntry),
 		maxEntries: DefaultMaxEntries,
+		passStats:  make(map[string]*passAgg),
 	}
 }
 
@@ -153,16 +166,33 @@ func (c *Compiler) Compile(text string) (*dataflow.Network, error) {
 	return net, err
 }
 
+// CompileAt is Compile at an explicit optimisation level. Networks at
+// different levels cache under different fingerprints, so a compiler
+// serves mixed-level traffic without cross-talk.
+func (c *Compiler) CompileAt(text string, lvl passes.Level) (*dataflow.Network, error) {
+	net, _, err := c.CompileTracedAt(text, lvl, nil)
+	return net, err
+}
+
 // CompileTraced is Compile with pipeline tracing: it opens a "compile"
 // span under parent covering the front-end stages — "parse" (lex + LALR
 // parse to the AST), "fingerprint" (definition resolution + digest), the
 // "cache" lookup annotated with its outcome (hit, miss, or
 // singleflight-wait when another goroutine is mid-build on the same
 // key), and, on a miss, the "build" stage (AST -> network construction,
-// CSE, seal). It also returns the cache fingerprint, which metrics use
+// the optimisation pass pipeline with one "pass:<name>" child span per
+// pass, seal). It also returns the cache fingerprint, which metrics use
 // to key latency histograms. A nil parent span is the no-op path —
 // exactly Compile plus the fingerprint return.
 func (c *Compiler) CompileTraced(text string, parent *obs.Span) (*dataflow.Network, string, error) {
+	return c.CompileTracedAt(text, passes.LevelPaper, parent)
+}
+
+// CompileTracedAt is CompileTraced at an explicit optimisation level.
+// The Paper level's cache keys are exactly the pre-pipeline Digest
+// fingerprints; other levels append the level's cache tag, so the same
+// expression compiled at two levels occupies two cache slots.
+func (c *Compiler) CompileTracedAt(text string, lvl passes.Level, parent *obs.Span) (*dataflow.Network, string, error) {
 	cs := parent.Child("compile")
 	defer cs.Finish()
 
@@ -175,14 +205,15 @@ func (c *Compiler) CompileTraced(text string, parent *obs.Span) (*dataflow.Netwo
 		if cs != nil {
 			cs.SetAttr("error", err.Error())
 		}
-		return nil, Digest(text, nil), err
+		return nil, levelKey(Digest(text, nil), lvl), err
 	}
 	fs := cs.Child("fingerprint")
 	relevant := referencedDefs(p, defs)
-	key := Digest(text, relevant)
+	key := levelKey(Digest(text, relevant), lvl)
 	fs.Finish()
 	if cs != nil {
 		cs.SetAttr("fingerprint", ShortKey(key))
+		cs.SetAttr("opt", lvl.String())
 	}
 
 	ls := cs.Child("cache")
@@ -195,9 +226,11 @@ func (c *Compiler) CompileTraced(text string, parent *obs.Span) (*dataflow.Netwo
 		defer c.inflight.Add(-1)
 		c.compiles.Add(1)
 		bs := cs.Child("build")
-		e.net, e.err = expr.CompileWithDefinitions(text, relevant)
+		var res *passes.Result
+		e.net, res, e.err = expr.CompileWithPipeline(text, relevant, passes.ForLevel(lvl), passes.RunOptions{Parent: bs})
 		e.done.Store(true)
 		bs.Finish()
+		c.recordPasses(res)
 	})
 	switch {
 	case ran:
@@ -211,6 +244,71 @@ func (c *Compiler) CompileTraced(text string, parent *obs.Span) (*dataflow.Netwo
 	}
 	ls.Finish()
 	return e.net, key, e.err
+}
+
+// levelKey appends a non-Paper level's cache tag to a digest. Digests
+// are hex and the tag separator is not a hex character, so keys at
+// different levels never collide; the Paper level's keys are the bare
+// digests, byte-identical to the pre-pipeline fingerprints.
+func levelKey(digest string, lvl passes.Level) string {
+	if tag := lvl.CacheTag(); tag != "" {
+		return digest + "-" + tag
+	}
+	return digest
+}
+
+// recordPasses folds one pipeline run into the per-pass counters behind
+// the dfg_pass_* metrics.
+func (c *Compiler) recordPasses(res *passes.Result) {
+	if res == nil || len(res.Records) == 0 {
+		return
+	}
+	c.passMu.Lock()
+	for _, rec := range res.Records {
+		agg := c.passStats[rec.Pass]
+		if agg == nil {
+			agg = &passAgg{}
+			c.passStats[rec.Pass] = agg
+		}
+		agg.runs++
+		agg.nodesRemoved += int64(len(rec.Removed))
+		agg.seconds += rec.Duration.Seconds()
+	}
+	c.passMu.Unlock()
+}
+
+// PassStat is the cumulative account of one optimisation pass across
+// every network the compiler built.
+type PassStat struct {
+	Name         string
+	Runs         int64
+	NodesRemoved int64
+	Seconds      float64
+}
+
+// PassStat returns the counters for one pass name (zero-valued if the
+// pass never ran).
+func (c *Compiler) PassStat(name string) PassStat {
+	c.passMu.Lock()
+	defer c.passMu.Unlock()
+	st := PassStat{Name: name}
+	if agg := c.passStats[name]; agg != nil {
+		st.Runs, st.NodesRemoved, st.Seconds = agg.runs, agg.nodesRemoved, agg.seconds
+	}
+	return st
+}
+
+// PassStats returns the counters for every pass that has run, sorted by
+// name.
+func (c *Compiler) PassStats() []PassStat {
+	c.passMu.Lock()
+	out := make([]PassStat, 0, len(c.passStats))
+	for name, agg := range c.passStats {
+		out = append(out, PassStat{Name: name, Runs: agg.runs, NodesRemoved: agg.nodesRemoved, Seconds: agg.seconds})
+	}
+	c.passMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // PlanKey builds the plan-cache key for a network fingerprint executed
@@ -227,6 +325,11 @@ func (c *Compiler) Plan(text string, strat strategy.Strategy, dev *ocl.Device) (
 	return c.PlanTraced(text, strat, dev, nil)
 }
 
+// PlanTraced is PlanTracedAt at the Paper level.
+func (c *Compiler) PlanTraced(text string, strat strategy.Strategy, dev *ocl.Device, parent *obs.Span) (strategy.Plan, string, error) {
+	return c.PlanTracedAt(text, passes.LevelPaper, strat, dev, parent)
+}
+
 // PlanTraced is the prepared-execution front door: it compiles text via
 // CompileTraced, then resolves the strategy's execution plan from a
 // second cache keyed by (network fingerprint, strategy name, device
@@ -236,8 +339,12 @@ func (c *Compiler) Plan(text string, strat strategy.Strategy, dev *ocl.Device) (
 // hot expression. The "plan" child span annotates its cache outcome
 // like the network cache does. Returns the plan, the network
 // fingerprint, and any compile or planning error.
-func (c *Compiler) PlanTraced(text string, strat strategy.Strategy, dev *ocl.Device, parent *obs.Span) (strategy.Plan, string, error) {
-	net, fp, err := c.CompileTraced(text, parent)
+//
+// The level folds into the network fingerprint (levelKey), so plans for
+// the same expression at different levels occupy different plan-cache
+// slots automatically.
+func (c *Compiler) PlanTracedAt(text string, lvl passes.Level, strat strategy.Strategy, dev *ocl.Device, parent *obs.Span) (strategy.Plan, string, error) {
+	net, fp, err := c.CompileTracedAt(text, lvl, parent)
 	if err != nil {
 		return nil, fp, err
 	}
@@ -321,12 +428,18 @@ func ShortKey(key string) string {
 // current definitions: a digest of the text plus exactly the referenced
 // definitions. Unparseable text digests with no definitions.
 func (c *Compiler) Fingerprint(text string) string {
+	return c.FingerprintAt(text, passes.LevelPaper)
+}
+
+// FingerprintAt is Fingerprint at an explicit optimisation level: the
+// Paper key is the bare digest; other levels carry their cache tag.
+func (c *Compiler) FingerprintAt(text string, lvl passes.Level) string {
 	defs := c.snapshot()
 	p, err := expr.Parse(text)
 	if err != nil {
-		return Digest(text, nil)
+		return levelKey(Digest(text, nil), lvl)
 	}
-	return Digest(text, referencedDefs(p, defs))
+	return levelKey(Digest(text, referencedDefs(p, defs)), lvl)
 }
 
 // lookup returns the entry for key, creating (and bounding the cache) as

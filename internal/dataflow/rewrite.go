@@ -1,0 +1,132 @@
+package dataflow
+
+import "fmt"
+
+// This file is the network's rewrite surface: the primitive mutations an
+// optimisation pass (internal/passes) composes into whole-network
+// transformations. Everything here obeys the same mutability discipline
+// as the builder API — rewriting a sealed network panics — and leaves
+// the network in a state where construction order is still a valid
+// topological order, which every later layer (strategies, codegen)
+// relies on.
+
+// Key returns the node's structural identity: filter, parameters and
+// exact input order. Two nodes with equal keys compute identical values,
+// which is the equivalence CSE-style passes merge on.
+func (n *Node) Key() string { return n.key() }
+
+// ApplyRemap redirects every reference — node inputs, the output, and
+// user aliases — through subst, chasing chains (a->b, b->c) to their
+// final target. Nodes themselves are not removed; pair with RemoveNodes.
+// A cyclic substitution panics (it is a programming error in the pass).
+func (nw *Network) ApplyRemap(subst map[string]string) {
+	nw.mustMutable("ApplyRemap")
+	if len(subst) == 0 {
+		return
+	}
+	resolve := func(id string) string {
+		for hops := 0; ; hops++ {
+			r, ok := subst[id]
+			if !ok {
+				return id
+			}
+			if hops > len(subst) {
+				panic("dataflow: ApplyRemap substitution cycle at " + id)
+			}
+			id = r
+		}
+	}
+	for _, n := range nw.nodes {
+		for i, in := range n.Inputs {
+			n.Inputs[i] = resolve(in)
+		}
+	}
+	if nw.output != "" {
+		nw.output = resolve(nw.output)
+	}
+	for name, id := range nw.aliases {
+		nw.aliases[name] = resolve(id)
+	}
+}
+
+// RemoveNodes deletes the identified nodes, preserving the construction
+// order of the survivors. References to a removed node must have been
+// redirected first (ApplyRemap) — except aliases, which are dropped when
+// they still point at a removed node. Removing the output is an error.
+func (nw *Network) RemoveNodes(ids []string) error {
+	nw.mustMutable("RemoveNodes")
+	if len(ids) == 0 {
+		return nil
+	}
+	dead := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		dead[id] = true
+	}
+	if dead[nw.output] {
+		return fmt.Errorf("dataflow: cannot remove output node %q", nw.output)
+	}
+	kept := nw.nodes[:0]
+	for _, n := range nw.nodes {
+		if dead[n.ID] {
+			delete(nw.byID, n.ID)
+			continue
+		}
+		kept = append(kept, n)
+	}
+	nw.nodes = kept
+	for name, id := range nw.aliases {
+		if dead[id] {
+			delete(nw.aliases, name)
+		}
+	}
+	return nil
+}
+
+// RewriteToConst mutates the identified node in place into a scalar
+// constant, keeping its ID and position (and therefore the topological
+// order of everything downstream).
+func (nw *Network) RewriteToConst(id string, v float64) error {
+	nw.mustMutable("RewriteToConst")
+	n := nw.byID[id]
+	if n == nil {
+		return fmt.Errorf("dataflow: RewriteToConst: unknown node %q", id)
+	}
+	n.Filter = "const"
+	n.Value = v
+	n.Inputs = nil
+	n.Comp = 0
+	n.Width = 1
+	return nil
+}
+
+// RewriteToFilter mutates the identified node in place into an
+// invocation of filter over inputs (node IDs, not aliases), keeping its
+// ID and position. The caller must ensure every input node precedes the
+// rewritten node in construction order — in-place rewrites may only
+// point backwards, or the order stops being topological (the debug
+// invariant checks in internal/passes catch violations).
+func (nw *Network) RewriteToFilter(id, filter string, inputs []string, comp int) error {
+	nw.mustMutable("RewriteToFilter")
+	n := nw.byID[id]
+	if n == nil {
+		return fmt.Errorf("dataflow: RewriteToFilter: unknown node %q", id)
+	}
+	fi, ok := Lookup(filter)
+	if !ok {
+		return fmt.Errorf("dataflow: RewriteToFilter: unknown filter %q", filter)
+	}
+	if len(inputs) != fi.Arity {
+		return fmt.Errorf("dataflow: RewriteToFilter: filter %q takes %d inputs, got %d", filter, fi.Arity, len(inputs))
+	}
+	for _, in := range inputs {
+		if _, ok := nw.byID[in]; !ok {
+			return fmt.Errorf("dataflow: RewriteToFilter: missing input %q", in)
+		}
+	}
+	n.Filter = filter
+	n.Inputs = append([]string(nil), inputs...)
+	n.Value = 0
+	n.Comp = comp
+	n.Width = fi.OutWidth
+	return nil
+}

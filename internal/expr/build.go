@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dfg/internal/dataflow"
+	"dfg/internal/passes"
 )
 
 // BuildNetwork traverses a parse tree and emits the dataflow network
@@ -46,37 +47,52 @@ func BuildNetworkWithDefinitions(p *Program, defs map[string]*Program) (*dataflo
 }
 
 // Compile parses expression text and produces the optimized dataflow
-// network: parse tree -> network specification -> constant pooling and
-// limited common sub-expression elimination.
+// network: parse tree -> network specification -> the Paper pass
+// pipeline (constant pooling and limited common sub-expression
+// elimination).
 func Compile(input string) (*dataflow.Network, error) {
 	return CompileWithDefinitions(input, nil)
 }
 
 // CompileWithDefinitions is Compile against a database of named
-// expression definitions (name -> expression program text).
+// expression definitions (name -> expression program text). It runs the
+// passes.Paper pipeline, reproducing the paper's front end exactly.
 func CompileWithDefinitions(input string, defs map[string]string) (*dataflow.Network, error) {
+	net, _, err := CompileWithPipeline(input, defs, passes.Paper, passes.RunOptions{})
+	return net, err
+}
+
+// CompileWithPipeline compiles expression text through an explicit
+// optimisation pipeline: parse tree -> network specification -> the
+// pipeline's passes -> sealed network. The returned Result carries the
+// per-pass records (node deltas, removed IDs, timings) for metrics and
+// tracing; it is valid even though the network is sealed afterwards.
+func CompileWithPipeline(input string, defs map[string]string, pipe *passes.Pipeline, opt passes.RunOptions) (*dataflow.Network, *passes.Result, error) {
 	p, err := Parse(input)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	parsedDefs := make(map[string]*Program, len(defs))
 	for name, text := range defs {
 		dp, err := Parse(text)
 		if err != nil {
-			return nil, fmt.Errorf("expr: definition %q: %w", name, err)
+			return nil, nil, fmt.Errorf("expr: definition %q: %w", name, err)
 		}
 		parsedDefs[name] = dp
 	}
 	net, err := BuildNetworkWithDefinitions(p, parsedDefs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	net.EliminateCommonSubexpressions()
+	res, err := pipe.RunWith(net, opt)
+	if err != nil {
+		return nil, nil, err
+	}
 	// Compiled networks are sealed: strategies, engines and the shared
 	// compile cache may read them concurrently, so no further mutation is
 	// permitted.
 	net.Seal()
-	return net, nil
+	return net, res, nil
 }
 
 // builder carries network-emission state.

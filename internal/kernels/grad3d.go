@@ -1,6 +1,10 @@
 package kernels
 
-import "dfg/internal/ocl"
+import (
+	"fmt"
+
+	"dfg/internal/ocl"
+)
 
 // Grad3DFunction is the shared OpenCL C source function implementing the
 // 3-D rectilinear mesh field gradient — the paper's example of a complex
@@ -146,4 +150,117 @@ func Grad3D() *ocl.Kernel {
 // gradient kernels read (the paper's grad3d(u, dims, x, y, z) argument).
 func DimsArray(nx, ny, nz int) []float32 {
 	return []float32{float32(nx), float32(ny), float32(nz), 0}
+}
+
+// Grad3DAxisFunction is the OpenCL C helper for the single-axis
+// gradients grad3dx/y/z that the optimiser's decompose-forwarding pass
+// creates. It calls dfg_axis_diff, so a program including it must also
+// include Grad3DFunction (which defines that helper); the lane math is
+// therefore identical to the corresponding component of dfg_grad3d.
+const Grad3DAxisFunction = `// dfg primitive: grad3dx/y/z (single-axis mesh field gradient)
+//
+// One lane of dfg_grad3d: differences f along the chosen axis only,
+// against that axis's cell-center coordinate array.
+inline float dfg_grad3d_axis(__global const float *f,
+                             __global const float *dims,
+                             __global const float *coord,
+                             int idx, int axis)
+{
+    int nx = (int)dims[0];
+    int ny = (int)dims[1];
+    int nz = (int)dims[2];
+
+    int i = idx % nx;
+    int rest = idx / nx;
+    int j = rest % ny;
+    int k = rest / ny;
+
+    if (axis == 0) {
+        return dfg_axis_diff(f, coord, idx, i, nx, 1);
+    }
+    if (axis == 1) {
+        return dfg_axis_diff(f, coord, idx, j, ny, nx);
+    }
+    return dfg_axis_diff(f, coord, idx, k, nz, nx * ny);
+}
+`
+
+// GradAxisAt is the executable equivalent of dfg_grad3d_axis: one
+// component of the gradient at linear cell idx. It runs exactly the
+// arithmetic of the matching lane of GradAt, so forwarding a decomposed
+// gradient through it is bit-exact.
+func GradAxisAt(field, x, y, z []float32, nx, ny, nz, idx, axis int) float32 {
+	i := idx % nx
+	rest := idx / nx
+	j := rest % ny
+	k := rest / ny
+	switch axis {
+	case 0:
+		return gradAxisDiff(field, x, idx, i, nx, 1)
+	case 1:
+		return gradAxisDiff(field, y, idx, j, ny, nx)
+	default:
+		return gradAxisDiff(field, z, idx, k, nz, nx*ny)
+	}
+}
+
+// GradAxisOf maps a single-axis gradient filter name to its axis index
+// (ok = false for every other name).
+func GradAxisOf(filter string) (axis int, ok bool) {
+	switch filter {
+	case "grad3dx":
+		return 0, true
+	case "grad3dy":
+		return 1, true
+	case "grad3dz":
+		return 2, true
+	default:
+		return 0, false
+	}
+}
+
+// costGradAxis models one axis of the gradient: two neighbour loads of
+// the field and of one coordinate array, and a scalar store. (Compare
+// costGrad3D, which covers all three axes and a float4 store.)
+var costGradAxis = ocl.Cost{Flops: 5, LoadBytes: 16, StoreBytes: 4}
+
+// GradAxisCost exposes the single-axis gradient's per-element cost to
+// the fusion generator.
+func GradAxisCost() ocl.Cost { return costGradAxis }
+
+// GradAxis builds the standalone single-axis gradient kernel for axis
+// 0, 1 or 2 (grad3dx, grad3dy, grad3dz). The buffer signature matches
+// the node's inputs — field, dims, x, y, z, out — even though only one
+// coordinate array is read, so the generic staged dispatch launches it
+// like any other filter.
+func GradAxis(axis int) *ocl.Kernel {
+	name := "kgrad3d" + string(rune('x'+axis))
+	src := Grad3DFunction + Grad3DAxisFunction + fmt.Sprintf(`
+__kernel void %s(__global const float *f,
+                 __global const float *dims,
+                 __global const float *x,
+                 __global const float *y,
+                 __global const float *z,
+                 __global float *out)
+{
+    int gid = get_global_id(0);
+    out[gid] = dfg_grad3d_axis(f, dims, %s, gid, %d);
+}
+`, name, [3]string{"x", "y", "z"}[axis], axis)
+	return &ocl.Kernel{
+		Name:    name,
+		Source:  src,
+		NumBufs: 6,
+		Cost:    costGradAxis,
+		Fn: func(lo, hi int, bufs []ocl.View, _ []float64) {
+			field := bufs[0].Data
+			dims := bufs[1].Data
+			x, y, z := bufs[2].Data, bufs[3].Data, bufs[4].Data
+			out := bufs[5].Data
+			nx, ny, nz := int(dims[0]), int(dims[1]), int(dims[2])
+			for idx := lo; idx < hi; idx++ {
+				out[idx] = GradAxisAt(field, x, y, z, nx, ny, nz, idx, axis)
+			}
+		},
+	}
 }

@@ -229,6 +229,12 @@ func ForFilter(name string) (*ocl.Kernel, error) {
 		return ConstFill(), nil
 	case "grad3d":
 		return Grad3D(), nil
+	case "grad3dx":
+		return GradAxis(0), nil
+	case "grad3dy":
+		return GradAxis(1), nil
+	case "grad3dz":
+		return GradAxis(2), nil
 	default:
 		return nil, fmt.Errorf("kernels: no standalone kernel for filter %q", name)
 	}

@@ -10,6 +10,7 @@ import (
 	"dfg/internal/expr"
 	"dfg/internal/mesh"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 	"dfg/internal/rtsim"
 	"dfg/internal/strategy"
 	"dfg/internal/vortex"
@@ -32,6 +33,10 @@ type Config struct {
 	// IncludeStreaming adds the future-work streaming strategy to the
 	// executor set (the paper's §VI proposal, evaluated here).
 	IncludeStreaming bool
+	// Opt selects the optimisation level expressions compile at: ""
+	// or "paper" for the paper's exact front end (the default every
+	// reproduction table uses), "O2" for the optimising pass pipeline.
+	Opt string
 }
 
 func (c *Config) defaults() {
@@ -143,6 +148,7 @@ func runReference(env *ocl.Env, _ *dataflow.Network, bind strategy.Bindings, exp
 // CaseResult is one (expression, executor, device, grid) measurement.
 type CaseResult struct {
 	Expr     string
+	Opt      string // optimisation level the expression compiled at
 	Exec     string
 	Device   ocl.DeviceType
 	Grid     rtsim.Grid
@@ -167,6 +173,11 @@ func (c CaseResult) Key() string {
 // recorded as the paper's gray series.
 func RunCases(cfg Config) ([]CaseResult, error) {
 	cfg.defaults()
+	lvl, err := passes.ParseLevel(cfg.Opt)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	cfg.Opt = lvl.String()
 	grids := rtsim.TableIGrids(cfg.LinScale)
 	if cfg.MaxGrids > 0 && cfg.MaxGrids < len(grids) {
 		grids = grids[:cfg.MaxGrids]
@@ -174,7 +185,7 @@ func RunCases(cfg Config) ([]CaseResult, error) {
 
 	nets := make(map[string]*dataflow.Network)
 	for _, e := range vortex.Expressions() {
-		net, err := expr.Compile(e.Text)
+		net, _, err := expr.CompileWithPipeline(e.Text, nil, passes.ForLevel(lvl), passes.RunOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("metrics: compile %s: %w", e.Name, err)
 		}
@@ -214,7 +225,7 @@ func RunCases(cfg Config) ([]CaseResult, error) {
 
 // runCase measures one case with the paper's repeat-and-trim protocol.
 func runCase(cfg Config, spec ocl.DeviceSpec, ex Executor, exprName string, net *dataflow.Network, bind strategy.Bindings, g rtsim.Grid) CaseResult {
-	out := CaseResult{Expr: exprName, Exec: ex.Name, Device: spec.Type, Grid: g, Device1: spec.Name}
+	out := CaseResult{Expr: exprName, Opt: cfg.Opt, Exec: ex.Name, Device: spec.Type, Grid: g, Device1: spec.Name}
 	var devTimes, walls []time.Duration
 	var last *strategy.Result
 	for r := 0; r < cfg.Repeats; r++ {

@@ -8,6 +8,7 @@ import (
 	"dfg/internal/expr"
 	"dfg/internal/mesh"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 	"dfg/internal/rtsim"
 	"dfg/internal/strategy"
 	"dfg/internal/vortex"
@@ -38,7 +39,17 @@ func groupDigits(n int) string {
 // TableII runs the three expressions under the three strategies on a
 // small grid and renders the device-event counts — the paper's Table II.
 // The counts are size-independent, so a small grid suffices.
-func TableII() (*Table, error) {
+func TableII() (*Table, error) { return TableIIAt("") }
+
+// TableIIAt is TableII with the expressions compiled at an explicit
+// optimisation level ("", "paper" or "O2"). The Paper-level table is
+// the reproduction; the O2 table shows how many device events the
+// optimising pipeline saves on the same expressions.
+func TableIIAt(opt string) (*Table, error) {
+	lvl, err := passes.ParseLevel(opt)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
 	m, err := mesh.NewUniform(mesh.Dims{NX: 8, NY: 8, NZ: 8}, 1, 1, 1)
 	if err != nil {
 		return nil, err
@@ -49,10 +60,14 @@ func TableII() (*Table, error) {
 		return nil, err
 	}
 
-	t := NewTable("Table II: device events per expression and strategy",
+	title := "Table II: device events per expression and strategy"
+	if lvl != passes.LevelPaper {
+		title += " (opt=" + lvl.String() + ")"
+	}
+	t := NewTable(title,
 		"Expression", "Strategy", "Dev-W", "Dev-R", "K-Exe")
 	for _, e := range vortex.Expressions() {
-		net, err := expr.Compile(e.Text)
+		net, _, err := expr.CompileWithPipeline(e.Text, nil, passes.ForLevel(lvl), passes.RunOptions{})
 		if err != nil {
 			return nil, err
 		}

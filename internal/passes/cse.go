@@ -1,0 +1,107 @@
+package passes
+
+import (
+	"strconv"
+
+	"dfg/internal/dataflow"
+)
+
+// ConstPool returns the constant-pooling pass: equal-valued scalar
+// constants collapse to the first occurrence, exactly as the paper's
+// parser pools them. (CSE would merge them too; pooling first keeps the
+// pass observable on its own and mirrors the paper's description.)
+func ConstPool() Pass { return constPool{} }
+
+type constPool struct{}
+
+func (constPool) Name() string { return "constpool" }
+
+func (constPool) Run(nw *dataflow.Network, st *Stats) error {
+	canon := make(map[string]string)
+	remap := make(map[string]string)
+	var dead []string
+	for _, n := range nw.Nodes() {
+		if n.Filter != "const" {
+			continue
+		}
+		key := strconv.FormatFloat(n.Value, 'g', -1, 64)
+		if id, ok := canon[key]; ok {
+			remap[n.ID] = id
+			dead = append(dead, n.ID)
+			continue
+		}
+		canon[key] = n.ID
+	}
+	return applyMerge(nw, st, remap, dead)
+}
+
+// CSE returns the paper's "limited" common sub-expression elimination:
+// structurally identical invocations (same primitive, same parameters,
+// same inputs in the same order) are computed once. Order sensitivity —
+// add(a, b) and add(b, a) stay distinct — is what keeps the Table II
+// event counts intact, so the Paper pipeline must use exactly this.
+func CSE() Pass { return cse{commute: false} }
+
+// CSECommute returns the commutativity-normalised variant: for add,
+// mul, eq and ne the two inputs are sorted in the structural key, so
+// add(a, b) and add(b, a) merge. Only bitwise-commutative primitives
+// participate (fmin/fmax are excluded: their NaN and signed-zero
+// behaviour is argument-order dependent).
+func CSECommute() Pass { return cse{commute: true} }
+
+type cse struct{ commute bool }
+
+func (c cse) Name() string {
+	if c.commute {
+		return "cse-commute"
+	}
+	return "cse"
+}
+
+// commutative lists the primitives whose results are bitwise identical
+// under argument swap for every input, including NaNs and signed zeros.
+var commutative = map[string]bool{"add": true, "mul": true, "eq": true, "ne": true}
+
+func (c cse) Run(nw *dataflow.Network, st *Stats) error {
+	canon := make(map[string]string, nw.Len())
+	remap := make(map[string]string)
+	var dead []string
+	for _, n := range nw.Nodes() {
+		// Inputs are remapped in construction order, so by the time a
+		// node is keyed all of its inputs are already canonical and one
+		// forward pass reaches the fixpoint.
+		for i, in := range n.Inputs {
+			if r, ok := remap[in]; ok {
+				n.Inputs[i] = r
+			}
+		}
+		key := n.Key()
+		if n.Filter == "source" {
+			// Sources are identified by name, never merged across names.
+			key = "source:" + n.ID
+		} else if c.commute && commutative[n.Filter] && len(n.Inputs) == 2 && n.Inputs[1] < n.Inputs[0] {
+			key = n.Filter + "|" + n.Inputs[1] + "|" + n.Inputs[0]
+		}
+		if id, ok := canon[key]; ok {
+			remap[n.ID] = id
+			dead = append(dead, n.ID)
+			continue
+		}
+		canon[key] = n.ID
+	}
+	return applyMerge(nw, st, remap, dead)
+}
+
+// applyMerge commits a merge-style pass: redirect every reference
+// through remap, drop the duplicates, and record them.
+func applyMerge(nw *dataflow.Network, st *Stats, remap map[string]string, dead []string) error {
+	if len(dead) == 0 {
+		return nil
+	}
+	nw.ApplyRemap(remap)
+	if err := nw.RemoveNodes(dead); err != nil {
+		return err
+	}
+	st.Removed = append(st.Removed, dead...)
+	return nil
+}

@@ -1,0 +1,51 @@
+package passes
+
+import "dfg/internal/dataflow"
+
+// DCE returns the dead-node elimination pass: every node that cannot
+// reach the network output is removed. Rewrite passes only redirect
+// references, so they strand their leftovers (a forwarded gradient, a
+// folded constant's operands) for this pass to collect. Aliases bound
+// to a dead node are dropped with it.
+//
+// The Paper pipeline deliberately omits DCE: the paper's parser never
+// creates unreachable nodes, and keeping the pipeline to exactly its
+// two optimisations is what the byte-identity guarantee rests on.
+func DCE() Pass { return dce{} }
+
+type dce struct{}
+
+func (dce) Name() string { return "dce" }
+
+func (dce) Run(nw *dataflow.Network, st *Stats) error {
+	live := make(map[string]bool, nw.Len())
+	var visit func(id string)
+	visit = func(id string) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		n := nw.NodeByID(id)
+		if n == nil {
+			return
+		}
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+	}
+	visit(nw.Output())
+	var dead []string
+	for _, n := range nw.Nodes() {
+		if !live[n.ID] {
+			dead = append(dead, n.ID)
+		}
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	if err := nw.RemoveNodes(dead); err != nil {
+		return err
+	}
+	st.Removed = append(st.Removed, dead...)
+	return nil
+}

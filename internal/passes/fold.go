@@ -1,0 +1,154 @@
+package passes
+
+import (
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+)
+
+// ConstFold returns the constant-folding pass: every elementwise node
+// whose inputs are all constants is rewritten in place into a constant.
+// The fold evaluates the node's own staged kernel on a one-element
+// buffer, so the folded value is bit-identical to what the device would
+// have produced in float32 — including the fmin/fmax NaN conventions
+// and comparison-to-1.0/0.0 encodings.
+func ConstFold() Pass { return constFold{} }
+
+type constFold struct{}
+
+func (constFold) Name() string { return "constfold" }
+
+func (constFold) Run(nw *dataflow.Network, st *Stats) error {
+	for _, n := range nw.Nodes() {
+		fi, ok := dataflow.Lookup(n.Filter)
+		if !ok || fi.Class != dataflow.ClassElementwise || len(n.Inputs) == 0 {
+			continue
+		}
+		vals := make([]float64, len(n.Inputs))
+		allConst := true
+		for i, in := range n.Inputs {
+			inNode := nw.NodeByID(in)
+			if inNode == nil || inNode.Filter != "const" {
+				allConst = false
+				break
+			}
+			vals[i] = inNode.Value
+		}
+		if !allConst {
+			continue
+		}
+		v, ok := foldKernel(n.Filter, vals)
+		if !ok {
+			continue
+		}
+		// Rewriting in place (rather than merging into an existing
+		// const) keeps this pass purely local; the following CSE or
+		// constpool round merges equal constants, and DCE collects the
+		// operand constants that just lost their last consumer.
+		if err := nw.RewriteToConst(n.ID, v); err != nil {
+			return err
+		}
+		st.Rewritten++
+	}
+	return nil
+}
+
+// foldKernel evaluates one elementwise primitive on scalar constants by
+// running its staged kernel over single-element views. The stored value
+// is the float32 result widened to float64, so a staged constant fill
+// of the folded node reproduces the exact bits the eliminated kernel
+// would have written.
+func foldKernel(filter string, in []float64) (float64, bool) {
+	k, err := kernels.ForFilter(filter)
+	if err != nil || k.Fn == nil || k.NumBufs != len(in)+1 {
+		return 0, false
+	}
+	bufs := make([]ocl.View, len(in)+1)
+	for i, v := range in {
+		bufs[i] = ocl.View{Data: []float32{float32(v)}, Elems: 1, Width: 1}
+	}
+	out := []float32{0}
+	bufs[len(in)] = ocl.View{Data: out, Elems: 1, Width: 1}
+	k.Fn(0, 1, bufs, nil)
+	return float64(out[0]), true
+}
+
+// Algebraic returns the identity-simplification pass: x*1, 1*x, x+0,
+// 0+x, x-0, x/1 forward to x, and 0*x / x*0 forward to the zero
+// constant. Constants are matched on their float32 value (the precision
+// every kernel computes in), so 1.0000000001 does not match.
+//
+// The zero rewrites assume finite data: 0*x is exactly 0 for finite x
+// but NaN for infinite x. The engine's data model (float32 mesh fields)
+// makes non-finite intermediates an error condition already, and the
+// differential tests skip elements where the Paper-level reference is
+// non-finite.
+func Algebraic() Pass { return algebraic{} }
+
+type algebraic struct{}
+
+func (algebraic) Name() string { return "algebraic" }
+
+func (algebraic) Run(nw *dataflow.Network, st *Stats) error {
+	remap := make(map[string]string)
+	var dead []string
+	resolve := func(id string) string {
+		for {
+			r, ok := remap[id]
+			if !ok {
+				return id
+			}
+			id = r
+		}
+	}
+	isConst := func(id string, v float32) bool {
+		n := nw.NodeByID(id)
+		return n != nil && n.Filter == "const" && float32(n.Value) == v
+	}
+	for _, n := range nw.Nodes() {
+		// Forward substitution in construction order, like CSE: inputs
+		// are canonical before the node itself is inspected.
+		for i, in := range n.Inputs {
+			n.Inputs[i] = resolve(in)
+		}
+		if len(n.Inputs) != 2 {
+			continue
+		}
+		a, b := n.Inputs[0], n.Inputs[1]
+		target := ""
+		switch n.Filter {
+		case "mul":
+			switch {
+			case isConst(a, 1):
+				target = b
+			case isConst(b, 1):
+				target = a
+			case isConst(a, 0):
+				target = a
+			case isConst(b, 0):
+				target = b
+			}
+		case "add":
+			switch {
+			case isConst(a, 0):
+				target = b
+			case isConst(b, 0):
+				target = a
+			}
+		case "sub":
+			if isConst(b, 0) {
+				target = a
+			}
+		case "div":
+			if isConst(b, 1) {
+				target = a
+			}
+		}
+		if target == "" {
+			continue
+		}
+		remap[n.ID] = target
+		dead = append(dead, n.ID)
+	}
+	return applyMerge(nw, st, remap, dead)
+}

@@ -30,6 +30,7 @@ import (
 	"dfg/internal/compile"
 	"dfg/internal/obs"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 )
 
 // ErrPoolClosed is returned for requests submitted after Close.
@@ -53,6 +54,13 @@ type Config struct {
 	Device   dfg.DeviceKind
 	Strategy string
 	MemScale int64
+	// Opt is the optimisation level worker engines compile at: "paper"
+	// or "O2". Default "O2" — a service cares about launching fewer
+	// kernels, not about reproducing the paper's exact event counts;
+	// harnesses that need the paper semantics set "paper" (or drive
+	// engines directly). Individual requests may override it per call
+	// (Request.Opt).
+	Opt string
 	// DefaultTimeout applies to requests that don't set one. Zero means
 	// no timeout.
 	DefaultTimeout time.Duration
@@ -84,6 +92,10 @@ type Request struct {
 	Inputs map[string][]float32
 	// Timeout, if positive, overrides the pool's DefaultTimeout.
 	Timeout time.Duration
+	// Opt, if non-empty, overrides the pool's optimisation level for
+	// this request: "paper" or "O2". Both levels' compiled plans
+	// coexist in the shared cache (the level is part of the cache key).
+	Opt string
 }
 
 // Response is the outcome of one request.
@@ -157,6 +169,9 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
+	if cfg.Opt == "" {
+		cfg.Opt = "O2"
+	}
 	comp := compile.NewCompiler()
 	if cfg.MaxCacheEntries > 0 {
 		comp.SetMaxEntries(cfg.MaxCacheEntries)
@@ -194,6 +209,10 @@ func NewPool(cfg Config) (*Pool, error) {
 			return nil, err
 		}
 		eng, err := dfg.NewWith(dev, cfg.Strategy, comp)
+		if err != nil {
+			return nil, err
+		}
+		eng, err = eng.WithOptLevel(cfg.Opt)
 		if err != nil {
 			return nil, err
 		}
@@ -335,6 +354,20 @@ func (p *Pool) registerMetrics() {
 			return float64(peak)
 		})
 
+	// Per-pass optimiser counters, read at scrape time from the shared
+	// compiler's aggregates (every worker compiles through one compiler,
+	// so the totals are pool-wide).
+	for _, pass := range passes.Names() {
+		pass := pass
+		labels := obs.Labels{"pass": pass}
+		r.CounterFunc("dfg_pass_runs_total", "Optimisation pass executions.",
+			labels, func() float64 { return float64(p.comp.PassStat(pass).Runs) })
+		r.CounterFunc("dfg_pass_nodes_removed_total", "Dataflow nodes removed per optimisation pass.",
+			labels, func() float64 { return float64(p.comp.PassStat(pass).NodesRemoved) })
+		r.CounterFunc("dfg_pass_seconds", "Cumulative time spent in each optimisation pass.",
+			labels, func() float64 { return p.comp.PassStat(pass).Seconds })
+	}
+
 	p.waitHist = r.Histogram("dfg_request_wait_seconds", "Time requests spent queued.", nil)
 	p.runHist = r.Histogram("dfg_request_run_seconds", "Time requests spent executing.", nil)
 }
@@ -379,6 +412,11 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 			pr.Close()
 		}
 	}()
+	// byLevel memoizes the engine view per optimisation level, so a
+	// request overriding Request.Opt reuses one derived engine (and its
+	// Prepared-handle accounting) instead of deriving a fresh view per
+	// request. Seeded with the pool-level engine.
+	byLevel := map[string]*dfg.Engine{eng.OptLevel(): eng}
 	for j := range p.queue {
 		pickup := time.Now()
 		wait := pickup.Sub(j.enqueued)
@@ -400,7 +438,7 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 				root.SetAttr("worker", strconv.Itoa(id))
 				root.Event("queue-wait", "", j.enqueued, pickup)
 			}
-			res, err := evalPrepared(eng, prepared, root, j.req)
+			res, err := evalPrepared(eng, byLevel, prepared, root, j.req)
 			run := time.Since(pickup)
 			if root != nil {
 				if err != nil {
@@ -425,14 +463,29 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 }
 
 // evalPrepared runs one request through the worker's prepared-plan
-// cache. Preparing records the compile and plan spans under root (both
-// are cache hits for a hot expression, so every request trace keeps the
-// full stage set); a handle already cached under the same fingerprint
-// wins, and the fresh one — which shares the cached plan anyway — is
-// closed. The cache is bounded by closing an arbitrary old handle; the
-// plan it wrapped stays in the shared compiler cache, so re-preparing
-// is a map lookup.
-func evalPrepared(eng *dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
+// cache. A request overriding Opt is routed to the worker's derived
+// engine for that level (memoized in byLevel); fingerprints incorporate
+// the level, so both levels' handles coexist in one cache. Preparing
+// records the compile and plan spans under root (both are cache hits
+// for a hot expression, so every request trace keeps the full stage
+// set); a handle already cached under the same fingerprint wins, and
+// the fresh one — which shares the cached plan anyway — is closed. The
+// cache is bounded by closing an arbitrary old handle; the plan it
+// wrapped stays in the shared compiler cache, so re-preparing is a map
+// lookup.
+func evalPrepared(eng *dfg.Engine, byLevel map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
+	if req.Opt != "" {
+		d, err := eng.WithOptLevel(req.Opt)
+		if err != nil {
+			return nil, err
+		}
+		if cached, ok := byLevel[d.OptLevel()]; ok {
+			d = cached
+		} else {
+			byLevel[d.OptLevel()] = d
+		}
+		eng = d
+	}
 	pr, err := eng.PrepareTraced(root, req.Expr)
 	if err != nil {
 		return nil, err

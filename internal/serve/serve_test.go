@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"dfg/internal/obs"
 )
 
 // testInputs returns u/v/w arrays of n elements with deterministic
@@ -355,4 +358,74 @@ func BenchmarkPoolEval(b *testing.B) {
 	st := p.Stats()
 	b.ReportMetric(float64(st.Compiles)/float64(b.N), "compiles/op")
 	b.ReportMetric(float64(st.Served), "served")
+}
+
+// TestPoolOptLevels covers the optimisation-level surface of the
+// service: the pool defaults to O2, per-request Opt overrides route to
+// a Paper-level engine view, both levels return identical data for the
+// paper expressions, a bad level fails the request (not the pool), and
+// the per-pass counters land in the metrics registry.
+func TestPoolOptLevels(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2})
+	const n = 64
+	expr := "r = u*1 + 0*v + sqrt(w*w)"
+
+	o2, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n), Opt: "paper"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range paper.Data {
+		if paper.Data[i] != o2.Data[i] {
+			t.Fatalf("element %d: paper %v vs O2 %v", i, paper.Data[i], o2.Data[i])
+		}
+	}
+
+	if _, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n), Opt: "O3"}); err == nil {
+		t.Fatal("bad opt level must fail the request")
+	}
+	// The pool survives a bad-level request.
+	if _, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n)}); err != nil {
+		t.Fatalf("pool broken after bad opt level: %v", err)
+	}
+
+	// Both levels' compiles ran, so the shared pass aggregates must show
+	// the Paper passes with at least two runs and the O2-only passes
+	// with at least one, all surfaced through the registry.
+	var buf strings.Builder
+	if err := obs.WritePrometheus(&buf, p.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	exposition := buf.String()
+	for _, pass := range []string{"constpool", "cse", "algebraic", "decompose-forward", "dce"} {
+		probe := fmt.Sprintf(`dfg_pass_runs_total{pass=%q}`, pass)
+		if !strings.Contains(exposition, probe) {
+			t.Errorf("exposition lacks %s", probe)
+		}
+	}
+	if got := p.comp.PassStat("cse").Runs; got < 2 {
+		t.Errorf("cse pass ran %d times, want >= 2 (one per level)", got)
+	}
+	if got := p.comp.PassStat("dce").Runs; got < 1 {
+		t.Errorf("dce pass ran %d times, want >= 1 (O2 compile)", got)
+	}
+	if p.comp.PassStat("cse").Seconds <= 0 {
+		t.Error("cse pass seconds not accumulated")
+	}
+}
+
+// TestPoolPaperLevelConfig pins that a pool can opt back into the exact
+// paper front end pool-wide.
+func TestPoolPaperLevelConfig(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, Opt: "paper"})
+	const n = 16
+	if _, err := p.Submit(context.Background(), Request{Expr: "r = u + v", N: n, Inputs: testInputs(n)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.comp.PassStat("dce").Runs; got != 0 {
+		t.Errorf("paper-level pool ran dce %d times, want 0", got)
+	}
 }

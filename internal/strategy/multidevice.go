@@ -108,7 +108,7 @@ type tileGeom struct {
 func tileGeometry(order []*dataflow.Node, bind Bindings) (tileGeom, error) {
 	g := tileGeom{nx: 1, ny: 1, nz: bind.N, n: bind.N}
 	for _, n := range order {
-		if n.Filter == "grad3d" {
+		if n.Info().Class == dataflow.ClassStencil {
 			g.halo = 1
 		}
 	}

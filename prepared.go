@@ -48,7 +48,7 @@ func (e *Engine) Prepare(text string) (*Prepared, error) {
 // PrepareTraced is Prepare recording its compile and plan spans under
 // the caller-owned parent span.
 func (e *Engine) PrepareTraced(parent *obs.Span, text string) (*Prepared, error) {
-	plan, fp, err := e.comp.PlanTraced(text, e.strat, e.env.Device(), parent)
+	plan, fp, err := e.comp.PlanTracedAt(text, e.lvl, e.strat, e.env.Device(), parent)
 	if err != nil {
 		return nil, err
 	}
@@ -141,8 +141,8 @@ func (p *Prepared) Close() {
 }
 
 // Fingerprint returns the compile-cache key Eval would use for text
-// under the engine's current definitions.
-func (e *Engine) Fingerprint(text string) string { return e.comp.Fingerprint(text) }
+// under the engine's current definitions and optimisation level.
+func (e *Engine) Fingerprint(text string) string { return e.comp.FingerprintAt(text, e.lvl) }
 
 // ArenaStats snapshots the engine's buffer-arena counters: buffers
 // reused vs freshly allocated, resident-source uploads vs skips, and
