@@ -13,6 +13,16 @@
 //	                                           # interrupted (or -linger elapses)
 //	dfg-serve -slow 5ms                        # log the span tree of any request
 //	                                           # slower than 5ms end to end
+//	dfg-serve -chaos 7                         # seeded fault injection on every
+//	                                           # worker device: flaky transfers,
+//	                                           # kernels, allocations, lost devices
+//
+// Under -chaos each worker's device gets a deterministic (seeded) fault
+// plan; the engines' retry/degradation recovery and the pool's circuit
+// breakers absorb the faults, clients resubmit dropped requests a
+// bounded number of times, and the run exits non-zero if any request is
+// ultimately dropped or any device buffer leaks — the soak test the CI
+// chaos-smoke job runs under the race detector.
 //
 // On SIGINT/SIGTERM the pool shuts down gracefully — queued requests
 // drain, metrics freeze — and the final service report (request
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"dfg"
+	"dfg/internal/ocl"
 	"dfg/internal/serve"
 )
 
@@ -50,6 +61,11 @@ func main() {
 		linger    = flag.Duration("linger", 0, "keep the introspection endpoint up this long after the load completes")
 		slow      = flag.Duration("slow", 0, "slow-request threshold: log the full span tree of slower requests (0 = off)")
 		traceKeep = flag.Int("trace-keep", 64, "recent request traces retained for /trace (negative disables tracing)")
+
+		chaosSeed    = flag.Int64("chaos", 0, "seed per-worker fault injection (0 = off): probabilistic transfer/kernel/allocation faults and occasional device loss")
+		chaosProb    = flag.Float64("chaos-prob", 0.02, "per-operation fault probability under -chaos")
+		chaosLost    = flag.Float64("chaos-lost", 0.002, "per-operation device-loss probability under -chaos")
+		chaosRetries = flag.Int("chaos-retries", 10, "client resubmits before a request counts as dropped under -chaos")
 	)
 	flag.Parse()
 
@@ -61,7 +77,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	pool, err := serve.NewPool(serve.Config{
+	cfg := serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		Device:         kind,
@@ -69,7 +85,24 @@ func main() {
 		DefaultTimeout: *timeout,
 		TraceKeep:      *traceKeep,
 		SlowThreshold:  *slow,
-	})
+	}
+	if *chaosSeed != 0 {
+		seed, prob, lost := *chaosSeed, *chaosProb, *chaosLost
+		cfg.FaultPlanFor = func(worker int) *ocl.FaultPlan {
+			// Deterministic per worker for a given seed: a failing soak is
+			// reproducible by rerunning with the same -chaos value.
+			return ocl.NewFaultPlan(seed + int64(worker)).
+				FailEvery(ocl.FaultAlloc, prob).
+				FailEvery(ocl.FaultWrite, prob).
+				FailEvery(ocl.FaultRead, prob).
+				FailEvery(ocl.FaultKernel, prob).
+				LoseDeviceEvery(lost)
+		}
+		// Short cooldown so tripped devices probe (and heal) within the
+		// soak's lifetime.
+		cfg.BreakerCooldown = 10 * time.Millisecond
+	}
+	pool, err := serve.NewPool(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -124,9 +157,17 @@ func main() {
 						N:      *n,
 						Inputs: inputs,
 					}
-					if _, err := pool.Submit(ctx, req); err != nil {
+					_, err := pool.Submit(ctx, req)
+					// Under chaos, individual failures are expected (retries
+					// exhausted, breaker cooling): the client resubmits a
+					// bounded number of times and only an exhausted budget
+					// counts as a dropped request.
+					for a := 0; err != nil && *chaosSeed != 0 && a < *chaosRetries && ctx.Err() == nil; a++ {
+						_, err = pool.Submit(ctx, req)
+					}
+					if err != nil {
 						failures.Add(1)
-						if ctx.Err() == nil {
+						if ctx.Err() == nil && *chaosSeed == 0 {
 							fmt.Fprintf(os.Stderr, "dfg-serve: request %d: %v\n", i, err)
 						}
 					}
@@ -172,6 +213,18 @@ func main() {
 		fmt.Printf("%-28s %.0f req/s\n", "throughput:", float64(st.Served)/elapsed.Seconds())
 	}
 	pool.Report(os.Stdout)
+	if *chaosSeed != 0 {
+		// Soak verdict: every request must land despite the injected
+		// faults, and the drained pool must hold zero device buffers.
+		dropped := failures.Load()
+		leaked := pool.LiveBuffers()
+		fmt.Printf("%-28s seed=%d dropped=%d leaked-buffers=%d rerouted=%d rebuilds=%d\n",
+			"chaos:", *chaosSeed, dropped, leaked, st.Rerouted, st.Restarts)
+		if ctx.Err() == nil && (dropped > 0 || leaked != 0) {
+			fmt.Fprintln(os.Stderr, "dfg-serve: chaos soak FAILED")
+			os.Exit(1)
+		}
+	}
 	if failures.Load() > 0 && ctx.Err() == nil {
 		os.Exit(1)
 	}

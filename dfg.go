@@ -41,6 +41,7 @@
 package dfg
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -156,6 +157,11 @@ type Engine struct {
 	// prepCount tracks open Prepared handles; when the last one closes,
 	// the engine drains its buffer arena (see Prepared.Close).
 	prepCount int
+
+	// rec, when non-nil, is the armed fault-recovery state
+	// (SetRecovery): transient retries with backoff and the capacity
+	// degradation ladder, wrapped around every plan execution.
+	rec *recovery
 
 	// lvl is the optimisation level every compile goes through
 	// (Config.Opt, parsed). The zero value is the Paper level.
@@ -338,6 +344,17 @@ func (e *Engine) Eval(text string, n int, inputs map[string][]float32) (*Result,
 	return res, err
 }
 
+// EvalCtx is Eval observing a context: the run is abandoned at the
+// next kernel-launch boundary once ctx is done, and with recovery
+// armed (SetRecovery) a done context also stops further retries and
+// fallbacks.
+func (e *Engine) EvalCtx(ctx context.Context, text string, n int, inputs map[string][]float32) (*Result, error) {
+	sp := e.tracer.Start("eval")
+	res, err := e.evalTraced(ctx, sp, text, n, inputs)
+	sp.Finish()
+	return res, err
+}
+
 // EvalTraced is Eval recording its pipeline spans — compile (parse,
 // fingerprint, cache, build), bind, execute, plus the run's device
 // events on their own tracks — as children of the caller-owned parent
@@ -345,6 +362,11 @@ func (e *Engine) Eval(text string, n int, inputs map[string][]float32) (*Result,
 // per-request span that also covers queue wait. A nil parent disables
 // tracing for the call (metrics still fire if a registry is attached).
 func (e *Engine) EvalTraced(parent *obs.Span, text string, n int, inputs map[string][]float32) (*Result, error) {
+	return e.evalTraced(nil, parent, text, n, inputs)
+}
+
+// evalTraced is the shared Eval core; ctx may be nil.
+func (e *Engine) evalTraced(ctx context.Context, parent *obs.Span, text string, n int, inputs map[string][]float32) (*Result, error) {
 	if parent != nil { // guard: strconv.Itoa must not run on the no-op path
 		parent.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(n))
 	}
@@ -357,12 +379,12 @@ func (e *Engine) EvalTraced(parent *obs.Span, text string, n int, inputs map[str
 		return nil, err
 	}
 	bs := parent.Child("bind")
-	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs))}
+	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs)), Ctx: ctx}
 	for name, data := range inputs {
 		bind.Sources[name] = strategy.Source{Data: data, Width: 1}
 	}
 	bs.Finish()
-	return e.runPlan(plan, bind, nil, parent, fp, t0)
+	return e.runPlan(text, nil, plan, strategy.PlanCacheName(e.strat), bind, nil, parent, fp, t0)
 }
 
 // EvalOnMesh evaluates an expression over cell-centered fields on a
@@ -388,17 +410,32 @@ func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (
 	if err != nil {
 		return nil, err
 	}
-	return e.runPlan(plan, bind, nil, sp, fp, t0)
+	return e.runPlan(text, nil, plan, strategy.PlanCacheName(e.strat), bind, nil, sp, fp, t0)
 }
 
-// runPlan executes a prepared plan, recording the execute span (with the
-// simulated device events attached as fixed-time children on per-
-// category tracks) and the per-(fingerprint, strategy) latency
+// runPlan executes a plan, wrapped in the engine's recovery loop when
+// one is armed (SetRecovery): transient faults retry the same plan
+// with backoff, capacity faults re-plan text down the degradation
+// ladder. pr, when non-nil, is the Prepared handle the execution runs
+// under; a degraded run parks its landing rung there so warm
+// evaluations start from it. label names plan's rung
+// (strategy.PlanCacheName at entry).
+func (e *Engine) runPlan(text string, pr *Prepared, plan strategy.Plan, label string,
+	bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+	if e.rec == nil {
+		return e.runPlanOnce(plan, bind, pool, sp, fp, t0)
+	}
+	return e.rec.run(e, text, pr, plan, label, bind, pool, sp, fp, t0)
+}
+
+// runPlanOnce executes a prepared plan once, recording the execute span
+// (with the simulated device events attached as fixed-time children on
+// per-category tracks) and the per-(fingerprint, strategy) latency
 // observation. pool, when non-nil, is attached to the environment for
 // the duration of the execution (the Prepared warm path); one-shot Eval
 // passes nil so per-run allocate/free — and with it the paper's
 // Table II event counts and Figure 6 memory profile — stays exact.
-func (e *Engine) runPlan(plan strategy.Plan, bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+func (e *Engine) runPlanOnce(plan strategy.Plan, bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
 	if pool != nil {
 		e.env.SetPool(pool)
 		defer e.env.SetPool(nil)

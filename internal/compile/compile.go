@@ -312,9 +312,11 @@ func (c *Compiler) PassStats() []PassStat {
 }
 
 // PlanKey builds the plan-cache key for a network fingerprint executed
-// under a strategy on a device class. Components are NUL-separated;
-// fingerprints are hex and names never contain NUL, so the encoding is
-// injective.
+// under a strategy on a device class. The strategy component should be
+// strategy.PlanCacheName's result so configured variants (e.g.
+// streaming tile counts) occupy distinct slots. Components are
+// NUL-separated; fingerprints are hex and names never contain NUL, so
+// the encoding is injective.
 func PlanKey(fingerprint, strategyName, deviceClass string) string {
 	return fingerprint + "\x00" + strategyName + "\x00" + deviceClass
 }
@@ -348,7 +350,7 @@ func (c *Compiler) PlanTracedAt(text string, lvl passes.Level, strat strategy.St
 	if err != nil {
 		return nil, fp, err
 	}
-	key := PlanKey(fp, strat.Name(), dev.Name())
+	key := PlanKey(fp, strategy.PlanCacheName(strat), dev.Name())
 
 	ps := parent.Child("plan")
 	defer ps.Finish()

@@ -1,6 +1,7 @@
 package ocl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -39,15 +40,21 @@ type Arena struct {
 	allocated     int64 // acquisitions that hit Context.NewBuffer
 	uploads       int64 // resident uploads that moved data
 	uploadSkips   int64 // resident uploads skipped (content unchanged)
+	evictions     int64 // buffers evicted under memory pressure
 	pooledBytes   int64 // bytes idle in free lists
 	residentBytes int64 // bytes held by resident source buffers
 }
 
-// residentBuf is one device-resident source: its buffer and the content
-// hash of the data it holds.
+// residentBuf is one device-resident source: its buffer, the content
+// hash of the data it holds, and how many hand-outs are still in use.
 type residentBuf struct {
 	buf  *Buffer
 	hash uint64
+	// refs counts UploadResident hand-outs not yet Released. Only a
+	// slot with refs == 0 may be evicted under memory pressure: a
+	// positive count means some execution still has the buffer bound as
+	// a kernel argument.
+	refs int
 }
 
 // newArena builds an arena on the context (see Context.Pool).
@@ -93,7 +100,30 @@ func (a *Arena) Acquire(label string, elems, width int) (*Buffer, error) {
 
 	b, err := a.ctx.NewBuffer(label, elems, width)
 	if err != nil {
-		return nil, err
+		// Genuine accounting pressure (the pool's own idle and stale
+		// buffers are crowding out the request) is relieved by evicting
+		// and retrying: first the free lists, then any resident source
+		// whose hand-outs have all been released. Failures that are NOT
+		// real pressure — injected faults on a device with room to spare —
+		// surface unchanged, so fault-injection sweeps observe every
+		// scheduled error.
+		if !memoryPressure(err) {
+			return nil, err
+		}
+		if a.evictFree() {
+			b, err = a.ctx.NewBuffer(label, elems, width)
+		}
+		if err != nil {
+			if !memoryPressure(err) {
+				return nil, err
+			}
+			if !a.evictIdleResidents() {
+				return nil, err
+			}
+			if b, err = a.ctx.NewBuffer(label, elems, width); err != nil {
+				return nil, err
+			}
+		}
 	}
 	b.mu.Lock()
 	b.pool = a
@@ -102,6 +132,84 @@ func (a *Arena) Acquire(label string, elems, width int) (*Buffer, error) {
 	a.allocated++
 	a.mu.Unlock()
 	return b, nil
+}
+
+// memoryPressure reports whether an allocation error reflects genuine
+// capacity accounting — the request plus live bytes really exceeding
+// the device's global memory — as opposed to an injected fault on a
+// device with room to spare. Only real pressure justifies evicting
+// pooled buffers: eviction cannot cure an injected error, and hiding
+// one would break the fault-sweep invariant that every scheduled fault
+// is observed.
+func memoryPressure(err error) bool {
+	var ae *AllocError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return errors.Is(ae.Err, ErrOutOfDeviceMemory) && ae.Requested+ae.InUse > ae.Capacity
+}
+
+// evictFree flushes every idle free-list buffer back to the context,
+// reporting whether any memory was reclaimed.
+func (a *Arena) evictFree() bool {
+	a.mu.Lock()
+	var victims []*Buffer
+	for _, lst := range a.free {
+		victims = append(victims, lst...)
+	}
+	a.free = make(map[int64][]*Buffer)
+	a.pooledBytes = 0
+	a.evictions += int64(len(victims))
+	a.mu.Unlock()
+	for _, b := range victims {
+		b.mu.Lock()
+		b.pool = nil
+		b.pooled = false
+		b.mu.Unlock()
+		b.Release()
+	}
+	return len(victims) > 0
+}
+
+// evictIdleResidents retires every resident source slot with no
+// outstanding hand-outs (refs == 0) back to the context, reporting
+// whether any memory was reclaimed. Slots still referenced by a running
+// execution are never touched: their buffers are bound as kernel
+// arguments.
+func (a *Arena) evictIdleResidents() bool {
+	a.mu.Lock()
+	var victims []*Buffer
+	for key, r := range a.resident {
+		if r.refs > 0 {
+			continue
+		}
+		delete(a.resident, key)
+		a.residentBytes -= r.buf.bytes
+		victims = append(victims, r.buf)
+	}
+	a.evictions += int64(len(victims))
+	a.mu.Unlock()
+	for _, b := range victims {
+		b.mu.Lock()
+		b.pool = nil
+		b.pooled = false
+		b.resident = false
+		b.resKey = ""
+		b.mu.Unlock()
+		b.Release()
+	}
+	return len(victims) > 0
+}
+
+// residentReleased returns one hand-out reference for the slot; called
+// by Buffer.Release on resident buffers. The buffer argument guards
+// against a slot that was already retired and re-keyed.
+func (a *Arena) residentReleased(key string, b *Buffer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r := a.resident[key]; r != nil && r.buf == b && r.refs > 0 {
+		r.refs--
+	}
 }
 
 // recycle returns a released pooled buffer to its free list. The caller
@@ -132,6 +240,7 @@ func (a *Arena) UploadResident(q *Queue, key, label string, src []float32, width
 	if r != nil && r.buf.elems == elems && r.buf.width == width {
 		if r.hash == h {
 			a.uploadSkips++
+			r.refs++
 			a.mu.Unlock()
 			return r.buf, true, nil
 		}
@@ -142,6 +251,7 @@ func (a *Arena) UploadResident(q *Queue, key, label string, src []float32, width
 		a.mu.Unlock()
 		r.buf.mu.Lock()
 		r.buf.resident = false
+		r.buf.resKey = ""
 		r.buf.mu.Unlock()
 		r.buf.Release()
 		r = nil
@@ -156,6 +266,7 @@ func (a *Arena) UploadResident(q *Queue, key, label string, src []float32, width
 		}
 		nb.mu.Lock()
 		nb.resident = true
+		nb.resKey = key
 		nb.mu.Unlock()
 		r = &residentBuf{buf: nb}
 		a.mu.Lock()
@@ -170,6 +281,7 @@ func (a *Arena) UploadResident(q *Queue, key, label string, src []float32, width
 	a.mu.Lock()
 	r.hash = h
 	a.uploads++
+	r.refs++
 	a.mu.Unlock()
 	return r.buf, false, nil
 }
@@ -178,7 +290,9 @@ func (a *Arena) UploadResident(q *Queue, key, label string, src []float32, width
 // back to the context, returning Used and LiveBuffers to what they were
 // before the arena was populated. Buffers currently checked out are
 // unaffected (they recycle normally when released). The arena remains
-// usable after a drain.
+// usable after a drain, and Drain is idempotent: draining an
+// already-empty arena is a no-op, so recovery paths may drain
+// defensively without double-releasing anything.
 func (a *Arena) Drain() {
 	a.mu.Lock()
 	var victims []*Buffer
@@ -199,6 +313,7 @@ func (a *Arena) Drain() {
 		b.pool = nil
 		b.pooled = false
 		b.resident = false
+		b.resKey = ""
 		b.mu.Unlock()
 		b.Release()
 	}
@@ -213,6 +328,9 @@ type ArenaStats struct {
 	// UploadsSkipped counts uploads avoided because the source content
 	// was unchanged.
 	Uploads, UploadsSkipped int64
+	// Evictions counts pooled or resident buffers freed under genuine
+	// memory pressure so a new allocation could fit.
+	Evictions int64
 	// PooledBytes is the device memory idle in free lists;
 	// ResidentBytes the memory pinned by resident source buffers.
 	PooledBytes, ResidentBytes int64
@@ -229,6 +347,7 @@ func (a *Arena) Stats() ArenaStats {
 		Allocated:      a.allocated,
 		Uploads:        a.uploads,
 		UploadsSkipped: a.uploadSkips,
+		Evictions:      a.evictions,
 		PooledBytes:    a.pooledBytes,
 		ResidentBytes:  a.residentBytes,
 		Resident:       len(a.resident),

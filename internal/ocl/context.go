@@ -1,6 +1,7 @@
 package ocl
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -17,28 +18,98 @@ type Context struct {
 	peak  int64
 	live  int
 	alloc int // total successful allocations (monotone)
-	// injectAfter counts down successful allocations until one injected
-	// failure (-1 = disabled). See InjectAllocFailure.
-	injectAfter int
+	// fplan is the attached fault injector (nil = no injection) and lost
+	// the device-lost latch it can set. See SetFaultPlan and Heal.
+	fplan *FaultPlan
+	lost  bool
 	// pool is the context's lazily created buffer arena (see Pool).
 	pool *Arena
 }
 
 // NewContext creates a context on the device.
 func NewContext(dev *Device) *Context {
-	return &Context{dev: dev, injectAfter: -1}
+	return &Context{dev: dev}
 }
 
-// InjectAllocFailure arms a one-shot fault: after n more successful
-// buffer allocations, the next allocation fails with
+// SetFaultPlan attaches a fault injector to the context; every
+// subsequent allocation, transfer and kernel launch consults it. A nil
+// plan disables injection. Replacing the plan does not clear a latched
+// device loss — use Heal for that.
+func (c *Context) SetFaultPlan(p *FaultPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fplan = p
+}
+
+// FaultPlan returns the attached fault injector, or nil.
+func (c *Context) FaultPlan() *FaultPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fplan
+}
+
+// Lost reports whether the device is latched lost: every operation
+// fails with ErrDeviceLost until Heal.
+func (c *Context) Lost() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost
+}
+
+// Heal clears a latched device loss, simulating a driver reset that
+// brought the device back. Buffer contents survive in the simulation
+// (accounting was never touched), but callers should treat the device
+// as fresh.
+func (c *Context) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lost = false
+}
+
+// InjectAllocFailure arms a one-shot fault: after n more buffer
+// allocation attempts, the next allocation fails with
 // ErrOutOfDeviceMemory regardless of capacity. Real devices fail
 // allocations for reasons beyond raw capacity (fragmentation, runtime
 // reserves), and strategies must clean up wherever the failure lands;
-// the fault-injection tests sweep n across whole executions.
+// the fault-injection tests sweep n across whole executions. It is
+// shorthand for attaching a fresh FaultPlan with a single
+// FailNth(FaultAlloc, n) rule — and like SetFaultPlan it replaces any
+// plan already attached.
 func (c *Context) InjectAllocFailure(n int) {
+	c.SetFaultPlan(NewFaultPlan(0).FailNth(FaultAlloc, n))
+}
+
+// faultPoint runs the fault check for one device operation: a latched
+// device loss fails everything, and otherwise the attached plan (if
+// any) decides. Injected errors are typed *FaultError; an EffectPanic
+// rule panics from here, inside the operation.
+func (c *Context) faultPoint(op FaultOp, name string) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.injectAfter = n
+	lost, plan := c.lost, c.fplan
+	c.mu.Unlock()
+	if lost {
+		return &FaultError{Op: op, Device: c.dev.spec.Name, Name: name, Err: ErrDeviceLost}
+	}
+	if plan == nil {
+		return nil
+	}
+	effect, inj, fired := plan.fire(op)
+	if !fired {
+		return nil
+	}
+	switch effect {
+	case EffectPanic:
+		panic(fmt.Sprintf("ocl: injected panic: device %q: %s %q", c.dev.spec.Name, op, name))
+	case EffectDeviceLost:
+		c.mu.Lock()
+		c.lost = true
+		c.mu.Unlock()
+		return &FaultError{Op: op, Device: c.dev.spec.Name, Name: name, Err: ErrDeviceLost}
+	}
+	if inj == nil {
+		inj = faultSentinel(op)
+	}
+	return &FaultError{Op: op, Device: c.dev.spec.Name, Name: name, Err: inj}
 }
 
 // Device returns the context's device.
@@ -97,10 +168,14 @@ type Buffer struct {
 	// pool, pooled and resident implement arena-backed buffers: a buffer
 	// with a pool recycles into it on Release instead of freeing; pooled
 	// marks it idle in a free list; resident marks it owned by the
-	// arena's device-resident source cache, where Release is a no-op.
+	// arena's device-resident source cache, where Release only drops the
+	// slot's in-use reference (resKey names the slot) — the buffer stays
+	// on the device until the arena drains or evicts it under memory
+	// pressure.
 	pool     *Arena
 	pooled   bool
 	resident bool
+	resKey   string
 }
 
 // NewBuffer allocates a device buffer of elems elements, each width
@@ -115,16 +190,25 @@ func (c *Context) NewBuffer(label string, elems, width int) (*Buffer, error) {
 	bytes := int64(elems) * int64(width) * 4
 	spec := c.dev.spec
 
+	if ferr := c.faultPoint(FaultAlloc, label); ferr != nil {
+		// Capacity-class injections keep the *AllocError shape real
+		// capacity failures have always had, so callers classify both
+		// paths identically.
+		if errors.Is(ferr, ErrOutOfDeviceMemory) || errors.Is(ferr, ErrAllocTooLarge) {
+			var fe *FaultError
+			cause := ferr
+			if errors.As(ferr, &fe) {
+				cause = fe.Err
+			}
+			c.mu.Lock()
+			used := c.used
+			c.mu.Unlock()
+			return nil, &AllocError{Device: spec.Name, Buffer: label, Requested: bytes, InUse: used, Capacity: spec.GlobalMemSize, Err: cause}
+		}
+		return nil, ferr
+	}
+
 	c.mu.Lock()
-	if c.injectAfter == 0 {
-		c.injectAfter = -1
-		err := &AllocError{Device: spec.Name, Buffer: label, Requested: bytes, InUse: c.used, Capacity: spec.GlobalMemSize, Err: ErrOutOfDeviceMemory}
-		c.mu.Unlock()
-		return nil, err
-	}
-	if c.injectAfter > 0 {
-		c.injectAfter--
-	}
 	if bytes > spec.MaxAllocSize {
 		err := &AllocError{Device: spec.Name, Buffer: label, Requested: bytes, InUse: c.used, Capacity: spec.GlobalMemSize, Err: ErrAllocTooLarge}
 		c.mu.Unlock()
@@ -167,12 +251,21 @@ func (c *Context) MustBuffer(label string, elems, width int) *Buffer {
 // matching clReleaseMemObject reference semantics for a single owner.
 // Arena-backed buffers do not free: a pooled buffer recycles into its
 // arena's free lists (still allocated on the device, ready for reuse),
-// and a resident source buffer ignores Release entirely — the arena
-// owns it until Drain or a shape change retires it.
+// and a resident source buffer only returns its hand-out reference to
+// the arena — the buffer stays on the device until Drain, a shape
+// change, or memory-pressure eviction retires it.
 func (b *Buffer) Release() {
 	b.mu.Lock()
-	if b.released || b.pooled || b.resident {
+	if b.released || b.pooled {
 		b.mu.Unlock()
+		return
+	}
+	if b.resident {
+		pool, key := b.pool, b.resKey
+		b.mu.Unlock()
+		if pool != nil && key != "" {
+			pool.residentReleased(key, b)
+		}
 		return
 	}
 	if b.pool != nil {

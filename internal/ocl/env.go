@@ -62,10 +62,19 @@ func (e *Env) Upload(label string, src []float32, width int) (*Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Release on any failed hand-off — including a panic out of the
+	// write (injected faults can panic), where the caller never sees b
+	// and could not release it.
+	handed := false
+	defer func() {
+		if !handed {
+			b.Release()
+		}
+	}()
 	if _, err := e.q.WriteBuffer(b, src); err != nil {
-		b.Release()
 		return nil, err
 	}
+	handed = true
 	return b, nil
 }
 

@@ -39,6 +39,99 @@ func (e *AllocError) Unwrap() error { return e.Err }
 // transfer or kernel launch.
 var ErrReleasedBuffer = errors.New("ocl: use of released buffer")
 
+// ErrDeviceLost is returned (wrapped in a *FaultError) for every
+// operation on a device that has been latched lost by a fault plan,
+// until Context.Heal is called. It mirrors OpenCL 2.x's
+// CL_DEVICE_NOT_AVAILABLE / a reset driver: nothing on the device can
+// be trusted, and callers must move the work elsewhere.
+var ErrDeviceLost = errors.New("ocl: device lost")
+
+// ErrTransferFailed is the default injected error for faulted
+// host<->device transfers (a flaky bus or DMA engine): the single
+// transfer failed but the device is otherwise healthy, so the
+// operation is retryable.
+var ErrTransferFailed = errors.New("ocl: transfer failed")
+
+// ErrKernelFailed is the default injected error for faulted kernel
+// launches (a transient launch failure): retryable, device healthy.
+var ErrKernelFailed = errors.New("ocl: kernel launch failed")
+
+// FaultError describes an injected (or device-lost) failure of one
+// device operation. The wrapped Err carries the failure class.
+type FaultError struct {
+	Op     FaultOp // operation stream the fault fired on
+	Device string  // device name
+	Name   string  // buffer label or kernel name
+	Err    error   // ErrDeviceLost, ErrTransferFailed, ErrKernelFailed, ...
+}
+
+// Error implements the error interface.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("%v: device %q: %s %q", e.Err, e.Device, e.Op, e.Name)
+}
+
+// Unwrap returns the sentinel cause so callers can use errors.Is.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// FaultClass partitions device errors by the recovery they admit. The
+// classes drive the engine's recovery policy: Transient faults are
+// retried in place with backoff, Capacity faults walk the strategy
+// degradation ladder, DeviceLost faults are rerouted off the device by
+// the serving pool's circuit breaker, and Permanent faults (compile
+// errors, bad bindings, canceled contexts) surface immediately.
+type FaultClass int
+
+const (
+	// ClassNone is the class of a nil error.
+	ClassNone FaultClass = iota
+	// ClassTransient marks a one-off operation failure on a healthy
+	// device: retrying the same plan may succeed.
+	ClassTransient
+	// ClassCapacity marks a memory-capacity failure: the same plan will
+	// keep failing, but a strategy with a smaller footprint can succeed.
+	ClassCapacity
+	// ClassDeviceLost marks a lost device: nothing on this device will
+	// succeed until it heals or is replaced.
+	ClassDeviceLost
+	// ClassPermanent marks everything else — retrying cannot help.
+	ClassPermanent
+)
+
+// String names the class.
+func (c FaultClass) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassTransient:
+		return "transient"
+	case ClassCapacity:
+		return "capacity"
+	case ClassDeviceLost:
+		return "device-lost"
+	case ClassPermanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("FaultClass(%d)", int(c))
+	}
+}
+
+// Classify maps an error from any device operation to its recovery
+// class.
+func Classify(err error) FaultClass {
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, ErrDeviceLost):
+		return ClassDeviceLost
+	case errors.Is(err, ErrOutOfDeviceMemory), errors.Is(err, ErrAllocTooLarge):
+		return ClassCapacity
+	case errors.Is(err, ErrTransferFailed), errors.Is(err, ErrKernelFailed):
+		return ClassTransient
+	default:
+		return ClassPermanent
+	}
+}
+
 // ArgError describes a kernel launch with mismatched arguments.
 type ArgError struct {
 	Kernel string

@@ -101,6 +101,9 @@ func (q *Queue) WriteBuffer(dst *Buffer, src []float32) (Event, error) {
 	if len(src) > len(dst.data) {
 		return Event{}, fmt.Errorf("ocl: write to %q: %d floats exceed buffer size %d", dst.label, len(src), len(dst.data))
 	}
+	if err := q.ctx.faultPoint(FaultWrite, dst.label); err != nil {
+		return Event{}, err
+	}
 	start := time.Now()
 	copy(dst.data, src)
 	wall := time.Since(start)
@@ -116,6 +119,9 @@ func (q *Queue) ReadBuffer(dst []float32, src *Buffer) (Event, error) {
 	}
 	if len(dst) > len(src.data) {
 		return Event{}, fmt.Errorf("ocl: read from %q: %d floats exceed buffer size %d", src.label, len(dst), len(src.data))
+	}
+	if err := q.ctx.faultPoint(FaultRead, src.label); err != nil {
+		return Event{}, err
 	}
 	start := time.Now()
 	copy(dst, src.data)
@@ -152,6 +158,9 @@ func (q *Queue) Run(k *Kernel, n int, bufs []*Buffer, scalars []float64) (Event,
 			return Event{}, &ArgError{Kernel: k.Name, Index: i, Reason: fmt.Sprintf("released buffer %q", b.label)}
 		}
 		views[i] = View{Data: b.data, Elems: b.elems, Width: b.width}
+	}
+	if err := q.ctx.faultPoint(FaultKernel, k.Name); err != nil {
+		return Event{}, err
 	}
 	var wall time.Duration
 	for _, pass := range passes {

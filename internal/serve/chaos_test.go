@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dfg"
+	"dfg/internal/ocl"
+)
+
+// chaosReq is a small healthy request the chaos tests reuse.
+func chaosReq() Request {
+	n := 64
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+	}
+	return Request{Expr: "f = x*2 + 1", N: n, Inputs: map[string][]float32{"x": xs}}
+}
+
+// TestWorkerPanicRecovery proves an injected device panic neither kills
+// the worker nor wedges the pool: the panicking request gets a typed
+// ErrWorkerPanic response, the worker rebuilds its engine on a fresh
+// device, and every subsequent request is served normally.
+func TestWorkerPanicRecovery(t *testing.T) {
+	var armed atomic.Bool
+	armed.Store(true)
+	pool, err := NewPool(Config{
+		Workers:   1,
+		Device:    dfg.CPU,
+		Strategy:  "fusion",
+		TraceKeep: -1,
+		FaultPlanFor: func(worker int) *ocl.FaultPlan {
+			// Only the first engine gets the bomb; the rebuilt one is clean.
+			if armed.CompareAndSwap(true, false) {
+				return ocl.NewFaultPlan(1).PanicAt(ocl.FaultKernel, 0)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	_, err = pool.Submit(context.Background(), chaosReq())
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("panicking request: got %v, want ErrWorkerPanic", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := pool.Submit(context.Background(), chaosReq()); err != nil {
+			t.Fatalf("request %d after restart: %v", i, err)
+		}
+	}
+	st := pool.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("restarts = %d, want 1", st.Restarts)
+	}
+	if st.Served != 5 || st.Failed != 1 {
+		t.Fatalf("served=%d failed=%d, want 5/1", st.Served, st.Failed)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.LiveBuffers(); n != 0 {
+		t.Fatalf("live buffers after close = %d, want 0", n)
+	}
+}
+
+// TestBreakerTripsAndProbeHeals walks a single worker's breaker through
+// its full cycle: a device-lost fault trips it open, requests during
+// the cooldown fail typed ErrWorkerUnavailable (a one-worker pool has
+// nowhere to reroute), and after the cooldown the half-open probe heals
+// the device and recloses the breaker.
+func TestBreakerTripsAndProbeHeals(t *testing.T) {
+	cooldown := 50 * time.Millisecond
+	var armed atomic.Bool
+	armed.Store(true)
+	pool, err := NewPool(Config{
+		Workers:         1,
+		Device:          dfg.CPU,
+		Strategy:        "fusion",
+		TraceKeep:       -1,
+		BreakerCooldown: cooldown,
+		FaultPlanFor: func(worker int) *ocl.FaultPlan {
+			if armed.CompareAndSwap(true, false) {
+				// One-shot device loss on the first kernel launch.
+				return ocl.NewFaultPlan(1).LoseDeviceAt(0)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	if _, err := pool.Submit(context.Background(), chaosReq()); !errors.Is(err, ocl.ErrDeviceLost) {
+		t.Fatalf("first request: got %v, want ErrDeviceLost", err)
+	}
+	if states := pool.BreakerStates(); states[0] != "open" {
+		t.Fatalf("breaker after device loss = %q, want open", states[0])
+	}
+	// Still cooling: nothing to reroute to, so the typed 5xx surfaces.
+	if _, err := pool.Submit(context.Background(), chaosReq()); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("request during cooldown: got %v, want ErrWorkerUnavailable", err)
+	}
+	if st := pool.Stats(); st.Rerouted == 0 {
+		t.Fatalf("rerouted = 0, want the cooled-down job to have bounced at least once")
+	}
+
+	time.Sleep(cooldown + 20*time.Millisecond)
+	// The half-open probe heals the latched loss; the one-shot fault rule
+	// is spent, so the probe succeeds and recloses the breaker.
+	if _, err := pool.Submit(context.Background(), chaosReq()); err != nil {
+		t.Fatalf("probe request: %v", err)
+	}
+	if states := pool.BreakerStates(); states[0] != "closed" {
+		t.Fatalf("breaker after successful probe = %q, want closed", states[0])
+	}
+	if st := pool.Stats(); st.Restarts != 0 {
+		t.Fatalf("restarts = %d, want 0 (probe healed, no replacement)", st.Restarts)
+	}
+}
+
+// TestDeviceReplacedAfterFailedProbes proves a device that stays dead
+// through repeated heal-and-probe cycles is eventually replaced: the
+// worker rebuilds its engine on a fresh device, the fault plan is
+// re-requested (now clean), and service resumes.
+func TestDeviceReplacedAfterFailedProbes(t *testing.T) {
+	cooldown := 5 * time.Millisecond
+	var builds atomic.Int64
+	pool, err := NewPool(Config{
+		Workers:            1,
+		Device:             dfg.CPU,
+		Strategy:           "fusion",
+		TraceKeep:          -1,
+		BreakerCooldown:    cooldown,
+		ReplaceAfterProbes: 2,
+		FaultPlanFor: func(worker int) *ocl.FaultPlan {
+			if builds.Add(1) == 1 {
+				// The first device loses itself on every kernel launch:
+				// healing never sticks.
+				return ocl.NewFaultPlan(1).Add(ocl.FaultRule{
+					Op: ocl.FaultKernel, Nth: 0, Times: 1 << 30, Effect: ocl.EffectDeviceLost,
+				})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().Restarts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("device never replaced; stats %+v, breakers %v", pool.Stats(), pool.BreakerStates())
+		}
+		pool.Submit(context.Background(), chaosReq())
+		time.Sleep(cooldown * 2)
+	}
+	if got := builds.Load(); got < 2 {
+		t.Fatalf("fault plan requested %d times, want >= 2 (replacement re-arms chaos)", got)
+	}
+	// The replacement device is clean; service resumes.
+	if _, err := pool.Submit(context.Background(), chaosReq()); err != nil {
+		t.Fatalf("request after replacement: %v", err)
+	}
+	if states := pool.BreakerStates(); states[0] != "closed" {
+		t.Fatalf("breaker after replacement = %q, want closed", states[0])
+	}
+}
+
+// TestRerouteOffTrippedDevice runs a two-worker pool where one device
+// dies permanently: every request still succeeds because jobs drawn by
+// the tripped worker bounce back onto the queue for the healthy one.
+func TestRerouteOffTrippedDevice(t *testing.T) {
+	pool, err := NewPool(Config{
+		Workers:   2,
+		Device:    dfg.CPU,
+		Strategy:  "fusion",
+		TraceKeep: -1,
+		// A long cooldown keeps worker 0 tripped for the whole test.
+		BreakerCooldown: time.Hour,
+		FaultPlanFor: func(worker int) *ocl.FaultPlan {
+			if worker == 0 {
+				return ocl.NewFaultPlan(1).Add(ocl.FaultRule{
+					Op: ocl.FaultKernel, Nth: 0, Times: 1 << 30, Effect: ocl.EffectDeviceLost,
+				})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	failed := 0
+	for i := 0; i < 40; i++ {
+		if _, err := pool.Submit(context.Background(), chaosReq()); err != nil {
+			if !errors.Is(err, ocl.ErrDeviceLost) {
+				t.Fatalf("request %d: unexpected error %v", i, err)
+			}
+			failed++
+		}
+	}
+	// Worker 0 kills at most one request (the one that trips the
+	// breaker); everything after reroutes to worker 1.
+	if failed > 1 {
+		t.Fatalf("%d requests failed, want at most 1 (the breaker-tripping one)", failed)
+	}
+	st := pool.Stats()
+	if st.Served < 39 {
+		t.Fatalf("served = %d, want >= 39", st.Served)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := pool.LiveBuffers(); n != 0 {
+		t.Fatalf("live buffers after close = %d, want 0", n)
+	}
+}

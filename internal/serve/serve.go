@@ -40,6 +40,18 @@ var ErrPoolClosed = errors.New("serve: pool closed")
 // a worker picked them up.
 var ErrQueueTimeout = errors.New("serve: request expired before execution")
 
+// ErrWorkerPanic marks a response whose evaluation panicked on the
+// device (an injected chaos panic or a genuine bug). The worker
+// recovered, replaced its engine, and kept serving; the failed request
+// gets this typed 5xx-style error instead of taking the process down.
+var ErrWorkerPanic = errors.New("serve: worker panicked during evaluation")
+
+// ErrWorkerUnavailable marks a request that could not be placed on any
+// healthy worker: the breaker on the worker that drew it was open and
+// rerouting was impossible (queue full, pool closing, or every device
+// tripped).
+var ErrWorkerUnavailable = errors.New("serve: no healthy worker available")
+
 // Config sizes a pool.
 type Config struct {
 	// Workers is the number of engines (and goroutines). Default 4.
@@ -80,6 +92,28 @@ type Config struct {
 	// SlowLog receives slow-request span trees. Defaults to os.Stderr
 	// when SlowThreshold is set.
 	SlowLog io.Writer
+
+	// Recovery is the fault-recovery policy armed on every worker engine
+	// (retry with backoff for transient faults, the degradation ladder
+	// for capacity faults). Nil arms dfg.DefaultRetryPolicy; the seed is
+	// perturbed per worker so retry jitter decorrelates across the pool.
+	// Set NoRecovery to run engines fail-fast instead.
+	Recovery   *dfg.RetryPolicy
+	NoRecovery bool
+	// BreakerThreshold is the consecutive device-fault failures that
+	// open a worker's circuit breaker (default 5); a device-lost fault
+	// trips it immediately regardless. BreakerCooldown is how long an
+	// open breaker waits before letting one half-open health probe
+	// through (default 50ms). ReplaceAfterProbes is the consecutive
+	// failed probes after which the worker gives up on the device and
+	// replaces it with a fresh one (default 3).
+	BreakerThreshold   int
+	BreakerCooldown    time.Duration
+	ReplaceAfterProbes int
+	// FaultPlanFor, when set, attaches a fault plan to each worker's
+	// device context at construction (and again after every device
+	// replacement) — the chaos-testing hook behind dfg-serve -chaos.
+	FaultPlanFor func(worker int) *ocl.FaultPlan
 }
 
 // Request is one evaluation: an expression program over named inputs.
@@ -118,6 +152,9 @@ type job struct {
 	cancel   context.CancelFunc
 	enqueued time.Time
 	resp     chan Response
+	// hops counts breaker reroutes, bounding how often a job may bounce
+	// between tripped workers before failing ErrWorkerUnavailable.
+	hops int
 }
 
 // Pool is a fixed set of worker engines behind one shared compile cache
@@ -130,9 +167,15 @@ type Pool struct {
 	done  chan struct{}
 
 	// engines holds each worker's engine, for scrape-time aggregation of
-	// the per-engine buffer-arena counters. Written once in NewPool,
-	// read-only afterwards.
+	// the per-engine buffer-arena counters. engMu guards it: a worker
+	// replaces its slot after a panic restart or a dead-device
+	// replacement, and metric-scrape closures read it concurrently.
+	engMu   sync.RWMutex
 	engines []*dfg.Engine
+
+	// breakers holds each worker's circuit breaker (fixed slice, the
+	// breakers themselves are internally locked).
+	breakers []*breaker
 
 	sendMu  sync.RWMutex // guards closed against in-flight senders
 	closed  bool
@@ -143,6 +186,8 @@ type Pool struct {
 	failed   atomic.Int64
 	expired  atomic.Int64
 	rejected atomic.Int64
+	rerouted atomic.Int64 // jobs pushed back to the queue off a tripped worker
+	restarts []atomic.Int64
 	acc      ocl.Accumulator
 
 	// Observability: the shared metrics registry, the request tracer
@@ -172,18 +217,32 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.Opt == "" {
 		cfg.Opt = "O2"
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 50 * time.Millisecond
+	}
+	if cfg.ReplaceAfterProbes <= 0 {
+		cfg.ReplaceAfterProbes = 3
+	}
 	comp := compile.NewCompiler()
 	if cfg.MaxCacheEntries > 0 {
 		comp.SetMaxEntries(cfg.MaxCacheEntries)
 	}
 	p := &Pool{
-		cfg:   cfg,
-		comp:  comp,
-		queue: make(chan *job, cfg.QueueDepth),
-		done:  make(chan struct{}),
-		reg:   obs.NewRegistry(),
-		busy:  make([]atomic.Int64, cfg.Workers),
-		start: time.Now(),
+		cfg:      cfg,
+		comp:     comp,
+		queue:    make(chan *job, cfg.QueueDepth),
+		done:     make(chan struct{}),
+		reg:      obs.NewRegistry(),
+		busy:     make([]atomic.Int64, cfg.Workers),
+		restarts: make([]atomic.Int64, cfg.Workers),
+		start:    time.Now(),
+	}
+	p.breakers = make([]*breaker, cfg.Workers)
+	for i := range p.breakers {
+		p.breakers[i] = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	if cfg.TraceKeep >= 0 {
 		p.tracer = obs.NewTracer(cfg.TraceKeep)
@@ -204,26 +263,62 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	p.registerMetrics()
 	for i := 0; i < cfg.Workers; i++ {
-		dev, err := dfg.NewDeviceFor(dfg.Config{Device: cfg.Device, MemScale: cfg.MemScale})
+		eng, err := p.newEngine(i)
 		if err != nil {
 			return nil, err
 		}
-		eng, err := dfg.NewWith(dev, cfg.Strategy, comp)
-		if err != nil {
-			return nil, err
-		}
-		eng, err = eng.WithOptLevel(cfg.Opt)
-		if err != nil {
-			return nil, err
-		}
-		// Workers pass their per-request span into EvalTraced, so the
-		// engines get only the registry (per-fingerprint histograms).
-		eng.Instrument(nil, p.reg)
 		p.engines = append(p.engines, eng)
+	}
+	for i := 0; i < cfg.Workers; i++ {
 		p.workers.Add(1)
-		go p.worker(i, eng)
+		go p.worker(i)
 	}
 	return p, nil
+}
+
+// newEngine builds one worker's engine on a fresh simulated device:
+// used at pool construction and again whenever a worker replaces a dead
+// or panicked device. Recovery (unless NoRecovery) is armed with a
+// per-worker jitter seed, and FaultPlanFor (if set) re-attaches the
+// worker's chaos schedule to the new context.
+func (p *Pool) newEngine(worker int) (*dfg.Engine, error) {
+	dev, err := dfg.NewDeviceFor(dfg.Config{Device: p.cfg.Device, MemScale: p.cfg.MemScale})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := dfg.NewWith(dev, p.cfg.Strategy, p.comp)
+	if err != nil {
+		return nil, err
+	}
+	eng, err = eng.WithOptLevel(p.cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	// Workers pass their per-request span into EvalTraced, so the
+	// engines get only the registry (per-fingerprint histograms).
+	eng.Instrument(nil, p.reg)
+	if !p.cfg.NoRecovery {
+		pol := dfg.DefaultRetryPolicy()
+		if p.cfg.Recovery != nil {
+			cp := *p.cfg.Recovery
+			pol = &cp
+		}
+		pol.Seed = pol.Seed*31 + int64(worker) + 1
+		if err := eng.SetRecovery(pol); err != nil {
+			return nil, err
+		}
+	}
+	if p.cfg.FaultPlanFor != nil {
+		eng.InjectFaults(p.cfg.FaultPlanFor(worker))
+	}
+	return eng, nil
+}
+
+// engine returns worker i's current engine.
+func (p *Pool) engine(i int) *dfg.Engine {
+	p.engMu.RLock()
+	defer p.engMu.RUnlock()
+	return p.engines[i]
 }
 
 // uptime is the pool's lifetime, frozen at Close so post-shutdown
@@ -270,10 +365,12 @@ func (p *Pool) registerMetrics() {
 		nil, func() float64 { return float64(p.comp.Stats().PlanEntries) })
 
 	// Buffer-arena counters, summed across every worker engine at scrape
-	// time. p.engines is complete before the pool is returned, so the
-	// closures see a fixed slice.
+	// time. Workers may replace their engine after a panic or device
+	// loss, so the closures read the slice under engMu.
 	arena := func(get func(ocl.ArenaStats) float64) func() float64 {
 		return func() float64 {
+			p.engMu.RLock()
+			defer p.engMu.RUnlock()
 			var sum float64
 			for _, eng := range p.engines {
 				sum += get(eng.ArenaStats())
@@ -293,6 +390,25 @@ func (p *Pool) registerMetrics() {
 		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.ResidentBytes) }))
 	r.GaugeFunc("dfg_arena_pooled_bytes", "Device memory idle in arena free lists.",
 		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.PooledBytes) }))
+	r.CounterFunc("dfg_arena_evictions_total", "Arena buffers evicted under device memory pressure.",
+		nil, arena(func(s ocl.ArenaStats) float64 { return float64(s.Evictions) }))
+
+	// Fault-tolerance series: circuit-breaker positions, engine rebuilds
+	// (panic recoveries and dead-device replacements), and jobs rerouted
+	// off tripped workers. dfg_retries_total and dfg_fallback_total are
+	// written by the engines' recovery loops into this same registry.
+	r.CounterFunc("dfg_requests_rerouted_total", "Jobs requeued off a tripped worker's device.",
+		nil, func() float64 { return float64(p.rerouted.Load()) })
+	for i := range p.breakers {
+		i := i
+		labels := obs.Labels{"worker": strconv.Itoa(i)}
+		r.GaugeFunc("dfg_breaker_state", "Circuit-breaker position (0 closed, 1 half-open, 2 open).",
+			labels, func() float64 { return float64(p.breakers[i].State()) })
+		r.CounterFunc("dfg_breaker_trips_total", "Times the worker's breaker opened.",
+			labels, func() float64 { return float64(p.breakers[i].Trips()) })
+		r.CounterFunc("dfg_worker_restarts_total", "Engine rebuilds after a panic or dead device.",
+			labels, func() float64 { return float64(p.restarts[i].Load()) })
+	}
 
 	r.CounterFunc("dfg_compile_cache_hits_total", "Shared compile-cache hits.",
 		nil, func() float64 { return float64(p.comp.Stats().Hits) })
@@ -392,7 +508,8 @@ const maxPreparedPerWorker = 64
 // Each executed job records a "request" trace rooted at enqueue time:
 // an explicit "queue-wait" child covering the time spent in the bounded
 // queue, then the engine's pipeline spans (compile/plan/bind/execute
-// with device events) — so a request's stages account for its full
+// with device events, plus any retry/fallback spans from the engine's
+// recovery loop) — so a request's stages account for its full
 // end-to-end latency, and the slow-request threshold applies to what
 // the client actually waited.
 //
@@ -404,19 +521,48 @@ const maxPreparedPerWorker = 64
 // invalidates exactly the prepared handles it affects (they age out of
 // the cache); when the worker exits it closes every handle, draining
 // the engine's arena.
-func (p *Pool) worker(id int, eng *dfg.Engine) {
+//
+// The worker survives its device: evaluations are panic-shielded (an
+// injected chaos panic becomes a typed ErrWorkerPanic response and the
+// engine is rebuilt on a fresh device), and a circuit breaker tracks
+// device faults — while it is open the worker reroutes jobs back onto
+// the queue for healthy peers, after the cooldown it heals the device
+// and lets one probe through, and enough failed probes replace the
+// device outright.
+func (p *Pool) worker(id int) {
 	defer p.workers.Done()
+	eng := p.engine(id)
+	br := p.breakers[id]
 	prepared := make(map[string]*dfg.Prepared)
-	defer func() {
+	byLevel := map[string]*dfg.Engine{eng.OptLevel(): eng}
+	closeAll := func() {
 		for _, pr := range prepared {
 			pr.Close()
 		}
-	}()
-	// byLevel memoizes the engine view per optimisation level, so a
-	// request overriding Request.Opt reuses one derived engine (and its
-	// Prepared-handle accounting) instead of deriving a fresh view per
-	// request. Seeded with the pool-level engine.
-	byLevel := map[string]*dfg.Engine{eng.OptLevel(): eng}
+		prepared = make(map[string]*dfg.Prepared)
+	}
+	defer func() { closeAll() }()
+	// restart discards the (possibly poisoned) engine and its prepared
+	// handles, builds a replacement on a fresh device, and publishes it
+	// for the metric scrapers.
+	restart := func() {
+		closeAll()
+		fresh, err := p.newEngine(id)
+		if err != nil {
+			// Device construction is deterministic; failing here means the
+			// pool config itself is bad, which NewPool would have caught.
+			// Keep limping on the old engine rather than killing the worker.
+			fmt.Fprintf(os.Stderr, "serve: worker %d: engine rebuild failed: %v\n", id, err)
+			return
+		}
+		eng = fresh
+		byLevel = map[string]*dfg.Engine{eng.OptLevel(): eng}
+		p.engMu.Lock()
+		p.engines[id] = fresh
+		p.engMu.Unlock()
+		br.reset()
+		p.restarts[id].Add(1)
+	}
 	for j := range p.queue {
 		pickup := time.Now()
 		wait := pickup.Sub(j.enqueued)
@@ -431,14 +577,42 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 			// the device.
 			p.expired.Add(1)
 			resp.Err = fmt.Errorf("%w: %v", ErrQueueTimeout, err)
+		} else if ok, probe := br.allow(pickup); !ok {
+			// Tripped device, still cooling: push the job back for a
+			// healthy peer. Holding the job briefly first (longer each
+			// hop) parks this worker while its peers sit blocked on the
+			// queue, so the requeued job hands off to one of them instead
+			// of bouncing straight back here. If it cannot be requeued
+			// (queue full, pool closing, or the job already bounced across
+			// the whole pool), fail it with the typed unavailability
+			// error.
+			hold := time.Duration(j.hops+1) * 200 * time.Microsecond
+			if hold > 2*time.Millisecond {
+				hold = 2 * time.Millisecond
+			}
+			time.Sleep(hold)
+			if p.reroute(j) {
+				p.rerouted.Add(1)
+				continue
+			}
+			p.failed.Add(1)
+			resp.Err = fmt.Errorf("%w: worker %d breaker open", ErrWorkerUnavailable, id)
 		} else {
+			if probe {
+				// Half-open health probe: heal a latched device loss first,
+				// simulating the driver reset the cooldown stood in for.
+				eng.Heal()
+			}
 			root := p.tracer.Start("request")
 			if root != nil {
 				root.Start = j.enqueued // the trace covers queue wait too
 				root.SetAttr("worker", strconv.Itoa(id))
 				root.Event("queue-wait", "", j.enqueued, pickup)
+				if probe {
+					root.SetAttr("breaker", "probe")
+				}
 			}
-			res, err := evalPrepared(eng, byLevel, prepared, root, j.req)
+			res, err := p.runShielded(id, eng, byLevel, prepared, root, j)
 			run := time.Since(pickup)
 			if root != nil {
 				if err != nil {
@@ -456,10 +630,87 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 				p.served.Add(1)
 				p.acc.Add(res.Profile, res.PeakDeviceBytes)
 			}
+			switch {
+			case errors.Is(err, ErrWorkerPanic):
+				// The device (or a kernel on it) panicked; the engine state
+				// is suspect. Replace it and keep serving.
+				restart()
+			case err == nil:
+				br.success()
+			default:
+				p.noteFault(id, br, err, pickup, restart)
+			}
 		}
 		j.cancel()
 		j.resp <- resp
 	}
+}
+
+// noteFault feeds an evaluation error to the worker's breaker. Only
+// device faults count: a lost device trips the breaker immediately,
+// transient or unexplained device errors count toward the consecutive
+// threshold. Errors that are not device faults (bad expressions,
+// capacity exhaustion after the ladder ran out) say nothing about
+// device health and leave the breaker alone. Once enough half-open
+// probes have failed in a row, the device is declared dead and
+// replaced.
+func (p *Pool) noteFault(id int, br *breaker, err error, now time.Time, restart func()) {
+	var fe *ocl.FaultError
+	if !errors.As(err, &fe) {
+		return
+	}
+	switch ocl.Classify(err) {
+	case ocl.ClassDeviceLost:
+		br.failure(now, true)
+	case ocl.ClassTransient, ocl.ClassPermanent:
+		br.failure(now, false)
+	default:
+		return
+	}
+	if br.failedProbes() >= p.cfg.ReplaceAfterProbes {
+		restart()
+	}
+}
+
+// reroute pushes a job a tripped worker drew back onto the queue for a
+// healthy peer, without blocking (a blocking send from a consumer can
+// deadlock the pool). It refuses once the job has bounced more than
+// twice around the pool, and during shutdown (jobs already accepted
+// must resolve now, not re-enter a closing queue).
+func (p *Pool) reroute(j *job) bool {
+	if j.hops >= 4*p.cfg.Workers+4 {
+		return false
+	}
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return false
+	}
+	j.hops++
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		j.hops--
+		return false
+	}
+}
+
+// runShielded is evalPrepared behind a panic shield: an injected chaos
+// panic (or a genuine bug) in the evaluation becomes a typed
+// ErrWorkerPanic error instead of crashing the worker goroutine and
+// deadlocking every queued client. Strategy cleanup runs during the
+// unwind (buffer releases are deferred), so the engine's arena still
+// drains; the caller replaces the engine anyway.
+func (p *Pool) runShielded(id int, eng *dfg.Engine, byLevel map[string]*dfg.Engine,
+	cache map[string]*dfg.Prepared, root *obs.Span, j *job) (res *dfg.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, id, r)
+		}
+	}()
+	return evalPrepared(j.ctx, eng, byLevel, cache, root, j.req)
 }
 
 // evalPrepared runs one request through the worker's prepared-plan
@@ -473,7 +724,7 @@ func (p *Pool) worker(id int, eng *dfg.Engine) {
 // cache is bounded by closing an arbitrary old handle; the plan it
 // wrapped stays in the shared compiler cache, so re-preparing is a map
 // lookup.
-func evalPrepared(eng *dfg.Engine, byLevel map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
+func evalPrepared(ctx context.Context, eng *dfg.Engine, byLevel map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
 	if req.Opt != "" {
 		d, err := eng.WithOptLevel(req.Opt)
 		if err != nil {
@@ -503,7 +754,10 @@ func evalPrepared(eng *dfg.Engine, byLevel map[string]*dfg.Engine, cache map[str
 		}
 		cache[pr.Fingerprint()] = pr
 	}
-	return pr.EvalTraced(root, req.N, req.Inputs)
+	// Thread the request's deadline into execution: a request that times
+	// out mid-plan stops at the next kernel-launch boundary instead of
+	// finishing work nobody is waiting for.
+	return pr.EvalTracedCtx(ctx, root, req.N, req.Inputs)
 }
 
 // EvalAsync submits a request and returns a buffered channel that will
@@ -565,6 +819,29 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*dfg.Result, error) {
 	return r.Result, r.Err
 }
 
+// LiveBuffers sums the unreleased device buffers across every worker's
+// current device, including buffers pooled or resident in the engines'
+// arenas. After Close (which drains every arena) it must be zero; the
+// chaos soak treats anything else as a leak.
+func (p *Pool) LiveBuffers() int {
+	p.engMu.RLock()
+	defer p.engMu.RUnlock()
+	var n int
+	for _, eng := range p.engines {
+		n += eng.LiveBuffers()
+	}
+	return n
+}
+
+// BreakerStates reports each worker's circuit-breaker position.
+func (p *Pool) BreakerStates() []string {
+	states := make([]string, len(p.breakers))
+	for i, b := range p.breakers {
+		states[i] = b.State().String()
+	}
+	return states
+}
+
 // Define registers (or replaces) a named expression definition in the
 // shared compiler. Every worker sees it; cached networks that reference
 // the name are invalidated (and only those — cache keys fingerprint the
@@ -614,6 +891,10 @@ func (p *Pool) Report(w io.Writer) {
 	fmt.Fprintf(w, "%-28s %v\n", "uptime:", up.Round(time.Millisecond))
 	fmt.Fprintf(w, "%-28s %d served, %d failed, %d expired, %d rejected\n",
 		"requests:", st.Served, st.Failed, st.Expired, st.Rejected)
+	if st.Rerouted > 0 || st.Restarts > 0 {
+		fmt.Fprintf(w, "%-28s %d rerouted, %d engine rebuilds, breakers %v\n",
+			"fault tolerance:", st.Rerouted, st.Restarts, p.BreakerStates())
+	}
 	if n := p.runHist.Count(); n > 0 {
 		fmt.Fprintf(w, "%-28s p50=%v p90=%v p99=%v\n", "run latency:",
 			p.runHist.Quantile(0.5).Round(time.Microsecond),
@@ -664,6 +945,10 @@ type Stats struct {
 	// Expired, requests that timed out in the queue; Rejected, requests
 	// that never entered the queue (full-queue timeout or closed pool).
 	Served, Failed, Expired, Rejected int64
+	// Rerouted counts jobs pushed back onto the queue off a tripped
+	// worker; Restarts, engine rebuilds across all workers (panic
+	// recoveries plus dead-device replacements).
+	Rerouted, Restarts int64
 	// Compiles, CacheHits and CacheMisses describe the shared compile
 	// cache; CacheEntries is its current size.
 	Compiles, CacheHits, CacheMisses int64
@@ -683,12 +968,18 @@ type Stats struct {
 func (p *Pool) Stats() Stats {
 	cs := p.comp.Stats()
 	prof, _, peak := p.acc.Snapshot()
+	var restarts int64
+	for i := range p.restarts {
+		restarts += p.restarts[i].Load()
+	}
 	return Stats{
 		Workers:         p.cfg.Workers,
 		Served:          p.served.Load(),
 		Failed:          p.failed.Load(),
 		Expired:         p.expired.Load(),
 		Rejected:        p.rejected.Load(),
+		Rerouted:        p.rerouted.Load(),
+		Restarts:        restarts,
 		Compiles:        cs.Compiles,
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,

@@ -69,6 +69,9 @@ func beginRun(env *ocl.Env, bind Bindings) error {
 	if bind.N <= 0 {
 		return fmt.Errorf("strategy: global work size must be positive, got %d", bind.N)
 	}
+	if err := bind.canceled(); err != nil {
+		return err
+	}
 	env.Reset()
 	return nil
 }

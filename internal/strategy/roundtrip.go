@@ -74,6 +74,9 @@ func (p *roundtripPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 	host := make(map[string]Source, len(p.order))
 
 	for _, node := range p.order {
+		if err := bind.canceled(); err != nil {
+			return nil, err
+		}
 		switch node.Filter {
 		case "source":
 			src, err := bind.source(node.ID)

@@ -120,6 +120,9 @@ func (p *stagedPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 	}
 
 	for _, node := range p.order {
+		if err := bind.canceled(); err != nil {
+			return nil, err
+		}
 		if node.Filter == "source" {
 			continue
 		}

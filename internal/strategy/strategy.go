@@ -19,6 +19,7 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 
 	"dfg/internal/dataflow"
@@ -48,6 +49,21 @@ type Bindings struct {
 	N int
 	// Sources binds each source node name to its host array.
 	Sources map[string]Source
+	// Ctx, when non-nil, is checked between kernel launches so a
+	// canceled or timed-out request stops mid-plan instead of running to
+	// completion. The partial run's buffers are released as on any other
+	// error path.
+	Ctx context.Context
+}
+
+// canceled returns the binding context's error, if a context is
+// attached and already done. Strategies call this between kernel
+// launches.
+func (b Bindings) canceled() error {
+	if b.Ctx == nil {
+		return nil
+	}
+	return b.Ctx.Err()
 }
 
 // source resolves a bound source by name.
@@ -97,6 +113,24 @@ type Strategy interface {
 	// before it returns, success or failure (with an arena attached,
 	// "released" means recycled into the pool).
 	Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error)
+}
+
+// Variant is implemented by strategies whose configuration changes the
+// plans they produce. PlanVariant returns a cache-key-safe name that
+// distinguishes the configuration (e.g. "streaming@16" for a 16-tile
+// streaming strategy), so differently configured plans never collide in
+// the shared plan cache.
+type Variant interface {
+	PlanVariant() string
+}
+
+// PlanCacheName returns the name a strategy's plans cache under: the
+// variant name when the strategy declares one, else the plain name.
+func PlanCacheName(s Strategy) string {
+	if v, ok := s.(Variant); ok {
+		return v.PlanVariant()
+	}
+	return s.Name()
 }
 
 // ForName returns the named strategy ("roundtrip", "staged" or "fusion").

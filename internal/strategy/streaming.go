@@ -34,6 +34,17 @@ type Streaming struct {
 // Name returns "streaming".
 func (Streaming) Name() string { return "streaming" }
 
+// PlanVariant distinguishes plan-cache entries by slab count, so a
+// degradation ladder escalating tile counts never gets a stale plan
+// back from the shared cache.
+func (s Streaming) PlanVariant() string {
+	t := s.Tiles
+	if t < 1 {
+		t = 4
+	}
+	return fmt.Sprintf("streaming@%d", t)
+}
+
 // streamingPlan holds the fused program plus the slab count; tile
 // geometry depends on the bound dims, so it is computed per execution.
 type streamingPlan struct {
@@ -76,6 +87,9 @@ func (p *streamingPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 
 	out := make([]float32, bind.N*p.prog.OutWidth)
 	for t, tr := range tilePlan(geom, p.tiles) {
+		if err := bind.canceled(); err != nil {
+			return nil, err
+		}
 		if err := runTileOn(env, p.prog, bind, tr, out, tr.outOff(p.prog.OutWidth)); err != nil {
 			return nil, fmt.Errorf("streaming: tile %d: %w", t, err)
 		}
@@ -100,6 +114,9 @@ type tileRange struct {
 // keyed by (name, window offset), so with an arena attached an
 // unchanged window skips its upload.
 func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange, out []float32, outOff int) error {
+	if err := bind.canceled(); err != nil {
+		return err
+	}
 	bufs := make([]*ocl.Buffer, len(prog.Args))
 	defer func() {
 		for _, b := range bufs {

@@ -1,6 +1,7 @@
 package dfg
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -36,7 +37,30 @@ type Prepared struct {
 	fp     string
 	text   string
 	closed bool
+
+	// fallback, when non-nil, is the degraded plan the engine's
+	// recovery ladder landed on during an earlier evaluation, with
+	// fallbackLabel naming its rung (e.g. "streaming@16"). Warm
+	// evaluations start from it instead of re-failing the primary plan;
+	// it is engine-recovery state, cleared by nothing short of a new
+	// Prepare.
+	fallback      strategy.Plan
+	fallbackLabel string
 }
+
+// active returns the plan a warm evaluation should start from and its
+// ladder label: the parked fallback if a previous run degraded, else
+// the primary plan.
+func (p *Prepared) active() (strategy.Plan, string) {
+	if p.fallback != nil {
+		return p.fallback, p.fallbackLabel
+	}
+	return p.plan, strategy.PlanCacheName(p.eng.strat)
+}
+
+// Degraded names the degradation-ladder rung this prepared expression
+// last landed on, or "" while the primary plan is still in use.
+func (p *Prepared) Degraded() string { return p.fallbackLabel }
 
 // Prepare compiles and plans an expression for repeated evaluation.
 func (e *Engine) Prepare(text string) (*Prepared, error) {
@@ -72,9 +96,30 @@ func (p *Prepared) Eval(n int, inputs map[string][]float32) (*Result, error) {
 	return res, err
 }
 
+// EvalCtx is Eval observing a context: the run stops at the next
+// kernel-launch boundary once ctx is done, and a done context also
+// stops recovery retries and fallbacks.
+func (p *Prepared) EvalCtx(ctx context.Context, n int, inputs map[string][]float32) (*Result, error) {
+	sp := p.eng.tracer.Start("eval")
+	res, err := p.evalTraced(ctx, sp, n, inputs)
+	sp.Finish()
+	return res, err
+}
+
 // EvalTraced is Eval recording its bind and execute spans as children
 // of the caller-owned parent span.
 func (p *Prepared) EvalTraced(parent *obs.Span, n int, inputs map[string][]float32) (*Result, error) {
+	return p.evalTraced(nil, parent, n, inputs)
+}
+
+// EvalTracedCtx is EvalTraced observing a context (see EvalCtx); the
+// serving layer threads each request's deadline through here.
+func (p *Prepared) EvalTracedCtx(ctx context.Context, parent *obs.Span, n int, inputs map[string][]float32) (*Result, error) {
+	return p.evalTraced(ctx, parent, n, inputs)
+}
+
+// evalTraced is the shared Eval core; ctx may be nil.
+func (p *Prepared) evalTraced(ctx context.Context, parent *obs.Span, n int, inputs map[string][]float32) (*Result, error) {
 	if p.closed {
 		return nil, fmt.Errorf("dfg: prepared expression is closed")
 	}
@@ -87,12 +132,13 @@ func (p *Prepared) EvalTraced(parent *obs.Span, n int, inputs map[string][]float
 		t0 = time.Now()
 	}
 	bs := parent.Child("bind")
-	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs))}
+	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs)), Ctx: ctx}
 	for name, data := range inputs {
 		bind.Sources[name] = strategy.Source{Data: data, Width: 1}
 	}
 	bs.Finish()
-	return e.runPlan(p.plan, bind, e.env.Context().Pool(), parent, p.fp, t0)
+	plan, label := p.active()
+	return e.runPlan(p.text, p, plan, label, bind, e.env.Context().Pool(), parent, p.fp, t0)
 }
 
 // EvalMesh evaluates the prepared expression over cell-centered fields
@@ -120,13 +166,20 @@ func (p *Prepared) EvalMesh(m *Mesh, fields map[string][]float32) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return e.runPlan(p.plan, bind, e.env.Context().Pool(), sp, p.fp, t0)
+	plan, label := p.active()
+	return e.runPlan(p.text, p, plan, label, bind, e.env.Context().Pool(), sp, p.fp, t0)
 }
 
 // Close releases the prepared handle. Closing the engine's last open
 // handle drains the arena: every pooled and resident device buffer is
 // freed, restoring the context's live-buffer count and used-byte
-// accounting to the pre-Prepare level. Close is idempotent.
+// accounting to the pre-Prepare level.
+//
+// Close is idempotent: a second (or hundredth) Close is a no-op — the
+// handle's prepCount reference is surrendered exactly once, so
+// double-Close can never drain an arena other handles still rely on.
+// The arena's Drain is itself idempotent, so Close racing nothing can
+// double-free either way.
 func (p *Prepared) Close() {
 	if p.closed {
 		return
