@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"dfg"
 	"dfg/internal/codegen"
 	"dfg/internal/expr"
 	"dfg/internal/ocl"
@@ -167,6 +168,47 @@ func BenchmarkAblation_MultiDevice(b *testing.B) {
 		}
 		b.ReportMetric(devNs, "modeled-ns/op")
 	})
+}
+
+// BenchmarkAblation_VMTier compares end-to-end warm Q-criterion
+// evaluation on the host bytecode VM against the fusion strategy at
+// small mesh sizes — the measurement behind the tiered planner's
+// default threshold. At these sizes the device strategies' fixed
+// per-run transfer and launch overhead dwarfs the arithmetic; the VM
+// runs the same fused pipeline out of pooled host scratch with zero
+// device traffic.
+func BenchmarkAblation_VMTier(b *testing.B) {
+	for _, side := range []int{4, 8, 16} {
+		m, err := dfg.NewUniformMesh(dfg.Dims{NX: side, NY: side, NZ: side},
+			1.0/float32(side), 1.0/float32(side), 1.0/float32(side))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := dfg.GenerateRT(m, 11)
+		fields := dfg.FieldInputs(f)
+		for _, strat := range []string{"vm", "fusion"} {
+			b.Run(fmt.Sprintf("%s-%dcubed", strat, side), func(b *testing.B) {
+				eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: strat})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr, err := eng.Prepare(dfg.QCriterionExpr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pr.Close()
+				if _, err := pr.EvalMesh(m, fields); err != nil { // cold run
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pr.EvalMesh(m, fields); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblation_ExecutorMode compares the blocked (NumExpr-style)

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"dfg/internal/metrics"
+	"dfg/internal/strategy"
 )
 
 func main() {
@@ -36,13 +37,14 @@ func main() {
 		outDir    = flag.String("out", "", "also write each artifact into this directory")
 		asJSON    = flag.Bool("json", false, "emit the sweep as machine-readable JSON on stdout (per-grid, per-strategy)")
 		repeat    = flag.Int("repeat", 0, "warm-vs-cold prepared-eval smoke: prepare Q-criterion once, eval cold then N warm times per strategy; exits 1 if warm evals allocate device buffers")
+		strat     = flag.String("strategy", "", "restrict -repeat to one strategy (e.g. vm, fusion); empty runs all")
 	)
 	flag.Parse()
 	if *all {
 		*table1, *table2, *fig2, *fig5, *fig6 = true, true, true, true, true
 	}
 	if *repeat > 0 {
-		runRepeat(*repeat, *asJSON, *outDir)
+		runRepeat(*repeat, *strat, *asJSON, *outDir)
 		return
 	}
 	if !(*table1 || *table2 || *fig2 || *fig5 || *fig6 || *asJSON) {
@@ -214,8 +216,15 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 // warm, and fails (exit 1) if any strategy's warm evaluations allocated
 // fresh device buffers or diverged from the cold output — the CI gate
 // on the prepared-plan and buffer-arena machinery.
-func runRepeat(warm int, asJSON bool, outDir string) {
-	cases, err := metrics.RunRepeat(warm)
+func runRepeat(warm int, strat string, asJSON bool, outDir string) {
+	names := strategy.ExtendedNames()
+	if strat != "" {
+		if _, err := strategy.ForName(strat); err != nil {
+			fatal(err)
+		}
+		names = []string{strat}
+	}
+	cases, err := metrics.RunRepeatFor(warm, names)
 	if err != nil {
 		fatal(err)
 	}

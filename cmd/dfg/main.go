@@ -31,7 +31,7 @@ func main() {
 		preset   = flag.String("preset", "velmag", "expression preset: velmag, vortmag or qcrit")
 		dims     = flag.String("dims", "48x48x64", "grid dimensions NXxNYxNZ")
 		device   = flag.String("device", "cpu", "target device: cpu or gpu")
-		strat    = flag.String("strategy", "fusion", "execution strategy: roundtrip, staged or fusion")
+		strat    = flag.String("strategy", "fusion", "execution strategy: roundtrip, staged, fusion, streaming, vm or tiered[@N]")
 		seed     = flag.Int64("seed", 42, "synthetic data seed")
 		memScale = flag.Int64("mem-scale", 64, "divide simulated device memory by this factor")
 		stats    = flag.Bool("stats", true, "print derived-field statistics")

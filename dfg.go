@@ -103,9 +103,17 @@ func (k DeviceKind) String() string {
 type Config struct {
 	// Device picks the target architecture. Default CPU.
 	Device DeviceKind
-	// Strategy is one of "roundtrip", "staged" or "fusion".
-	// Default "fusion" (the paper's fastest strategy).
+	// Strategy is one of "roundtrip", "staged", "fusion", "streaming",
+	// "vm" or "tiered". Default "fusion" (the paper's fastest device
+	// strategy). "vm" evaluates on the host bytecode VM with zero
+	// device traffic; "tiered" routes each request by size — below
+	// VMThreshold elements to the VM, at or above to the device.
 	Strategy string
+	// VMThreshold is the tier boundary for Strategy "tiered": requests
+	// with fewer elements run on the host VM, larger ones on the
+	// device. 0 means strategy.DefaultVMThreshold. Ignored for other
+	// strategies.
+	VMThreshold int
 	// MemScale divides the simulated device's memory capacity, for
 	// running the paper's memory-constraint experiments at laptop
 	// scale (grids scaled by s in each dimension pair with MemScale =
@@ -194,7 +202,11 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := NewWith(dev, cfg.Strategy, compile.NewCompiler())
+	name := cfg.Strategy
+	if name == "tiered" && cfg.VMThreshold > 0 {
+		name = fmt.Sprintf("tiered@%d", cfg.VMThreshold)
+	}
+	eng, err := NewWith(dev, name, compile.NewCompiler())
 	if err != nil {
 		return nil, err
 	}
@@ -289,6 +301,37 @@ func (e *Engine) WithOptLevel(level string) (*Engine, error) {
 	d.cfg.Opt = lvl.String()
 	d.lvl = lvl
 	d.prepCount = 0
+	return &d, nil
+}
+
+// WithStrategy returns a derived engine that executes under the named
+// strategy (any name ForName accepts, including "vm" and "tiered@N")
+// but shares everything else with the receiver — the same device
+// environment, compiler (strategy variants occupy distinct plan-cache
+// slots, so plans for both coexist), optimisation level and
+// observability hooks. Like WithOptLevel, the derived engine inherits
+// the receiver's single-goroutine discipline and owns its own
+// Prepared-handle count. An empty name returns the receiver unchanged.
+func (e *Engine) WithStrategy(name string) (*Engine, error) {
+	if name == "" {
+		return e, nil
+	}
+	strat, err := strategy.ForName(name)
+	if err != nil {
+		return nil, fmt.Errorf("dfg: %w", err)
+	}
+	if strategy.PlanCacheName(strat) == strategy.PlanCacheName(e.strat) {
+		return e, nil
+	}
+	d := *e
+	d.cfg.Strategy = name
+	d.strat = strat
+	d.prepCount = 0
+	if d.reg != nil {
+		// The latency series is labeled by strategy: start a fresh memo so
+		// the derived view records under its own name.
+		d.evalHist = make(map[string]*obs.Histogram)
+	}
 	return &d, nil
 }
 

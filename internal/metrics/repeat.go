@@ -7,6 +7,7 @@ import (
 	"dfg/internal/mesh"
 	"dfg/internal/rtsim"
 	"dfg/internal/strategy"
+	"dfg/internal/vm"
 	"dfg/internal/vortex"
 )
 
@@ -32,15 +33,30 @@ type RepeatCase struct {
 	// uploads avoided by content hash, both across the warm evals.
 	Reused         int64 `json:"buffers_reused"`
 	UploadsSkipped int64 `json:"uploads_skipped"`
+	// ScratchColdAllocs / ScratchWarmAllocs count fresh host-scratch
+	// slices the VM's pool allocated (cold eval vs all warm evals
+	// combined). Zero for device strategies; for the "vm" row they are
+	// the warm-path gate, since the VM touches no device memory at all.
+	ScratchColdAllocs int64 `json:"scratch_cold_allocs,omitempty"`
+	ScratchWarmAllocs int64 `json:"scratch_warm_allocs,omitempty"`
 	// Identical reports whether every warm output was bitwise equal to
 	// the cold output.
 	Identical bool `json:"warm_output_identical"`
 }
 
 // Reduced reports whether the warm path actually beat the cold path:
-// no fresh device-buffer allocations and bitwise-identical output. This
-// is the CI smoke gate for the prepared-plan machinery.
+// no fresh allocations and bitwise-identical output. Device strategies
+// are judged on device-buffer allocations; the host VM holds no device
+// buffers (all its counters must stay zero) and is judged on its host
+// scratch pool instead. This is the CI smoke gate for the prepared-plan
+// machinery.
 func (c RepeatCase) Reduced() bool {
+	if c.Strategy == "vm" {
+		return c.Identical &&
+			c.ColdAllocs == 0 && c.WarmAllocs == 0 &&
+			c.ColdWrites == 0 && c.WarmWrites == 0 &&
+			c.ScratchColdAllocs > 0 && c.ScratchWarmAllocs == 0
+	}
 	return c.Identical && c.WarmAllocs == 0 && c.ColdAllocs > 0
 }
 
@@ -50,6 +66,12 @@ func (c RepeatCase) Reduced() bool {
 // fixed and small — the point is allocation and transfer counting, not
 // runtime.
 func RunRepeat(warm int) ([]RepeatCase, error) {
+	return RunRepeatFor(warm, strategy.ExtendedNames())
+}
+
+// RunRepeatFor is RunRepeat restricted to the named strategies — the
+// hook behind dfg-bench's -strategy filter.
+func RunRepeatFor(warm int, names []string) ([]RepeatCase, error) {
 	if warm < 1 {
 		warm = 3
 	}
@@ -61,8 +83,8 @@ func RunRepeat(warm int) ([]RepeatCase, error) {
 	f := rtsim.Generate(m, rtsim.Options{Seed: 42})
 	fields := map[string][]float32{"u": f.U, "v": f.V, "w": f.W}
 
-	out := make([]RepeatCase, 0, len(strategy.ExtendedNames()))
-	for _, name := range strategy.ExtendedNames() {
+	out := make([]RepeatCase, 0, len(names))
+	for _, name := range names {
 		c, err := repeatCase(name, m, fields, warm)
 		if err != nil {
 			return nil, fmt.Errorf("repeat %s: %w", name, err)
@@ -75,6 +97,11 @@ func RunRepeat(warm int) ([]RepeatCase, error) {
 // repeatCase measures one strategy's cold and warm behavior through the
 // public Prepare/Eval API.
 func repeatCase(strat string, m *mesh.Mesh, fields map[string][]float32, warm int) (RepeatCase, error) {
+	if strat == "vm" {
+		// The VM's pooling is process-global host scratch: start the case
+		// from an empty pool so the cold/warm split is attributable.
+		vm.DrainPool()
+	}
 	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: strat})
 	if err != nil {
 		return RepeatCase{}, err
@@ -88,13 +115,16 @@ func repeatCase(strat string, m *mesh.Mesh, fields map[string][]float32, warm in
 	c := RepeatCase{Expr: "Q-Crit", Strategy: strat, Cells: m.Cells(), WarmEvals: warm}
 
 	before := eng.ArenaStats()
+	scratchBefore := vm.Stats()
 	cold, err := pr.EvalMesh(m, fields)
 	if err != nil {
 		return c, err
 	}
 	afterCold := eng.ArenaStats()
+	scratchCold := vm.Stats()
 	c.ColdAllocs = afterCold.Allocated - before.Allocated
 	c.ColdWrites = cold.Profile.Writes
+	c.ScratchColdAllocs = scratchCold.Allocs - scratchBefore.Allocs
 
 	c.Identical = true
 	for i := 0; i < warm; i++ {
@@ -108,9 +138,11 @@ func repeatCase(strat string, m *mesh.Mesh, fields map[string][]float32, warm in
 		}
 	}
 	afterWarm := eng.ArenaStats()
+	scratchWarm := vm.Stats()
 	c.WarmAllocs = afterWarm.Allocated - afterCold.Allocated
 	c.Reused = afterWarm.Reused - afterCold.Reused
 	c.UploadsSkipped = afterWarm.UploadsSkipped - afterCold.UploadsSkipped
+	c.ScratchWarmAllocs = scratchWarm.Allocs - scratchCold.Allocs
 	return c, nil
 }
 
@@ -132,11 +164,11 @@ func bitwiseEqual(a, b []float32) bool {
 // RepeatTable renders the warm-vs-cold comparison as an aligned table.
 func RepeatTable(cases []RepeatCase) *Table {
 	t := NewTable("Warm vs cold prepared evaluation (Q-criterion)",
-		"Strategy", "Cold allocs", "Warm allocs", "Cold Dev-W", "Warm Dev-W", "Reused", "Skipped", "Identical")
+		"Strategy", "Cold allocs", "Warm allocs", "Cold Dev-W", "Warm Dev-W", "Reused", "Skipped", "Scr cold", "Scr warm", "Identical")
 	for _, c := range cases {
-		t.Addf("%s|%d|%d|%d|%d|%d|%d|%v", c.Strategy,
+		t.Addf("%s|%d|%d|%d|%d|%d|%d|%d|%d|%v", c.Strategy,
 			c.ColdAllocs, c.WarmAllocs, c.ColdWrites, c.WarmWrites,
-			c.Reused, c.UploadsSkipped, c.Identical)
+			c.Reused, c.UploadsSkipped, c.ScratchColdAllocs, c.ScratchWarmAllocs, c.Identical)
 	}
 	return t
 }

@@ -12,15 +12,24 @@ func TestRunRepeatWarmPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cases) != 4 {
-		t.Fatalf("want 4 strategies, got %d", len(cases))
+	if len(cases) != 5 {
+		t.Fatalf("want 5 strategies, got %d", len(cases))
 	}
 	for _, c := range cases {
-		t.Logf("%-10s cold_allocs=%d warm_allocs=%d cold_writes=%d warm_writes=%d reused=%d skipped=%d identical=%v",
-			c.Strategy, c.ColdAllocs, c.WarmAllocs, c.ColdWrites, c.WarmWrites, c.Reused, c.UploadsSkipped, c.Identical)
+		t.Logf("%-10s cold_allocs=%d warm_allocs=%d cold_writes=%d warm_writes=%d reused=%d skipped=%d scratch_cold=%d scratch_warm=%d identical=%v",
+			c.Strategy, c.ColdAllocs, c.WarmAllocs, c.ColdWrites, c.WarmWrites, c.Reused, c.UploadsSkipped,
+			c.ScratchColdAllocs, c.ScratchWarmAllocs, c.Identical)
 		if !c.Reduced() {
-			t.Errorf("%s: warm path did not beat cold (allocs cold=%d warm=%d identical=%v)",
-				c.Strategy, c.ColdAllocs, c.WarmAllocs, c.Identical)
+			t.Errorf("%s: warm path did not beat cold (allocs cold=%d warm=%d scratch cold=%d warm=%d identical=%v)",
+				c.Strategy, c.ColdAllocs, c.WarmAllocs, c.ScratchColdAllocs, c.ScratchWarmAllocs, c.Identical)
+		}
+		if c.Strategy == "vm" {
+			// The host VM touches no device memory in any phase; its warm
+			// gate is the scratch pool, already folded into Reduced above.
+			if c.ColdWrites != 0 || c.WarmWrites != 0 {
+				t.Errorf("vm: recorded device transfers (cold=%d warm=%d), want 0", c.ColdWrites, c.WarmWrites)
+			}
+			continue
 		}
 		if c.Strategy != "roundtrip" {
 			// staged, fusion and streaming keep sources device-resident:

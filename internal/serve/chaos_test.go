@@ -71,10 +71,12 @@ func TestWorkerPanicRecovery(t *testing.T) {
 }
 
 // TestBreakerTripsAndProbeHeals walks a single worker's breaker through
-// its full cycle: a device-lost fault trips it open, requests during
-// the cooldown fail typed ErrWorkerUnavailable (a one-worker pool has
-// nowhere to reroute), and after the cooldown the half-open probe heals
-// the device and recloses the breaker.
+// its full cycle: a device-lost fault is rescued by the recovery
+// ladder's host-VM rung (the request still succeeds, with zero device
+// traffic) but trips the breaker anyway, requests during the cooldown
+// fail typed ErrWorkerUnavailable (a one-worker pool has nowhere to
+// reroute), and after the cooldown the half-open probe heals the device
+// and recloses the breaker.
 func TestBreakerTripsAndProbeHeals(t *testing.T) {
 	cooldown := 50 * time.Millisecond
 	var armed atomic.Bool
@@ -98,11 +100,15 @@ func TestBreakerTripsAndProbeHeals(t *testing.T) {
 	}
 	defer pool.Close()
 
-	if _, err := pool.Submit(context.Background(), chaosReq()); !errors.Is(err, ocl.ErrDeviceLost) {
-		t.Fatalf("first request: got %v, want ErrDeviceLost", err)
+	res, err := pool.Submit(context.Background(), chaosReq())
+	if err != nil {
+		t.Fatalf("first request: %v (the vm rung should have rescued the lost device)", err)
+	}
+	if res.Profile.Kernels != 0 || res.Profile.Writes != 0 || res.Profile.Reads != 0 {
+		t.Fatalf("rescued request touched the lost device: %+v", res.Profile)
 	}
 	if states := pool.BreakerStates(); states[0] != "open" {
-		t.Fatalf("breaker after device loss = %q, want open", states[0])
+		t.Fatalf("breaker after device loss = %q, want open (vm rescue must still trip it)", states[0])
 	}
 	// Still cooling: nothing to reroute to, so the typed 5xx surfaces.
 	if _, err := pool.Submit(context.Background(), chaosReq()); !errors.Is(err, ErrWorkerUnavailable) {

@@ -66,6 +66,10 @@ type Config struct {
 	Device   dfg.DeviceKind
 	Strategy string
 	MemScale int64
+	// VMThreshold is the tier boundary when Strategy is "tiered":
+	// requests below it run on the host bytecode VM, at or above on the
+	// device. 0 means strategy.DefaultVMThreshold; ignored otherwise.
+	VMThreshold int
 	// Opt is the optimisation level worker engines compile at: "paper"
 	// or "O2". Default "O2" — a service cares about launching fewer
 	// kernels, not about reproducing the paper's exact event counts;
@@ -130,6 +134,11 @@ type Request struct {
 	// this request: "paper" or "O2". Both levels' compiled plans
 	// coexist in the shared cache (the level is part of the cache key).
 	Opt string
+	// Strategy, if non-empty, overrides the pool's execution strategy
+	// for this request — any name dfg accepts, including "vm" and
+	// "tiered@N". Each strategy's plans occupy their own slots in the
+	// shared cache, so overrides never evict the pool default's plans.
+	Strategy string
 }
 
 // Response is the outcome of one request.
@@ -286,7 +295,7 @@ func (p *Pool) newEngine(worker int) (*dfg.Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := dfg.NewWith(dev, p.cfg.Strategy, p.comp)
+	eng, err := dfg.NewWith(dev, p.strategyName(), p.comp)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +321,15 @@ func (p *Pool) newEngine(worker int) (*dfg.Engine, error) {
 		eng.InjectFaults(p.cfg.FaultPlanFor(worker))
 	}
 	return eng, nil
+}
+
+// strategyName resolves the pool's configured strategy name, folding a
+// non-zero VMThreshold into the "tiered@N" variant (as dfg.New does).
+func (p *Pool) strategyName() string {
+	if p.cfg.Strategy == "tiered" && p.cfg.VMThreshold > 0 {
+		return fmt.Sprintf("tiered@%d", p.cfg.VMThreshold)
+	}
+	return p.cfg.Strategy
 }
 
 // engine returns worker i's current engine.
@@ -534,7 +552,7 @@ func (p *Pool) worker(id int) {
 	eng := p.engine(id)
 	br := p.breakers[id]
 	prepared := make(map[string]*dfg.Prepared)
-	byLevel := map[string]*dfg.Engine{eng.OptLevel(): eng}
+	byVariant := make(map[string]*dfg.Engine)
 	closeAll := func() {
 		for _, pr := range prepared {
 			pr.Close()
@@ -556,7 +574,7 @@ func (p *Pool) worker(id int) {
 			return
 		}
 		eng = fresh
-		byLevel = map[string]*dfg.Engine{eng.OptLevel(): eng}
+		byVariant = make(map[string]*dfg.Engine)
 		p.engMu.Lock()
 		p.engines[id] = fresh
 		p.engMu.Unlock()
@@ -612,7 +630,7 @@ func (p *Pool) worker(id int) {
 					root.SetAttr("breaker", "probe")
 				}
 			}
-			res, err := p.runShielded(id, eng, byLevel, prepared, root, j)
+			res, err := p.runShielded(id, eng, byVariant, prepared, root, j)
 			run := time.Since(pickup)
 			if root != nil {
 				if err != nil {
@@ -636,7 +654,19 @@ func (p *Pool) worker(id int) {
 				// is suspect. Replace it and keep serving.
 				restart()
 			case err == nil:
-				br.success()
+				if eng.DeviceLost() {
+					// The request was rescued by the recovery ladder's
+					// host-VM rung, but the device underneath is still lost:
+					// trip the breaker anyway so the cooldown/probe machinery
+					// heals (or replaces) it instead of every request limping
+					// through the VM forever.
+					br.failure(pickup, true)
+					if br.failedProbes() >= p.cfg.ReplaceAfterProbes {
+						restart()
+					}
+				} else {
+					br.success()
+				}
 			default:
 				p.noteFault(id, br, err, pickup, restart)
 			}
@@ -702,7 +732,7 @@ func (p *Pool) reroute(j *job) bool {
 // deadlocking every queued client. Strategy cleanup runs during the
 // unwind (buffer releases are deferred), so the engine's arena still
 // drains; the caller replaces the engine anyway.
-func (p *Pool) runShielded(id int, eng *dfg.Engine, byLevel map[string]*dfg.Engine,
+func (p *Pool) runShielded(id int, eng *dfg.Engine, byVariant map[string]*dfg.Engine,
 	cache map[string]*dfg.Prepared, root *obs.Span, j *job) (res *dfg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -710,13 +740,16 @@ func (p *Pool) runShielded(id int, eng *dfg.Engine, byLevel map[string]*dfg.Engi
 			err = fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, id, r)
 		}
 	}()
-	return evalPrepared(j.ctx, eng, byLevel, cache, root, j.req)
+	return evalPrepared(j.ctx, eng, byVariant, cache, root, j.req)
 }
 
 // evalPrepared runs one request through the worker's prepared-plan
-// cache. A request overriding Opt is routed to the worker's derived
-// engine for that level (memoized in byLevel); fingerprints incorporate
-// the level, so both levels' handles coexist in one cache. Preparing
+// cache. A request overriding Opt or Strategy is routed to the worker's
+// derived engine for that (level, strategy) pair (memoized in
+// byVariant); fingerprints incorporate the level, so every variant's
+// handles coexist in one cache (derived views share the worker's device
+// environment and arena, preserving the single-goroutine discipline —
+// only this worker touches any of them). Preparing
 // records the compile and plan spans under root (both are cache hits
 // for a hot expression, so every request trace keeps the full stage
 // set); a handle already cached under the same fingerprint wins, and
@@ -724,24 +757,35 @@ func (p *Pool) runShielded(id int, eng *dfg.Engine, byLevel map[string]*dfg.Engi
 // cache is bounded by closing an arbitrary old handle; the plan it
 // wrapped stays in the shared compiler cache, so re-preparing is a map
 // lookup.
-func evalPrepared(ctx context.Context, eng *dfg.Engine, byLevel map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
-	if req.Opt != "" {
-		d, err := eng.WithOptLevel(req.Opt)
-		if err != nil {
-			return nil, err
-		}
-		if cached, ok := byLevel[d.OptLevel()]; ok {
-			d = cached
+func evalPrepared(ctx context.Context, eng *dfg.Engine, byVariant map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
+	variant := req.Opt + "|" + req.Strategy
+	if variant != "|" {
+		if cached, ok := byVariant[variant]; ok {
+			eng = cached
 		} else {
-			byLevel[d.OptLevel()] = d
+			d := eng
+			var err error
+			if req.Opt != "" {
+				if d, err = d.WithOptLevel(req.Opt); err != nil {
+					return nil, err
+				}
+			}
+			if d, err = d.WithStrategy(req.Strategy); err != nil {
+				return nil, err
+			}
+			byVariant[variant] = d
+			eng = d
 		}
-		eng = d
 	}
 	pr, err := eng.PrepareTraced(root, req.Expr)
 	if err != nil {
 		return nil, err
 	}
-	if cached, ok := cache[pr.Fingerprint()]; ok {
+	// Fingerprints cover the expression, its definitions and the opt
+	// level — not the strategy — so the handle cache keys on the variant
+	// too: a Strategy override must never reuse another strategy's plan.
+	key := variant + "\x00" + pr.Fingerprint()
+	if cached, ok := cache[key]; ok {
 		pr.Close()
 		pr = cached
 	} else {
@@ -752,7 +796,7 @@ func evalPrepared(ctx context.Context, eng *dfg.Engine, byLevel map[string]*dfg.
 				break
 			}
 		}
-		cache[pr.Fingerprint()] = pr
+		cache[key] = pr
 	}
 	// Thread the request's deadline into execution: a request that times
 	// out mid-plan stops at the next kernel-launch boundary instead of

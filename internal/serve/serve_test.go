@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"dfg"
 	"dfg/internal/obs"
 )
 
@@ -427,5 +428,84 @@ func TestPoolPaperLevelConfig(t *testing.T) {
 	}
 	if got := p.comp.PassStat("dce").Runs; got != 0 {
 		t.Errorf("paper-level pool ran dce %d times, want 0", got)
+	}
+}
+
+// usedVM reports whether a response came from the host VM tier (no
+// device events of any kind).
+func usedVM(res *dfg.Result) bool {
+	return res.Profile.Kernels == 0 && res.Profile.Writes == 0 && res.Profile.Reads == 0
+}
+
+// TestPoolStrategyOverride: a per-request Strategy wins over the pool
+// default, both directions — "vm" on a fusion pool runs with zero
+// device traffic, and a device strategy on a tiered pool bypasses the
+// tier routing — with identical results throughout.
+func TestPoolStrategyOverride(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, Strategy: "fusion"})
+	const n = 64
+	expr := "r = sqrt(u*u + v*v + w*w)"
+
+	base, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedVM(base) {
+		t.Fatalf("fusion pool default ran on the vm: %+v", base.Profile)
+	}
+	vm, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n), Strategy: "vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedVM(vm) {
+		t.Fatalf("Strategy=vm request still touched the device: %+v", vm.Profile)
+	}
+	for i := range base.Data {
+		if math.Float32bits(base.Data[i]) != math.Float32bits(vm.Data[i]) {
+			t.Fatalf("element %d: vm %v vs fusion %v", i, vm.Data[i], base.Data[i])
+		}
+	}
+	// Unknown strategy fails the request, not the pool.
+	if _, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n), Strategy: "warp"}); err == nil {
+		t.Fatal("bad strategy must fail the request")
+	}
+	if _, err := p.Submit(context.Background(), Request{Expr: expr, N: n, Inputs: testInputs(n)}); err != nil {
+		t.Fatalf("pool broken after bad strategy: %v", err)
+	}
+}
+
+// TestPoolTieredConfig: a tiered pool routes a below-threshold request
+// to the VM and an at-threshold request to the device, and a
+// per-request device-strategy override beats the tier routing.
+func TestPoolTieredConfig(t *testing.T) {
+	const th = 128
+	p := newTestPool(t, Config{Workers: 1, Strategy: "tiered", VMThreshold: th})
+	expr := "r = sqrt(u*u + v*v + w*w)"
+
+	small, err := p.Submit(context.Background(), Request{Expr: expr, N: th - 1, Inputs: testInputs(th - 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usedVM(small) {
+		t.Fatalf("below-threshold request missed the vm tier: %+v", small.Profile)
+	}
+	large, err := p.Submit(context.Background(), Request{Expr: expr, N: th, Inputs: testInputs(th)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedVM(large) {
+		t.Fatalf("at-threshold request ran on the vm: %+v", large.Profile)
+	}
+	forced, err := p.Submit(context.Background(), Request{Expr: expr, N: th - 1, Inputs: testInputs(th - 1), Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedVM(forced) {
+		t.Fatalf("Strategy=fusion override still routed to the vm: %+v", forced.Profile)
+	}
+	for i := range small.Data {
+		if math.Float32bits(small.Data[i]) != math.Float32bits(forced.Data[i]) {
+			t.Fatalf("element %d: vm tier %v vs forced fusion %v", i, small.Data[i], forced.Data[i])
+		}
 	}
 }

@@ -208,6 +208,32 @@ func TestDifferentialRandomExpressions(t *testing.T) {
 				}
 			}
 		}
+
+		// The host VM holds a stronger bound than the device strategies'
+		// shared 1-ULP tolerance: it executes the fused kernel's exact
+		// instruction plan, so it must match fusion at zero ULP on every
+		// element, non-finite included.
+		env := cpuEnv()
+		vres, err := VM{}.Execute(env, net, bind)
+		if err != nil {
+			t.Fatalf("trial %d vm: %v\n%s", trial, err, text)
+		}
+		if vres.Profile.Kernels != 0 || vres.Profile.Writes != 0 || vres.Profile.Reads != 0 {
+			t.Fatalf("trial %d vm: device events %+v, want none", trial, vres.Profile)
+		}
+		if env.Context().LiveBuffers() != 0 {
+			t.Fatalf("trial %d vm: leaked %d buffers", trial, env.Context().LiveBuffers())
+		}
+		fref := results["fusion"]
+		if len(vres.Data) != len(fref) {
+			t.Fatalf("trial %d: vm shape %d differs from fusion %d", trial, len(vres.Data), len(fref))
+		}
+		for i := range fref {
+			if d := ulpDiff(fref[i], vres.Data[i]); d != 0 {
+				t.Fatalf("trial %d: vm diverges from fusion at element %d: %v vs %v (%d ULP)\nprogram:\n%s",
+					trial, i, fref[i], vres.Data[i], d, text)
+			}
+		}
 	}
 	if compiled != trials {
 		t.Fatalf("generator produced %d/%d compilable programs", compiled, trials)

@@ -155,7 +155,7 @@ func TestForNameStreaming(t *testing.T) {
 		t.Fatalf("ForName(streaming): %v %v", s, err)
 	}
 	names := ExtendedNames()
-	if names[len(names)-1] != "streaming" || len(names) != 4 {
+	if len(names) != 5 || names[3] != "streaming" || names[4] != "vm" {
 		t.Fatalf("extended names: %v", names)
 	}
 }

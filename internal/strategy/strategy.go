@@ -21,6 +21,8 @@ package strategy
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"dfg/internal/dataflow"
 	"dfg/internal/ocl"
@@ -133,7 +135,10 @@ func PlanCacheName(s Strategy) string {
 	return s.Name()
 }
 
-// ForName returns the named strategy ("roundtrip", "staged" or "fusion").
+// ForName returns the named strategy: the paper's "roundtrip", "staged"
+// or "fusion", the future-work "streaming", the host-bytecode "vm", or
+// the tiered model "tiered" (optionally "tiered@N" with an explicit
+// cell-count threshold).
 func ForName(name string) (Strategy, error) {
 	switch name {
 	case "roundtrip":
@@ -144,17 +149,28 @@ func ForName(name string) (Strategy, error) {
 		return Fusion{}, nil
 	case "streaming":
 		return Streaming{}, nil
+	case "vm":
+		return VM{}, nil
+	case "tiered":
+		return Tiered{}, nil
 	default:
-		return nil, fmt.Errorf("strategy: unknown strategy %q (want roundtrip, staged, fusion or streaming)", name)
+		if rest, ok := strings.CutPrefix(name, "tiered@"); ok {
+			th, err := strconv.Atoi(rest)
+			if err != nil || th < 1 {
+				return nil, fmt.Errorf("strategy: bad tiered threshold in %q (want tiered@N with N >= 1)", name)
+			}
+			return Tiered{Threshold: th}, nil
+		}
+		return nil, fmt.Errorf("strategy: unknown strategy %q (want roundtrip, staged, fusion, streaming, vm or tiered[@N])", name)
 	}
 }
 
 // Names lists the paper's three strategies in the paper's order.
 func Names() []string { return []string{"roundtrip", "staged", "fusion"} }
 
-// ExtendedNames adds the future-work streaming strategy implemented in
-// this reproduction.
-func ExtendedNames() []string { return append(Names(), "streaming") }
+// ExtendedNames adds the strategies this reproduction grew beyond the
+// paper: the future-work streaming strategy and the host bytecode VM.
+func ExtendedNames() []string { return append(Names(), "streaming", "vm") }
 
 // finish collects the run's profile into the result.
 func finish(env *ocl.Env, data []float32, width int) *Result {

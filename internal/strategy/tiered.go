@@ -1,0 +1,98 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/ocl"
+)
+
+// DefaultVMThreshold is the tiered strategy's default cutover: requests
+// strictly below this many cells run on the host VM, the rest on the
+// device strategy. It matches the simulated device's inline-execution
+// grain — at or below it a kernel launch runs single-goroutine anyway,
+// so the device adds transfer and event overhead without adding
+// parallelism.
+const DefaultVMThreshold = 4096
+
+// Tiered is the tiered execution model: each execution picks the host
+// VM for small requests (N strictly below Threshold) and the configured
+// Device strategy otherwise. The choice is per-binding and made inside
+// one immutable plan, so a prepared expression serves any mesh size and
+// the decision is stable across repeated Prepare calls by construction
+// (both tiers' plans come from the shared caches).
+type Tiered struct {
+	// Threshold is the cell-count cutover; 0 means DefaultVMThreshold.
+	Threshold int
+	// Device is the at-or-above-threshold strategy; nil means Fusion.
+	Device Strategy
+}
+
+// Name returns "tiered".
+func (Tiered) Name() string { return "tiered" }
+
+// threshold returns the configured cutover with the default applied.
+func (t Tiered) threshold() int {
+	if t.Threshold < 1 {
+		return DefaultVMThreshold
+	}
+	return t.Threshold
+}
+
+// device returns the configured device strategy with the default
+// applied.
+func (t Tiered) device() Strategy {
+	if t.Device == nil {
+		return Fusion{}
+	}
+	return t.Device
+}
+
+// PlanVariant distinguishes tiered configurations in the plan cache:
+// "tiered@N" with the default fusion device tier, "tiered@N+name"
+// otherwise.
+func (t Tiered) PlanVariant() string {
+	if _, isFusion := t.device().(Fusion); isFusion {
+		return fmt.Sprintf("tiered@%d", t.threshold())
+	}
+	return fmt.Sprintf("tiered@%d+%s", t.threshold(), PlanCacheName(t.device()))
+}
+
+// tieredPlan pins both tiers' plans; Execute picks per binding.
+type tieredPlan struct {
+	planBase
+	threshold int
+	vm        Plan
+	dev       Plan
+}
+
+// Plan plans both tiers (each through its own cache path).
+func (t Tiered) Plan(net *dataflow.Network, dev *ocl.Device) (Plan, error) {
+	base, err := newPlanBase("tiered", net)
+	if err != nil {
+		return nil, err
+	}
+	vmPlan, err := VM{}.Plan(net, dev)
+	if err != nil {
+		return nil, err
+	}
+	devPlan, err := t.device().Plan(net, dev)
+	if err != nil {
+		return nil, err
+	}
+	return &tieredPlan{planBase: base, threshold: t.threshold(), vm: vmPlan, dev: devPlan}, nil
+}
+
+// Execute routes the binding to its tier.
+func (s Tiered) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Result, error) {
+	return executeViaPlan(s, env, net, bind)
+}
+
+// Execute routes the binding to its tier: VM strictly below the
+// threshold, the device strategy at or above it.
+func (p *tieredPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
+	if bind.N > 0 && bind.N < p.threshold {
+		return p.vm.Execute(env, bind)
+	}
+	return p.dev.Execute(env, bind)
+}

@@ -1,0 +1,270 @@
+package strategy
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dfg/internal/expr"
+	"dfg/internal/mesh"
+	"dfg/internal/passes"
+	"dfg/internal/vortex"
+)
+
+// VM differential harness. The host bytecode VM claims bitwise identity
+// with the fusion strategy's generated kernel — the evidence that lets
+// the tiered planner route small requests to it. These tests pin the
+// claim at zero ULP against Paper-level fusion across the paper
+// expressions, random programs, mesh sizes and optimisation levels.
+// Non-finite reference elements are excluded only when comparing across
+// optimisation levels (the O2 finite-math licence, as in the opt-level
+// harness); at a fixed level the VM must match fusion on every element.
+
+// checkVMAgainstFusion executes one network under both evaluators and
+// requires zero-ULP agreement everywhere.
+func checkVMAgainstFusion(t *testing.T, text string, lvl passes.Level, bind Bindings) {
+	t.Helper()
+	net := compileAt(t, text, lvl)
+	fres, err := Fusion{}.Execute(cpuEnv(), net, bind)
+	if err != nil {
+		t.Fatalf("fusion at %v: %v\n%s", lvl, err, text)
+	}
+	vres, err := VM{}.Execute(cpuEnv(), net, bind)
+	if err != nil {
+		t.Fatalf("vm at %v: %v\n%s", lvl, err, text)
+	}
+	if len(vres.Data) != len(fres.Data) || vres.Width != fres.Width {
+		t.Fatalf("vm shape %dx%d vs fusion %dx%d at %v\n%s",
+			len(vres.Data), vres.Width, len(fres.Data), fres.Width, lvl, text)
+	}
+	for i := range fres.Data {
+		if d := ulpDiff(fres.Data[i], vres.Data[i]); d != 0 {
+			t.Fatalf("vm diverges from fusion at %v, element %d: %v vs %v (%d ULP)\nprogram:\n%s",
+				lvl, i, fres.Data[i], vres.Data[i], d, text)
+		}
+	}
+}
+
+// TestVMMatchesFusionAcrossLevelsAndSizes sweeps the paper expressions
+// and random programs over multiple mesh sizes (crossing the block-size
+// boundary) at both optimisation levels.
+func TestVMMatchesFusionAcrossLevelsAndSizes(t *testing.T) {
+	for _, dims := range []mesh.Dims{
+		{NX: 3, NY: 2, NZ: 2},  // smaller than one register block
+		{NX: 8, NY: 8, NZ: 8},  // the headline small-mesh tier
+		{NX: 13, NY: 9, NZ: 7}, // odd sizes straddling block boundaries
+	} {
+		bind, _ := qcritSetup(t, dims)
+		for _, lvl := range []passes.Level{passes.LevelPaper, passes.LevelO2} {
+			for _, e := range vortex.Expressions() {
+				checkVMAgainstFusion(t, e.Text, lvl, bind)
+			}
+			rng := rand.New(rand.NewSource(int64(dims.NX)*1000 + int64(lvl)))
+			for trial := 0; trial < 10; trial++ {
+				checkVMAgainstFusion(t, randProgram(rng, []string{"u", "v", "w"}), lvl, bind)
+			}
+		}
+	}
+}
+
+// TestVMO2MatchesPaperFusion is the cross-level leg: the VM running an
+// O2-optimised network must still agree with Paper-level fusion wherever
+// the Paper result is finite — the same licence the O2 pipeline itself
+// holds.
+func TestVMO2MatchesPaperFusion(t *testing.T) {
+	bind := optLevelBindings(23)
+	rng := rand.New(rand.NewSource(29))
+	progs := []string{vortex.VelMagExpr, vortex.VortMagExpr, vortex.QCritExpr}
+	for trial := 0; trial < 15; trial++ {
+		progs = append(progs, randProgram(rng, []string{"u", "v", "w"}))
+	}
+	for _, text := range progs {
+		paper := compileAt(t, text, passes.LevelPaper)
+		o2 := compileAt(t, text, passes.LevelO2)
+		fres, err := Fusion{}.Execute(cpuEnv(), paper, bind)
+		if err != nil {
+			t.Fatalf("paper fusion: %v\n%s", err, text)
+		}
+		vres, err := VM{}.Execute(cpuEnv(), o2, bind)
+		if err != nil {
+			t.Fatalf("O2 vm: %v\n%s", err, text)
+		}
+		for i := range fres.Data {
+			if math.IsInf(float64(fres.Data[i]), 0) || math.IsNaN(float64(fres.Data[i])) {
+				continue // finite-math rewrites need not match on non-finite elements
+			}
+			if d := ulpDiff(fres.Data[i], vres.Data[i]); d != 0 {
+				t.Fatalf("O2 vm diverges from paper fusion at element %d: %v vs %v (%d ULP)\nprogram:\n%s",
+					i, fres.Data[i], vres.Data[i], d, text)
+			}
+		}
+	}
+}
+
+// FuzzVMDifferential is the fuzz surface over program text: any program
+// the Paper pipeline accepts must evaluate identically on the VM and on
+// fusion — zero ULP at the same level, and zero ULP on finite Paper
+// elements for the O2-compiled VM run. This is the harness the vm-smoke
+// CI job drives.
+func FuzzVMDifferential(f *testing.F) {
+	for _, e := range vortex.Expressions() {
+		f.Add(e.Text)
+	}
+	f.Add("s = min(u, v) + max(w, 0.5)\nr = if (s >= 0) then (sqrt(s)) else (-s)")
+	f.Add("g = grad3d(u, dims, x, y, z)\nr = norm(g) * g[1]")
+	f.Fuzz(func(t *testing.T, text string) {
+		paper, _, err := expr.CompileWithPipeline(text, nil, passes.Paper, passes.RunOptions{Verify: true})
+		if err != nil {
+			t.Skip() // not a well-formed program
+		}
+		o2, _, err := expr.CompileWithPipeline(text, nil, passes.O2, passes.RunOptions{Verify: true})
+		if err != nil {
+			t.Fatalf("paper accepted but O2 rejected: %v\n%s", err, text)
+		}
+		bind := optLevelBindings(5)
+		for _, name := range []string{"f", "dims", "x", "y", "z"} {
+			if _, ok := bind.Sources[name]; !ok {
+				bind.Sources[name] = bind.Sources["u"]
+			}
+		}
+		fres, ferr := Fusion{}.Execute(cpuEnv(), paper, bind)
+		vres, verr := VM{}.Execute(cpuEnv(), paper, bind)
+		if (ferr != nil) != (verr != nil) {
+			t.Fatalf("fusion err %v vs vm err %v\n%s", ferr, verr, text)
+		}
+		if ferr != nil {
+			return // both reject (e.g. unbound sources) — agreed
+		}
+		for i := range fres.Data {
+			if ulpDiff(fres.Data[i], vres.Data[i]) != 0 {
+				t.Fatalf("vm diverges at element %d: %v vs %v\n%s", i, fres.Data[i], vres.Data[i], text)
+			}
+		}
+		ores, oerr := VM{}.Execute(cpuEnv(), o2, bind)
+		if oerr != nil {
+			t.Fatalf("paper vm ran but O2 vm failed: %v\n%s", oerr, text)
+		}
+		for i := range fres.Data {
+			if math.IsInf(float64(fres.Data[i]), 0) || math.IsNaN(float64(fres.Data[i])) {
+				continue
+			}
+			if ulpDiff(fres.Data[i], ores.Data[i]) != 0 {
+				t.Fatalf("O2 vm diverges at element %d: %v vs %v\n%s", i, fres.Data[i], ores.Data[i], text)
+			}
+		}
+	})
+}
+
+// usedVM reports whether a Result came from the host VM tier: a VM run
+// touches the device for nothing, so its profile carries no events.
+func usedVM(r *Result) bool {
+	return r.Profile.Kernels == 0 && r.Profile.Writes == 0 && r.Profile.Reads == 0
+}
+
+// TestTieredThresholdProperty is the tier-selection property: for mesh
+// sizes bracketing the threshold, the plan routes strictly-below
+// requests to the VM and at-or-above requests to the device strategy —
+// and re-planning the same network picks identically.
+func TestTieredThresholdProperty(t *testing.T) {
+	net, err := expr.Compile(vortex.VelMagExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, th := range []int{2, 64, 1000, DefaultVMThreshold} {
+		s := Tiered{Threshold: th}
+		env := cpuEnv()
+		plan, err := s.Plan(net, env.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		replan, err := s.Plan(net, env.Device())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{th - 1, th, th + 1, 1, 2 * th} {
+			if n < 1 {
+				continue
+			}
+			bind, _, _, _ := velMagBindings(rng, n)
+			res, err := plan.Execute(env, bind)
+			if err != nil {
+				t.Fatalf("tiered@%d n=%d: %v", th, n, err)
+			}
+			wantVM := n < th
+			if usedVM(res) != wantVM {
+				t.Fatalf("tiered@%d n=%d: usedVM=%v, want %v (profile %+v)",
+					th, n, usedVM(res), wantVM, res.Profile)
+			}
+			res2, err := replan.Execute(env, bind)
+			if err != nil {
+				t.Fatalf("tiered@%d n=%d replan: %v", th, n, err)
+			}
+			if usedVM(res2) != wantVM {
+				t.Fatalf("tiered@%d n=%d: re-planned choice flipped", th, n)
+			}
+			for i := range res.Data {
+				if ulpDiff(res.Data[i], res2.Data[i]) != 0 {
+					t.Fatalf("tiered@%d n=%d: re-planned result differs at %d", th, n, i)
+				}
+			}
+		}
+		if env.Context().LiveBuffers() != 0 {
+			t.Fatalf("tiered@%d leaked %d buffers", th, env.Context().LiveBuffers())
+		}
+	}
+}
+
+// TestTieredDefaultsAndNames pins the tiered/vm naming surface: ForName
+// round-trips, the plan-cache variant encodes the threshold, and the
+// default threshold applies when none is set.
+func TestTieredDefaultsAndNames(t *testing.T) {
+	s, err := ForName("vm")
+	if err != nil || s.Name() != "vm" {
+		t.Fatalf("ForName(vm) = %v, %v", s, err)
+	}
+	s, err = ForName("tiered")
+	if err != nil || s.Name() != "tiered" {
+		t.Fatalf("ForName(tiered) = %v, %v", s, err)
+	}
+	if got := PlanCacheName(s); got != "tiered@4096" {
+		t.Fatalf("default tiered variant = %q, want tiered@4096", got)
+	}
+	s, err = ForName("tiered@128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PlanCacheName(s); got != "tiered@128" {
+		t.Fatalf("tiered@128 variant = %q", got)
+	}
+	if _, err := ForName("tiered@zero"); err == nil {
+		t.Fatal("tiered@zero must be rejected")
+	}
+	if _, err := ForName("tiered@0"); err == nil {
+		t.Fatal("tiered@0 must be rejected")
+	}
+	names := ExtendedNames()
+	if names[len(names)-1] != "vm" {
+		t.Fatalf("ExtendedNames must include vm, got %v", names)
+	}
+	if v := (Tiered{Threshold: 7, Device: Streaming{Tiles: 8}}); PlanCacheName(v) != "tiered@7+streaming@8" {
+		t.Fatalf("composed variant = %q", PlanCacheName(v))
+	}
+}
+
+// TestVMCancellation mirrors the device strategies' between-launch
+// cancellation: a pre-canceled context stops the VM before it runs.
+func TestVMCancellation(t *testing.T) {
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind, _ := qcritSetup(t, mesh.Dims{NX: 4, NY: 4, NZ: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bind.Ctx = ctx
+	if _, err := (VM{}.Execute(cpuEnv(), net, bind)); err == nil {
+		t.Fatal("canceled context must stop the vm run")
+	}
+}

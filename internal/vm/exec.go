@@ -1,0 +1,299 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"dfg/internal/kernels"
+)
+
+// blockSize matches the kernel generator's blocked executor: 256
+// float32 lanes x 4 components = 4 KiB per register slot, so a handful
+// of live slots stay in L1. Block boundaries cannot affect results —
+// every instruction is element-independent within a pass, and the only
+// cross-element operation (the gradient stencil) reads source or
+// already-materialized arrays, never the block registers.
+const blockSize = 256
+
+// SourceFn resolves a bound source array by name. The returned slice is
+// read in place — the VM performs no copies of source data.
+type SourceFn func(name string) ([]float32, error)
+
+// Run executes the program over n elements, resolving sources through
+// src, and returns a freshly allocated output array of n*OutWidth
+// float32s. canceled, when non-nil, is checked between passes (the VM's
+// analogue of the device strategies' between-launch cancellation
+// points). Register and scratch storage is drawn from the package
+// scratch pool and returned before Run exits, so warm evaluations
+// allocate nothing beyond the output array.
+func (p *Program) Run(n int, src SourceFn, canceled func() error) ([]float32, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("vm: global work size must be positive, got %d", n)
+	}
+	views := make([][]float32, len(p.buffers))
+	out := make([]float32, n*p.OutWidth)
+	for i, spec := range p.buffers {
+		switch spec.Kind {
+		case BufSource:
+			data, err := src(spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			need := n * spec.needPerN
+			if need < spec.needFixed {
+				need = spec.needFixed
+			}
+			if len(data) < need {
+				return nil, fmt.Errorf("vm: source %q holds %d float32s, need %d", spec.Name, len(data), need)
+			}
+			views[i] = data
+		case BufScratch:
+			s := getScratch(n * spec.Width)
+			defer putScratch(s)
+			views[i] = s
+		case BufOut:
+			views[i] = out
+		}
+	}
+	regs := getScratch(p.slots * 4 * blockSize)
+	defer putScratch(regs)
+
+	for pi, pass := range p.passes {
+		if pi > 0 && canceled != nil {
+			if err := canceled(); err != nil {
+				return nil, err
+			}
+		}
+		runPass(pass, regs, views, n)
+	}
+	return out, nil
+}
+
+// runPass executes one pass's instructions over the full range in
+// register-sized blocks; each pass boundary is the VM's equivalent of
+// the fused kernel's device-wide barrier.
+func runPass(pass []instr, regs []float32, views [][]float32, total int) {
+	for base := 0; base < total; base += blockSize {
+		n := total - base
+		if n > blockSize {
+			n = blockSize
+		}
+		for i := range pass {
+			in := &pass[i]
+			handlers[in.op](in, regs, views, base, n)
+		}
+	}
+}
+
+// lane returns one lane of a register slot for the current block.
+func lane(regs []float32, s uint16, l int) []float32 {
+	off := (int(s)*4 + l) * blockSize
+	return regs[off : off+blockSize]
+}
+
+// handler executes one instruction over elements [base, base+n) of the
+// current block.
+type handler func(in *instr, regs []float32, views [][]float32, base, n int)
+
+// handlers is the opcode-indexed dispatch table. Entries are generated
+// at init from the same filter table the compiler maps opcodes with
+// (elementwiseOps mirrors kernels.ForFilter), each specialized to its
+// operand shape: binary slot-to-slot loops, float64 round-trip unary
+// maps, comparison encodes, and the buffer-reading stencil ops.
+//
+// Exact-parity note: min and max use the fused executor's comparison
+// form (`if b < a`), not kernels' math.Min/math.Max — the two differ in
+// which operand they return for NaN and signed-zero inputs, and the VM
+// must be bitwise identical to the fusion strategy.
+var handlers [opCount]handler
+
+// binOp builds a handler for a slot-to-slot arithmetic loop.
+func binOp(f func(dst, a, b []float32, n int)) handler {
+	return func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		f(lane(regs, in.dst, 0), lane(regs, in.a, 0), lane(regs, in.b, 0), n)
+	}
+}
+
+// mapOp builds a handler applying a float64 math function per element —
+// the same round-trip the fused executor's blockMap performs.
+func mapOp(f func(float64) float64) handler {
+	return func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst, a := lane(regs, in.dst, 0), lane(regs, in.a, 0)
+		for e := 0; e < n; e++ {
+			dst[e] = float32(f(float64(a[e])))
+		}
+	}
+}
+
+// cmpOp builds a handler encoding a comparison as 1.0/0.0.
+func cmpOp(f func(a, b float32) bool) handler {
+	return func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst, a, b := lane(regs, in.dst, 0), lane(regs, in.a, 0), lane(regs, in.b, 0)
+		for e := 0; e < n; e++ {
+			if f(a[e], b[e]) {
+				dst[e] = 1
+			} else {
+				dst[e] = 0
+			}
+		}
+	}
+}
+
+func init() {
+	handlers[opLoad] = func(in *instr, regs []float32, views [][]float32, base, n int) {
+		w := int(in.width)
+		if w == 1 {
+			copy(lane(regs, in.dst, 0)[:n], views[in.buf][base:base+n])
+			return
+		}
+		data := views[in.buf]
+		for c := 0; c < w; c++ {
+			dst := lane(regs, in.dst, c)
+			for e := 0; e < n; e++ {
+				dst[e] = data[(base+e)*w+c]
+			}
+		}
+	}
+	handlers[opConst] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst := lane(regs, in.dst, 0)
+		for e := 0; e < n; e++ {
+			dst[e] = in.val
+		}
+	}
+	handlers[opAdd] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			dst[e] = a[e] + b[e]
+		}
+	})
+	handlers[opSub] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			dst[e] = a[e] - b[e]
+		}
+	})
+	handlers[opMul] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			dst[e] = a[e] * b[e]
+		}
+	})
+	handlers[opDiv] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			dst[e] = a[e] / b[e]
+		}
+	})
+	handlers[opMin] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			if b[e] < a[e] {
+				dst[e] = b[e]
+			} else {
+				dst[e] = a[e]
+			}
+		}
+	})
+	handlers[opMax] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			if b[e] > a[e] {
+				dst[e] = b[e]
+			} else {
+				dst[e] = a[e]
+			}
+		}
+	})
+	handlers[opSqrt] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst, a := lane(regs, in.dst, 0), lane(regs, in.a, 0)
+		for e := 0; e < n; e++ {
+			dst[e] = float32(math.Sqrt(float64(a[e])))
+		}
+	}
+	handlers[opNeg] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst, a := lane(regs, in.dst, 0), lane(regs, in.a, 0)
+		for e := 0; e < n; e++ {
+			dst[e] = -a[e]
+		}
+	}
+	handlers[opAbs] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst, a := lane(regs, in.dst, 0), lane(regs, in.a, 0)
+		for e := 0; e < n; e++ {
+			v := a[e]
+			if v < 0 {
+				v = -v
+			}
+			dst[e] = v
+		}
+	}
+	handlers[opExp] = mapOp(math.Exp)
+	handlers[opLog] = mapOp(math.Log)
+	handlers[opSin] = mapOp(math.Sin)
+	handlers[opCos] = mapOp(math.Cos)
+	handlers[opPow] = binOp(func(dst, a, b []float32, n int) {
+		for e := 0; e < n; e++ {
+			dst[e] = float32(math.Pow(float64(a[e]), float64(b[e])))
+		}
+	})
+	handlers[opGt] = cmpOp(func(a, b float32) bool { return a > b })
+	handlers[opLt] = cmpOp(func(a, b float32) bool { return a < b })
+	handlers[opGe] = cmpOp(func(a, b float32) bool { return a >= b })
+	handlers[opLe] = cmpOp(func(a, b float32) bool { return a <= b })
+	handlers[opEq] = cmpOp(func(a, b float32) bool { return a == b })
+	handlers[opNe] = cmpOp(func(a, b float32) bool { return a != b })
+	handlers[opSelect] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst, c, a, b := lane(regs, in.dst, 0), lane(regs, in.a, 0), lane(regs, in.b, 0), lane(regs, in.c, 0)
+		for e := 0; e < n; e++ {
+			if c[e] != 0 {
+				dst[e] = a[e]
+			} else {
+				dst[e] = b[e]
+			}
+		}
+	}
+	handlers[opNorm] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		dst := lane(regs, in.dst, 0)
+		x, y, z := lane(regs, in.a, 0), lane(regs, in.a, 1), lane(regs, in.a, 2)
+		for e := 0; e < n; e++ {
+			dst[e] = float32(math.Sqrt(float64(x[e])*float64(x[e]) +
+				float64(y[e])*float64(y[e]) + float64(z[e])*float64(z[e])))
+		}
+	}
+	handlers[opDecomp] = func(in *instr, regs []float32, _ [][]float32, _, n int) {
+		copy(lane(regs, in.dst, 0)[:n], lane(regs, in.a, int(in.comp))[:n])
+	}
+	handlers[opGrad] = func(in *instr, regs []float32, views [][]float32, base, n int) {
+		field := views[in.gbufs[0]]
+		dims := views[in.gbufs[1]]
+		x := views[in.gbufs[2]]
+		y := views[in.gbufs[3]]
+		z := views[in.gbufs[4]]
+		nx, ny, nz := int(dims[0]), int(dims[1]), int(dims[2])
+		gx, gy, gz := lane(regs, in.dst, 0), lane(regs, in.dst, 1), lane(regs, in.dst, 2)
+		pad := lane(regs, in.dst, 3)
+		for e := 0; e < n; e++ {
+			gx[e], gy[e], gz[e] = kernels.GradAt(field, x, y, z, nx, ny, nz, base+e)
+			pad[e] = 0
+		}
+	}
+	handlers[opGradAxis] = func(in *instr, regs []float32, views [][]float32, base, n int) {
+		field := views[in.gbufs[0]]
+		dims := views[in.gbufs[1]]
+		x := views[in.gbufs[2]]
+		y := views[in.gbufs[3]]
+		z := views[in.gbufs[4]]
+		nx, ny, nz := int(dims[0]), int(dims[1]), int(dims[2])
+		dst := lane(regs, in.dst, 0)
+		for e := 0; e < n; e++ {
+			dst[e] = kernels.GradAxisAt(field, x, y, z, nx, ny, nz, base+e, int(in.comp))
+		}
+	}
+	handlers[opStore] = func(in *instr, regs []float32, views [][]float32, base, n int) {
+		w := int(in.width)
+		if w == 1 {
+			copy(views[in.buf][base:base+n], lane(regs, in.a, 0)[:n])
+			return
+		}
+		data := views[in.buf]
+		for c := 0; c < w; c++ {
+			src := lane(regs, in.a, c)
+			for e := 0; e < n; e++ {
+				data[(base+e)*w+c] = src[e]
+			}
+		}
+	}
+}

@@ -1,0 +1,513 @@
+// Package vm compiles a sealed dataflow network into a compact bytecode
+// program executed entirely on the host — the tier below the device
+// strategies. At small mesh sizes the paper's Table II orderings are
+// dominated by kernel-launch and transfer overhead, so the fastest
+// "device" for a tiny request is no device at all: the VM evaluates the
+// same fused, pass-split instruction plan the dynamic kernel generator
+// (internal/codegen) produces, but over pooled host float32 scratch with
+// zero uploads, zero launches and zero downloads.
+//
+// The compiler deliberately mirrors the kernel generator stage for
+// stage — same pass assignment and materialization set (the paper's
+// Figure 2 barrier rule), same buffer argument order, same on-demand
+// operand loads per pass, same instruction emission order — so the
+// executed operation sequence per element is identical and the output is
+// bitwise equal to the fusion strategy's. The differential and fuzz
+// harnesses in internal/strategy enforce that at zero ULP across the
+// expression grammar; the planner only routes to the VM because that
+// evidence exists.
+//
+// The one place the VM improves on the generator is register allocation:
+// where codegen gives every live node its own register slot (device
+// registers are the device's problem), the VM remaps each pass's virtual
+// registers onto a minimal slot set with last-use liveness, so the
+// pooled register slab stays small for large fused expressions.
+package vm
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+)
+
+// opcode identifies one bytecode operation. The set matches the kernel
+// generator's executable plan one for one.
+type opcode uint8
+
+const (
+	opLoad opcode = iota // dst <- buf[gid] (width from instr.width)
+	opConst
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMin
+	opMax
+	opSqrt
+	opNeg
+	opAbs
+	opExp
+	opLog
+	opSin
+	opCos
+	opPow
+	opGt
+	opLt
+	opGe
+	opLe
+	opEq
+	opNe
+	opSelect
+	opNorm
+	opDecomp
+	opGrad
+	opGradAxis // single-axis gradient (instr.comp selects the axis)
+	opStore    // buf[gid] <- a (width from instr.width)
+
+	opCount
+)
+
+// instr is one bytecode instruction. Register operands are slot indices
+// into the pooled register slab (four float32 lanes per slot; scalars
+// use lane 0); buf indexes the program's buffer table. The narrow field
+// types keep an instruction at 28 bytes, so whole programs stay
+// cache-resident next to the register slab.
+type instr struct {
+	op    opcode
+	width uint8   // element width for load/store
+	comp  uint8   // decompose component / gradient axis
+	dst   uint16  // destination slot
+	a     uint16  // slot operands
+	b     uint16
+	c     uint16
+	buf   uint16  // buffer index for load/store
+	val   float32 // constant value
+	gbufs [5]uint16 // stencils: field, dims, x, y, z buffer indices
+}
+
+// BufKind classifies one entry of a program's buffer table.
+type BufKind int
+
+const (
+	// BufSource is a host-provided input array, read in place — the VM
+	// never copies or uploads it.
+	BufSource BufKind = iota
+	// BufScratch is a materialized intermediate (problem-sized), drawn
+	// from the package scratch pool for the duration of one Run.
+	BufScratch
+	// BufOut is the result array, freshly allocated per Run and handed
+	// to the caller.
+	BufOut
+)
+
+// BufferSpec describes one buffer of a compiled program, in binding
+// order. The order matches the kernel generator's argument plan: live
+// sources in network declaration order, then scratch in topological
+// order, then the output.
+type BufferSpec struct {
+	Kind  BufKind
+	Name  string // source name or scratch label
+	Width int    // element width in float32 components
+
+	// Length requirement for one Run over n elements: needPerN*n
+	// float32s, and at least needFixed regardless of n. Per-element
+	// loads and stencil field/coordinate reads need problem-sized
+	// arrays; the dims descriptor only ever has its first three
+	// elements read, matching what the device kernels require.
+	needPerN  int
+	needFixed int
+}
+
+// Program is a compiled bytecode program: per-pass instruction slices
+// over a shared buffer table and a register slot count. Programs are
+// immutable and safe to share across goroutines; all per-run state lives
+// inside Run.
+type Program struct {
+	// OutWidth is the output element width.
+	OutWidth int
+
+	buffers []BufferSpec
+	passes  [][]instr
+	slots   int // pooled register slots (max over passes after remapping)
+}
+
+// NumPasses returns the pass count (1 unless a stencil consumes a
+// computed value, exactly as in the fused kernel).
+func (p *Program) NumPasses() int { return len(p.passes) }
+
+// Slots returns the register slot count after liveness remapping.
+func (p *Program) Slots() int { return p.slots }
+
+// NumInstrs returns the total instruction count across passes.
+func (p *Program) NumInstrs() int {
+	total := 0
+	for _, pass := range p.passes {
+		total += len(pass)
+	}
+	return total
+}
+
+// Buffers returns the program's buffer table (a copy).
+func (p *Program) Buffers() []BufferSpec { return append([]BufferSpec(nil), p.buffers...) }
+
+// scratchName labels the scratch buffer of a materialized node, matching
+// the kernel generator's labels.
+func scratchName(id string) string { return "scratch_" + id }
+
+// compiler holds the compilation state for one network.
+type compiler struct {
+	net   *dataflow.Network
+	order []*dataflow.Node
+	byID  map[string]*dataflow.Node
+
+	pass        map[string]int  // node ID -> pass index
+	numPasses   int
+	materialize map[string]bool // node IDs needing problem-sized scratch
+
+	buffers []BufferSpec
+	bufIdx  map[string]int // source name / scratch label -> buffer index
+
+	vreg     map[string]int // node ID -> virtual register (pre-remap)
+	numVRegs int
+}
+
+// Compile translates a validated network with a designated output into a
+// bytecode program.
+func Compile(net *dataflow.Network) (*Program, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		net:    net,
+		order:  order,
+		byID:   make(map[string]*dataflow.Node, len(order)),
+		pass:   make(map[string]int),
+		bufIdx: make(map[string]int),
+		vreg:   make(map[string]int),
+	}
+	for _, n := range order {
+		c.byID[n.ID] = n
+	}
+	if err := c.assignPasses(); err != nil {
+		return nil, err
+	}
+	c.planBuffers()
+	for _, n := range c.order {
+		if _, ok := c.vreg[n.ID]; !ok {
+			c.vreg[n.ID] = c.numVRegs
+			c.numVRegs++
+		}
+	}
+	if c.numVRegs > 1<<16-1 || len(c.buffers) > 1<<16-1 {
+		return nil, fmt.Errorf("vm: program too large (%d registers, %d buffers)", c.numVRegs, len(c.buffers))
+	}
+
+	out := c.net.OutputNode()
+	passNodes := make([][]*dataflow.Node, c.numPasses)
+	for _, n := range c.order {
+		passNodes[c.pass[n.ID]] = append(passNodes[c.pass[n.ID]], n)
+	}
+	prog := &Program{OutWidth: out.Width, buffers: c.buffers}
+	for p := 0; p < c.numPasses; p++ {
+		plan, err := c.emitPass(p, passNodes[p], out)
+		if err != nil {
+			return nil, err
+		}
+		plan, slots := allocateSlots(plan)
+		if slots > prog.slots {
+			prog.slots = slots
+		}
+		prog.passes = append(prog.passes, plan)
+	}
+	prog.computeNeeds()
+	return prog, nil
+}
+
+// computeNeeds derives each buffer's length requirement from how the
+// program accesses it.
+func (p *Program) computeNeeds() {
+	perN := func(b uint16, m int) {
+		if p.buffers[b].needPerN < m {
+			p.buffers[b].needPerN = m
+		}
+	}
+	for _, pass := range p.passes {
+		for _, in := range pass {
+			switch in.op {
+			case opLoad, opStore:
+				perN(in.buf, int(in.width))
+			case opGrad, opGradAxis:
+				perN(in.gbufs[0], 1) // field, read at neighbour indices < n
+				if p.buffers[in.gbufs[1]].needFixed < 3 {
+					p.buffers[in.gbufs[1]].needFixed = 3 // dims: nx, ny, nz
+				}
+				for _, b := range in.gbufs[2:] {
+					perN(b, 1) // coordinate arrays, indexed per element
+				}
+			}
+		}
+	}
+}
+
+// assignPasses computes each node's pass and the materialization set —
+// the same rule the kernel generator applies: a stencil whose field
+// input is computed runs at least one pass after that input, and any
+// value consumed in a later pass than it is computed in must be
+// materialized to problem-sized scratch.
+func (c *compiler) assignPasses() error {
+	c.materialize = make(map[string]bool)
+	for _, n := range c.order {
+		p := 0
+		for _, in := range n.Inputs {
+			if ip := c.pass[in]; ip > p {
+				p = ip
+			}
+		}
+		if n.Info().Class == dataflow.ClassStencil {
+			field := c.byID[n.Inputs[0]]
+			for _, in := range n.Inputs[1:] {
+				if c.byID[in].Filter != "source" {
+					return fmt.Errorf("vm: %s input %q must be a source array (dims/coords cannot be computed)", n.Filter, in)
+				}
+			}
+			if field.Filter != "source" {
+				c.materialize[field.ID] = true
+				if fp := c.pass[field.ID]; fp+1 > p {
+					p = fp + 1
+				}
+			}
+		}
+		c.pass[n.ID] = p
+	}
+	for _, n := range c.order {
+		for _, in := range n.Inputs {
+			src := c.byID[in]
+			if src.Filter == "source" || src.Filter == "const" {
+				continue // sources are globally readable; constants are immediates
+			}
+			if c.pass[in] < c.pass[n.ID] {
+				c.materialize[in] = true
+			}
+		}
+	}
+	c.numPasses = c.pass[c.net.Output()] + 1
+	return nil
+}
+
+// planBuffers fixes the buffer table in the kernel generator's argument
+// order: live sources in network declaration order, then scratch in
+// topological order, then the output.
+func (c *compiler) planBuffers() {
+	live := make(map[string]bool, len(c.order))
+	for _, n := range c.order {
+		live[n.ID] = true
+	}
+	for _, s := range c.net.Sources() {
+		if live[s.ID] {
+			c.bufIdx[s.ID] = len(c.buffers)
+			c.buffers = append(c.buffers, BufferSpec{Kind: BufSource, Name: s.ID, Width: s.Width})
+		}
+	}
+	for _, n := range c.order {
+		if c.materialize[n.ID] {
+			label := scratchName(n.ID)
+			c.bufIdx[label] = len(c.buffers)
+			c.buffers = append(c.buffers, BufferSpec{Kind: BufScratch, Name: label, Width: n.Width})
+		}
+	}
+	out := c.net.OutputNode()
+	c.bufIdx["__out__"] = len(c.buffers)
+	c.buffers = append(c.buffers, BufferSpec{Kind: BufOut, Name: "out", Width: out.Width})
+}
+
+// emitPass produces one pass's instruction plan over virtual registers,
+// in the kernel generator's emission order: operands load on demand the
+// first time a pass touches them, stencils read buffers directly,
+// materialized values store to scratch as soon as they are computed, and
+// the final pass ends with the output store.
+func (c *compiler) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) ([]instr, error) {
+	var plan []instr
+	loaded := make(map[string]bool) // node IDs already in registers this pass
+
+	operand := func(id string) uint16 {
+		n := c.byID[id]
+		r := uint16(c.vreg[id])
+		switch {
+		case n.Filter == "const":
+			if !loaded[id] {
+				plan = append(plan, instr{op: opConst, dst: r, val: float32(n.Value)})
+				loaded[id] = true
+			}
+		case n.Filter == "source":
+			if !loaded[id] {
+				plan = append(plan, instr{op: opLoad, dst: r, buf: uint16(c.bufIdx[id]), width: 1})
+				loaded[id] = true
+			}
+		case c.pass[id] < p:
+			// Computed in an earlier pass: read back from scratch.
+			if !loaded[id] {
+				plan = append(plan, instr{op: opLoad, dst: r, buf: uint16(c.bufIdx[scratchName(id)]), width: uint8(n.Width)})
+				loaded[id] = true
+			}
+		}
+		return r
+	}
+
+	for _, n := range nodes {
+		if n.Filter == "source" || n.Filter == "const" {
+			continue // realized on demand by operand()
+		}
+		r := uint16(c.vreg[n.ID])
+		switch n.Filter {
+		case "grad3d", "grad3dx", "grad3dy", "grad3dz":
+			field := c.byID[n.Inputs[0]]
+			fieldArg := field.ID
+			if field.Filter != "source" {
+				fieldArg = scratchName(field.ID)
+			}
+			var gb [5]uint16
+			gb[0] = uint16(c.bufIdx[fieldArg])
+			for i, in := range n.Inputs[1:] {
+				gb[i+1] = uint16(c.bufIdx[in])
+			}
+			if axis, ok := kernels.GradAxisOf(n.Filter); ok {
+				plan = append(plan, instr{op: opGradAxis, dst: r, comp: uint8(axis), gbufs: gb})
+			} else {
+				plan = append(plan, instr{op: opGrad, dst: r, gbufs: gb})
+			}
+		case "decompose":
+			a := operand(n.Inputs[0])
+			plan = append(plan, instr{op: opDecomp, dst: r, a: a, comp: uint8(n.Comp)})
+		case "norm":
+			a := operand(n.Inputs[0])
+			plan = append(plan, instr{op: opNorm, dst: r, a: a})
+		default:
+			op, ok := opForFilter(n.Filter)
+			if !ok {
+				return nil, fmt.Errorf("vm: no bytecode rule for filter %q", n.Filter)
+			}
+			in := instr{op: op, dst: r, a: operand(n.Inputs[0])}
+			if len(n.Inputs) > 1 {
+				in.b = operand(n.Inputs[1])
+			}
+			if len(n.Inputs) > 2 {
+				in.c = operand(n.Inputs[2])
+			}
+			plan = append(plan, in)
+		}
+
+		if c.materialize[n.ID] {
+			plan = append(plan, instr{op: opStore, a: r, buf: uint16(c.bufIdx[scratchName(n.ID)]), width: uint8(n.Width)})
+		}
+	}
+
+	if p == c.numPasses-1 {
+		a := operand(out.ID)
+		plan = append(plan, instr{op: opStore, a: a, buf: uint16(c.bufIdx["__out__"]), width: uint8(out.Width)})
+	}
+	return plan, nil
+}
+
+// readSlots appends an instruction's register read operands to dst.
+// Loads, constants and stencils read no registers.
+func readSlots(in instr, dst []uint16) []uint16 {
+	switch in.op {
+	case opLoad, opConst, opGrad, opGradAxis:
+		return dst
+	case opAdd, opSub, opMul, opDiv, opMin, opMax, opPow,
+		opGt, opLt, opGe, opLe, opEq, opNe:
+		return append(dst, in.a, in.b)
+	case opSelect:
+		return append(dst, in.a, in.b, in.c)
+	case opStore:
+		return append(dst, in.a)
+	default: // unary, norm, decompose
+		return append(dst, in.a)
+	}
+}
+
+// writesDst reports whether the opcode writes a destination register.
+func writesDst(op opcode) bool { return op != opStore }
+
+// allocateSlots remaps one pass's virtual registers onto a minimal slot
+// set: a forward scan frees each register's slot at its last read, and
+// destinations reuse freed slots. A destination may alias a just-freed
+// operand slot — every handler reads its operand element before writing
+// the destination element, so in-place execution is safe (and keeps the
+// hot slots cache-resident). Cross-pass values never appear here: they
+// travel through scratch buffers, exactly as in the fused kernel.
+func allocateSlots(plan []instr) ([]instr, int) {
+	lastRead := make(map[uint16]int, len(plan))
+	var reads []uint16
+	for i, in := range plan {
+		reads = readSlots(in, reads[:0])
+		for _, r := range reads {
+			lastRead[r] = i
+		}
+	}
+
+	slotOf := make(map[uint16]uint16, len(plan))
+	var free []uint16
+	next := uint16(0)
+	out := make([]instr, len(plan))
+	for i, in := range plan {
+		reads = readSlots(in, reads[:0])
+		switch in.op {
+		case opSelect:
+			in.a, in.b, in.c = slotOf[in.a], slotOf[in.b], slotOf[in.c]
+		case opLoad, opConst, opGrad, opGradAxis:
+			// no register reads
+		case opAdd, opSub, opMul, opDiv, opMin, opMax, opPow,
+			opGt, opLt, opGe, opLe, opEq, opNe:
+			in.a, in.b = slotOf[in.a], slotOf[in.b]
+		default:
+			in.a = slotOf[in.a]
+		}
+		for _, r := range reads {
+			if lastRead[r] == i {
+				if s, ok := slotOf[r]; ok {
+					free = append(free, s)
+					delete(slotOf, r)
+				}
+			}
+		}
+		if writesDst(in.op) {
+			var s uint16
+			if len(free) > 0 {
+				s, free = free[len(free)-1], free[:len(free)-1]
+			} else {
+				s = next
+				next++
+			}
+			slotOf[in.dst] = s
+			in.dst = s
+		}
+		out[i] = in
+	}
+	return out, int(next)
+}
+
+// opForFilter maps an elementwise filter name to its opcode — the same
+// dispatch the kernel table (kernels.ForFilter) and the generator's
+// fusion rules use, shared here so the three stay in lockstep.
+func opForFilter(filter string) (opcode, bool) {
+	op, ok := elementwiseOps[filter]
+	return op, ok
+}
+
+// elementwiseOps is the filter-to-opcode table the compiler and the
+// handler generator share.
+var elementwiseOps = map[string]opcode{
+	"add": opAdd, "sub": opSub, "mul": opMul, "div": opDiv,
+	"min": opMin, "max": opMax,
+	"sqrt": opSqrt, "neg": opNeg, "abs": opAbs,
+	"exp": opExp, "log": opLog, "sin": opSin, "cos": opCos,
+	"pow": opPow,
+	"gt":  opGt, "lt": opLt, "ge": opGe, "le": opLe, "eq": opEq, "ne": opNe,
+	"select": opSelect,
+}

@@ -1,0 +1,178 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dfg/internal/expr"
+	"dfg/internal/kernels"
+	"dfg/internal/mesh"
+	"dfg/internal/rtsim"
+	"dfg/internal/vortex"
+)
+
+// meshSources builds a SourceFn over a generated turbulence field.
+func meshSources(t testing.TB, d mesh.Dims) (SourceFn, int) {
+	t.Helper()
+	m := mesh.MustUniform(d, 1, 1, 1)
+	f := rtsim.Generate(m, rtsim.Options{Seed: 3})
+	x, y, z := m.CellCenterFields()
+	src := map[string][]float32{
+		"u": f.U, "v": f.V, "w": f.W,
+		"dims": kernels.DimsArray(d.NX, d.NY, d.NZ),
+		"x":    x, "y": y, "z": z,
+	}
+	return func(name string) ([]float32, error) {
+		data, ok := src[name]
+		if !ok {
+			return nil, fmt.Errorf("no binding for %q", name)
+		}
+		return data, nil
+	}, m.Cells()
+}
+
+func compileText(t testing.TB, text string) *Program {
+	t.Helper()
+	net, err := expr.Compile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestSlotReuseBoundsRegisterSlab: the liveness remapper must need
+// strictly fewer slots than one-register-per-node for the Q-criterion
+// network (which has dozens of live nodes but short chains), bounding
+// the pooled slab for large fused expressions.
+func TestSlotReuseBoundsRegisterSlab(t *testing.T) {
+	net, err := expr.Compile(vortex.QCritExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveNodes := len(order)
+	if prog.Slots() >= liveNodes {
+		t.Fatalf("remapper used %d slots for %d live nodes — no reuse happened", prog.Slots(), liveNodes)
+	}
+	if prog.Slots() < 2 {
+		t.Fatalf("suspiciously few slots (%d)", prog.Slots())
+	}
+	// The Q-criterion network has a stencil over sources only: one pass,
+	// like the fused kernel.
+	if prog.NumPasses() != 1 {
+		t.Fatalf("Q-criterion compiled to %d passes, want 1", prog.NumPasses())
+	}
+}
+
+// TestPassSplitOnComputedStencil mirrors the fused kernel's Figure 2
+// rule: a gradient of a computed field forces a second pass and a
+// materialized scratch buffer.
+func TestPassSplitOnComputedStencil(t *testing.T) {
+	prog := compileText(t, "s = u*u\nr = norm(grad3d(s, dims, x, y, z))")
+	if prog.NumPasses() != 2 {
+		t.Fatalf("computed-field stencil compiled to %d passes, want 2", prog.NumPasses())
+	}
+	scratch := 0
+	for _, b := range prog.Buffers() {
+		if b.Kind == BufScratch {
+			scratch++
+		}
+	}
+	if scratch != 1 {
+		t.Fatalf("%d scratch buffers, want 1", scratch)
+	}
+}
+
+// TestRunBasics checks output shape, the missing-source error path and
+// the short-source error path.
+func TestRunBasics(t *testing.T) {
+	prog := compileText(t, vortex.QCritExpr)
+	src, n := meshSources(t, mesh.Dims{NX: 6, NY: 5, NZ: 4})
+	out, err := prog.Run(n, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n*prog.OutWidth {
+		t.Fatalf("output %d floats, want %d", len(out), n*prog.OutWidth)
+	}
+	if _, err := prog.Run(0, src, nil); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := prog.Run(n, func(string) ([]float32, error) {
+		return nil, errors.New("nope")
+	}, nil); err == nil {
+		t.Fatal("source resolution failure must surface")
+	}
+	short := func(name string) ([]float32, error) {
+		data, err := src(name)
+		if err != nil || name != "u" {
+			return data, err
+		}
+		return data[:2], nil
+	}
+	if _, err := prog.Run(n, short, nil); err == nil {
+		t.Fatal("short source must fail")
+	}
+}
+
+// TestDimsNeedsOnlyHeader: the dims descriptor is a fixed small array,
+// never problem-sized — the VM must accept it exactly as the device
+// kernels do.
+func TestDimsNeedsOnlyHeader(t *testing.T) {
+	prog := compileText(t, vortex.VortMagExpr)
+	src, n := meshSources(t, mesh.Dims{NX: 4, NY: 4, NZ: 4})
+	if _, err := prog.Run(n, src, nil); err != nil {
+		t.Fatalf("4-element dims rejected: %v", err)
+	}
+}
+
+// TestScratchPoolDeterminism: after a drain, the first run allocates
+// and subsequent runs are served entirely from the pool — the property
+// the warm-path gates in metrics.RunRepeat build on.
+func TestScratchPoolDeterminism(t *testing.T) {
+	prog := compileText(t, vortex.QCritExpr)
+	src, n := meshSources(t, mesh.Dims{NX: 8, NY: 8, NZ: 8})
+	DrainPool()
+	s0 := Stats()
+	if _, err := prog.Run(n, src, nil); err != nil {
+		t.Fatal(err)
+	}
+	s1 := Stats()
+	if s1.Allocs == s0.Allocs {
+		t.Fatal("cold run after drain allocated nothing")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := prog.Run(n, src, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2 := Stats()
+	if s2.Allocs != s1.Allocs {
+		t.Fatalf("warm runs allocated %d fresh scratch slices, want 0", s2.Allocs-s1.Allocs)
+	}
+	if s2.Reuses == s1.Reuses {
+		t.Fatal("warm runs reused nothing from the pool")
+	}
+}
+
+// TestBucketFor pins the pool's bucket rounding.
+func TestBucketFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 255: 256, 256: 256, 257: 512}
+	for in, want := range cases {
+		if got := bucketFor(in); got != want {
+			t.Errorf("bucketFor(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

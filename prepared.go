@@ -41,17 +41,30 @@ type Prepared struct {
 	// fallback, when non-nil, is the degraded plan the engine's
 	// recovery ladder landed on during an earlier evaluation, with
 	// fallbackLabel naming its rung (e.g. "streaming@16"). Warm
-	// evaluations start from it instead of re-failing the primary plan;
-	// it is engine-recovery state, cleared by nothing short of a new
-	// Prepare.
+	// evaluations start from it instead of re-failing the primary plan.
+	// Capacity degradations are engine-recovery state cleared by
+	// nothing short of a new Prepare; a device-lost degradation
+	// (fallbackLost) clears itself once the device is healed, since the
+	// primary plan was never the problem.
 	fallback      strategy.Plan
 	fallbackLabel string
+	fallbackLost  bool
+}
+
+// refresh drops a device-lost fallback once the device has healed:
+// the primary plan only failed because the device was gone, so a
+// healthy device restores it. Capacity fallbacks stay parked.
+func (p *Prepared) refresh() {
+	if p.fallbackLost && !p.eng.DeviceLost() {
+		p.fallback, p.fallbackLabel, p.fallbackLost = nil, "", false
+	}
 }
 
 // active returns the plan a warm evaluation should start from and its
 // ladder label: the parked fallback if a previous run degraded, else
 // the primary plan.
 func (p *Prepared) active() (strategy.Plan, string) {
+	p.refresh()
 	if p.fallback != nil {
 		return p.fallback, p.fallbackLabel
 	}
@@ -59,8 +72,13 @@ func (p *Prepared) active() (strategy.Plan, string) {
 }
 
 // Degraded names the degradation-ladder rung this prepared expression
-// last landed on, or "" while the primary plan is still in use.
-func (p *Prepared) Degraded() string { return p.fallbackLabel }
+// last landed on, or "" while the primary plan is still in use. A
+// device-lost degradation reports "" again once Engine.Heal has
+// restored the device.
+func (p *Prepared) Degraded() string {
+	p.refresh()
+	return p.fallbackLabel
+}
 
 // Prepare compiles and plans an expression for repeated evaluation.
 func (e *Engine) Prepare(text string) (*Prepared, error) {

@@ -22,9 +22,14 @@ import (
 //     degradation Ladder: the arena is drained and the expression is
 //     re-planned on the next-cheaper strategy, with the streaming rung
 //     escalating through progressively more (smaller) tiles;
-//   - device-lost and permanent faults surface immediately — recovery
-//     at the engine level cannot help, the serving layer's circuit
-//     breaker reroutes the work instead.
+//   - device-lost faults jump straight to the ladder's "vm" rung if it
+//     has one — the host bytecode VM touches the device for nothing, so
+//     it completes even on a latched-lost device — and surface
+//     immediately otherwise; either way the device stays lost, and the
+//     serving layer's circuit breaker sees that and schedules the
+//     driver-reset probe (or replaces the device);
+//   - permanent faults surface immediately — recovery at the engine
+//     level cannot help.
 //
 // The zero value is not useful; start from DefaultRetryPolicy.
 type RetryPolicy struct {
@@ -42,9 +47,11 @@ type RetryPolicy struct {
 	// should perturb it per worker for decorrelation.
 	Seed int64
 	// Ladder is the capacity-degradation order by strategy name
-	// (default fusion, staged, roundtrip, streaming). A capacity fault
-	// on a strategy moves to the rung after it; a strategy not on the
-	// ladder degrades to the first rung.
+	// (default fusion, staged, roundtrip, streaming, vm). A capacity
+	// fault on a strategy moves to the rung after it; a strategy not on
+	// the ladder degrades to the first rung. The terminal "vm" rung is
+	// also the device-lost refuge: it runs entirely on the host, so a
+	// lost device jumps directly to it.
 	Ladder []string
 	// StreamingTiles expands the ladder's "streaming" entry into one
 	// rung per tile count, in order (default 4, 16, 64, 256): each
@@ -63,7 +70,7 @@ func DefaultRetryPolicy() *RetryPolicy {
 		BaseBackoff:    time.Millisecond,
 		MaxBackoff:     50 * time.Millisecond,
 		Jitter:         0.5,
-		Ladder:         []string{"fusion", "staged", "roundtrip", "streaming"},
+		Ladder:         []string{"fusion", "staged", "roundtrip", "streaming", "vm"},
 		StreamingTiles: []int{4, 16, 64, 256},
 	}
 }
@@ -211,6 +218,16 @@ func (r *recovery) next(label string) (rung, bool) {
 	return r.rungs[idx+1], true
 }
 
+// vmRung finds the ladder's "vm" rung — the device-lost refuge.
+func (r *recovery) vmRung() (rung, bool) {
+	for _, ru := range r.rungs {
+		if ru.label == "vm" {
+			return ru, true
+		}
+	}
+	return rung{}, false
+}
+
 // run is the recovery-wrapped execution loop around runPlanOnce. pr,
 // when non-nil, remembers the rung a degraded run landed on, so
 // subsequent warm evaluations start there instead of re-failing the
@@ -218,11 +235,13 @@ func (r *recovery) next(label string) (rung, bool) {
 func (r *recovery) run(e *Engine, text string, pr *Prepared, plan strategy.Plan, label string,
 	bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
 	retries := 0
+	fell := false    // did this call move down the ladder at all?
+	viaLost := false // was the final rung reached through a device loss?
 	for {
 		res, err := e.runPlanOnce(plan, bind, pool, sp, fp, t0)
 		if err == nil {
-			if pr != nil && plan != pr.plan {
-				pr.fallback, pr.fallbackLabel = plan, label
+			if pr != nil && fell && plan != pr.plan {
+				pr.fallback, pr.fallbackLabel, pr.fallbackLost = plan, label, viaLost
 			}
 			return res, nil
 		}
@@ -277,9 +296,38 @@ func (r *recovery) run(e *Engine, text string, pr *Prepared, plan strategy.Plan,
 					obs.Labels{"from": label, "to": nxt.label}).Inc()
 			}
 			plan, label = np, nxt.label
+			fell = true
 			retries = 0
 
-		default: // device lost, permanent
+		case ocl.ClassDeviceLost:
+			// Nothing on the device can run again until the serving layer
+			// heals or replaces it, but the ladder's host-VM rung (if any)
+			// needs no device at all: jump straight there. Already on it,
+			// or no vm rung? Surface the loss.
+			vr, ok := r.vmRung()
+			if !ok || label == vr.label {
+				return nil, err
+			}
+			e.env.Context().Pool().Drain()
+			fs := sp.Child("fallback")
+			if fs != nil {
+				fs.SetAttr("from", label).SetAttr("to", vr.label).SetAttr("cause", err.Error())
+			}
+			np, _, perr := e.comp.PlanTracedAt(text, e.lvl, vr.strat, e.env.Device(), fs)
+			fs.Finish()
+			if perr != nil {
+				return nil, fmt.Errorf("dfg: fallback re-plan %s -> %s: %w", label, vr.label, perr)
+			}
+			if e.reg != nil {
+				e.reg.Counter("dfg_fallback_total",
+					"Strategy degradations by ladder edge.",
+					obs.Labels{"from": label, "to": vr.label}).Inc()
+			}
+			plan, label = np, vr.label
+			fell, viaLost = true, true
+			retries = 0
+
+		default: // permanent
 			return nil, err
 		}
 	}

@@ -182,11 +182,14 @@ func TestRetriesExhaust(t *testing.T) {
 	}
 }
 
-// TestDeviceLostSurfacesImmediately pins that engine recovery does not
-// retry a lost device — that is the serving layer's job.
-func TestDeviceLostSurfacesImmediately(t *testing.T) {
+// TestDeviceLostSurfacesWithoutVMRung pins that engine recovery never
+// retries or backs off on a lost device: with no host-VM rung on the
+// ladder there is nowhere to go, so the loss surfaces immediately —
+// healing the device is the serving layer's job.
+func TestDeviceLostSurfacesWithoutVMRung(t *testing.T) {
 	var slept int
 	pol := DefaultRetryPolicy()
+	pol.Ladder = []string{"fusion", "staged"} // no vm refuge
 	pol.Sleep = func(time.Duration) { slept++ }
 	eng, _ := tinyGPU(t, 1<<30, pol)
 	eng.InjectFaults(ocl.NewFaultPlan(1).LoseDeviceAt(0))
@@ -200,6 +203,94 @@ func TestDeviceLostSurfacesImmediately(t *testing.T) {
 	}
 	if !eng.DeviceLost() {
 		t.Fatal("device should be latched lost")
+	}
+}
+
+// TestDeviceLostFallsToVM is the fault-ladder regression for the VM
+// rung: under a latching device-lost fault, the default ladder jumps
+// straight to the host VM, completes with the correct output, reports
+// the degradation, and keeps serving warm evaluations on the VM while
+// the device stays lost.
+func TestDeviceLostFallsToVM(t *testing.T) {
+	var slept int
+	pol := DefaultRetryPolicy()
+	pol.Sleep = func(time.Duration) { slept++ }
+	eng, reg := tinyGPU(t, 1<<30, pol)
+	eng.InjectFaults(ocl.NewFaultPlan(1).LoseDeviceAt(0))
+
+	pr, err := eng.Prepare(VelocityMagnitudeExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	in := map[string][]float32{"u": {3, 1, 0}, "v": {4, 2, 0}, "w": {0, 2, 5}}
+	res, err := pr.Eval(3, in)
+	if err != nil {
+		t.Fatalf("vm rung did not rescue the lost device: %v", err)
+	}
+	if math.Abs(float64(res.Data[0])-5) > 1e-6 || math.Abs(float64(res.Data[1])-3) > 1e-6 || math.Abs(float64(res.Data[2])-5) > 1e-6 {
+		t.Fatalf("vm result wrong: %v", res.Data)
+	}
+	if res.Profile.Kernels != 0 || res.Profile.Writes != 0 || res.Profile.Reads != 0 {
+		t.Fatalf("rescued run touched the lost device: %+v", res.Profile)
+	}
+	if slept != 0 {
+		t.Fatal("device loss must jump to the vm rung without backoff sleeps")
+	}
+	if got := pr.Degraded(); got != "vm" {
+		t.Fatalf("Degraded() = %q, want vm", got)
+	}
+	if !eng.DeviceLost() {
+		t.Fatal("device must stay latched lost — the vm rescue does not heal it")
+	}
+	if got := reg.Counter("dfg_fallback_total", "", obs.Labels{"from": "fusion", "to": "vm"}).Value(); got != 1 {
+		t.Fatalf("dfg_fallback_total{fusion->vm} = %d, want 1", got)
+	}
+
+	// Warm evaluation starts on the parked vm rung: no second fallback.
+	if _, err := pr.Eval(3, in); err != nil {
+		t.Fatalf("warm vm eval: %v", err)
+	}
+	if got := reg.Counter("dfg_fallback_total", "", obs.Labels{"from": "fusion", "to": "vm"}).Value(); got != 1 {
+		t.Fatalf("warm eval re-fell: fallback count %d", got)
+	}
+}
+
+// TestHealRestoresPrimaryAfterVMRescue: a device-lost degradation is
+// not a property of the plan — once the device heals, the prepared
+// expression returns to its primary rung, and the next evaluation
+// really runs on the device again.
+func TestHealRestoresPrimaryAfterVMRescue(t *testing.T) {
+	eng, _ := tinyGPU(t, 1<<30, nil)
+	eng.InjectFaults(ocl.NewFaultPlan(1).LoseDeviceAt(0))
+
+	pr, err := eng.Prepare(VelocityMagnitudeExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	in := map[string][]float32{"u": {3, 1, 0}, "v": {4, 2, 0}, "w": {0, 2, 5}}
+	if _, err := pr.Eval(3, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Degraded(); got != "vm" {
+		t.Fatalf("Degraded() = %q, want vm", got)
+	}
+
+	eng.InjectFaults(nil)
+	eng.Heal()
+	if got := pr.Degraded(); got != "" {
+		t.Fatalf("Degraded() after Heal = %q, want \"\"", got)
+	}
+	res, err := pr.Eval(3, in)
+	if err != nil {
+		t.Fatalf("post-heal eval: %v", err)
+	}
+	if res.Profile.Kernels == 0 {
+		t.Fatal("post-heal eval launched no kernels — still on the vm rung")
+	}
+	if math.Abs(float64(res.Data[0])-5) > 1e-6 {
+		t.Fatalf("post-heal v_mag[0] = %v want 5", res.Data[0])
 	}
 }
 
