@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"dfg/internal/metrics"
+	"dfg/internal/perfdb"
 	"dfg/internal/strategy"
 )
 
@@ -188,6 +189,10 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 		}
 	}
 	doc := struct {
+		// Meta stamps the run with schema, git revision and host/device
+		// identity so two results.json files compared by dfg-report are
+		// attributable to their builds.
+		Meta   perfdb.Meta `json:"meta"`
 		Config struct {
 			LinScale  int    `json:"lin_scale"`
 			MaxGrids  int    `json:"max_grids"`
@@ -197,7 +202,7 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 			Opt       string `json:"opt"`
 		} `json:"config"`
 		Cases []jsonCase `json:"cases"`
-	}{Cases: cases}
+	}{Meta: perfdb.CollectMeta("CPU+GPU"), Cases: cases}
 	doc.Config.LinScale = cfg.LinScale
 	doc.Config.MaxGrids = cfg.MaxGrids
 	doc.Config.Repeats = cfg.Repeats
@@ -230,9 +235,10 @@ func runRepeat(warm int, strat string, asJSON bool, outDir string) {
 	}
 	if asJSON {
 		doc, err := json.MarshalIndent(struct {
+			Meta      perfdb.Meta          `json:"meta"`
 			WarmEvals int                  `json:"warm_evals"`
 			Cases     []metrics.RepeatCase `json:"cases"`
-		}{warm, cases}, "", "  ")
+		}{perfdb.CollectMeta("CPU"), warm, cases}, "", "  ")
 		if err != nil {
 			fatal(err)
 		}

@@ -16,6 +16,11 @@
 //	dfg-serve -chaos 7                         # seeded fault injection on every
 //	                                           # worker device: flaky transfers,
 //	                                           # kernels, allocations, lost devices
+//	dfg-serve -perf-dir perf/                  # persist the per-evaluation perf
+//	                                           # database on shutdown; flight dumps
+//	                                           # land there on breaker trips/panics
+//	dfg-serve -listen :9090 -pprof -tail 1     # pprof handlers + slowest-1% trace
+//	                                           # retention on /trace/{id}
 //
 // Under -chaos each worker's device gets a deterministic (seeded) fault
 // plan; the engines' retry/degradation recovery and the pool's circuit
@@ -61,6 +66,9 @@ func main() {
 		linger    = flag.Duration("linger", 0, "keep the introspection endpoint up this long after the load completes")
 		slow      = flag.Duration("slow", 0, "slow-request threshold: log the full span tree of slower requests (0 = off)")
 		traceKeep = flag.Int("trace-keep", 64, "recent request traces retained for /trace (negative disables tracing)")
+		perfDir   = flag.String("perf-dir", "", "perf-database directory: write the per-evaluation record snapshot on shutdown and flight-recorder dumps on failures (empty = off)")
+		tailPct   = flag.Float64("tail", 0, "retain the slowest P% of request traces for /trace/{id} (0 = default 5; negative keeps only errored/degraded traces)")
+		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof/ on the introspection endpoint")
 
 		chaosSeed    = flag.Int64("chaos", 0, "seed per-worker fault injection (0 = off): probabilistic transfer/kernel/allocation faults and occasional device loss")
 		chaosProb    = flag.Float64("chaos-prob", 0.02, "per-operation fault probability under -chaos")
@@ -85,6 +93,9 @@ func main() {
 		DefaultTimeout: *timeout,
 		TraceKeep:      *traceKeep,
 		SlowThreshold:  *slow,
+		PerfDir:        *perfDir,
+		TailPercent:    *tailPct,
+		EnablePprof:    *pprofOn,
 	}
 	if *chaosSeed != 0 {
 		seed, prob, lost := *chaosSeed, *chaosProb, *chaosLost
@@ -221,9 +232,18 @@ func main() {
 		fmt.Printf("%-28s seed=%d dropped=%d leaked-buffers=%d rerouted=%d rebuilds=%d\n",
 			"chaos:", *chaosSeed, dropped, leaked, st.Rerouted, st.Restarts)
 		if ctx.Err() == nil && (dropped > 0 || leaked != 0) {
+			// Leave a postmortem: the flight ring still holds the final
+			// requests' span trees and recent perf records.
+			if path := pool.FlightRecorder().Dump("chaos-soak-failure"); path != "" {
+				fmt.Fprintf(os.Stderr, "dfg-serve: flight dump written to %s\n", path)
+			}
 			fmt.Fprintln(os.Stderr, "dfg-serve: chaos soak FAILED")
 			os.Exit(1)
 		}
+	}
+	if *perfDir != "" {
+		fmt.Printf("%-28s %d records flushed to %s\n", "perf database:",
+			pool.PerfRecorder().Recorded(), *perfDir)
 	}
 	if failures.Load() > 0 && ctx.Err() == nil {
 		os.Exit(1)

@@ -53,6 +53,7 @@ import (
 	"dfg/internal/obs"
 	"dfg/internal/ocl"
 	"dfg/internal/passes"
+	"dfg/internal/perfdb"
 	"dfg/internal/strategy"
 )
 
@@ -170,6 +171,15 @@ type Engine struct {
 	// (SetRecovery): transient retries with backoff and the capacity
 	// degradation ladder, wrapped around every plan execution.
 	rec *recovery
+
+	// perf, when non-nil, is the continuous-profiling sink
+	// (SetPerfRecorder): every evaluation deposits one EvalRecord.
+	// pendingWait and pendingPlan stage the queue-wait and compile+plan
+	// durations the next record consumes (engine methods are
+	// single-goroutine, so plain fields suffice).
+	perf        *perfdb.Recorder
+	pendingWait time.Duration
+	pendingPlan time.Duration
 
 	// lvl is the optimisation level every compile goes through
 	// (Config.Opt, parsed). The zero value is the Paper level.
@@ -413,13 +423,13 @@ func (e *Engine) evalTraced(ctx context.Context, parent *obs.Span, text string, 
 	if parent != nil { // guard: strconv.Itoa must not run on the no-op path
 		parent.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(n))
 	}
-	var t0 time.Time
-	if e.reg != nil {
-		t0 = time.Now()
-	}
+	t0 := e.clock()
 	plan, fp, err := e.comp.PlanTracedAt(text, e.lvl, e.strat, e.env.Device(), parent)
 	if err != nil {
 		return nil, err
+	}
+	if e.perf != nil {
+		e.pendingPlan = time.Since(t0)
 	}
 	bs := parent.Child("bind")
 	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs)), Ctx: ctx}
@@ -439,13 +449,13 @@ func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (
 	if sp != nil {
 		sp.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(m.Cells()))
 	}
-	var t0 time.Time
-	if e.reg != nil {
-		t0 = time.Now()
-	}
+	t0 := e.clock()
 	plan, fp, err := e.comp.PlanTracedAt(text, e.lvl, e.strat, e.env.Device(), sp)
 	if err != nil {
 		return nil, err
+	}
+	if e.perf != nil {
+		e.pendingPlan = time.Since(t0)
 	}
 	bs := sp.Child("bind")
 	bind, err := strategy.BindMesh(m, fields)
@@ -465,20 +475,38 @@ func (e *Engine) EvalOnMesh(text string, m *Mesh, fields map[string][]float32) (
 // (strategy.PlanCacheName at entry).
 func (e *Engine) runPlan(text string, pr *Prepared, plan strategy.Plan, label string,
 	bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
-	if e.rec == nil {
-		return e.runPlanOnce(plan, bind, pool, sp, fp, t0)
+	var capt *evalCapture
+	var arenaBefore ocl.ArenaStats
+	if e.perf != nil {
+		capt = &evalCapture{entry: label}
+		arenaBefore = e.ArenaStats()
 	}
-	return e.rec.run(e, text, pr, plan, label, bind, pool, sp, fp, t0)
+	var res *Result
+	var err error
+	if e.rec == nil {
+		res, err = e.runPlanOnce(plan, label, bind, pool, sp, fp, t0, capt)
+	} else {
+		res, err = e.rec.run(e, text, pr, plan, label, bind, pool, sp, fp, t0, capt)
+	}
+	if capt != nil {
+		e.recordEval(capt, res, err, bind.N, fp, sp, t0, arenaBefore)
+	}
+	return res, err
 }
 
 // runPlanOnce executes a prepared plan once, recording the execute span
 // (with the simulated device events attached as fixed-time children on
-// per-category tracks) and the per-(fingerprint, strategy) latency
-// observation. pool, when non-nil, is attached to the environment for
-// the duration of the execution (the Prepared warm path); one-shot Eval
-// passes nil so per-run allocate/free — and with it the paper's
-// Table II event counts and Figure 6 memory profile — stays exact.
-func (e *Engine) runPlanOnce(plan strategy.Plan, bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+// per-category tracks) and the per-(fingerprint, strategy, resolved)
+// latency observation. label names the rung being attempted (the plan
+// cache name at entry, or the ladder rung on fallback attempts); the
+// resolved execution path — the tiered plan's chosen tier, else the
+// label itself — lands on the span, the histogram and the perf capture.
+// pool, when non-nil, is attached to the environment for the duration
+// of the execution (the Prepared warm path); one-shot Eval passes nil
+// so per-run allocate/free — and with it the paper's Table II event
+// counts and Figure 6 memory profile — stays exact.
+func (e *Engine) runPlanOnce(plan strategy.Plan, label string, bind strategy.Bindings,
+	pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time, capt *evalCapture) (*Result, error) {
 	if pool != nil {
 		e.env.SetPool(pool)
 		defer e.env.SetPool(nil)
@@ -492,9 +520,17 @@ func (e *Engine) runPlanOnce(plan strategy.Plan, bind strategy.Bindings, pool *o
 		}
 		return nil, err
 	}
+	resolved := res.Resolved
+	if resolved == "" {
+		resolved = label
+	}
+	capt.setResolved(resolved)
+	if sp != nil {
+		sp.SetAttr("resolved", resolved)
+	}
 	attachDeviceEvents(es, res.Events)
 	if e.reg != nil {
-		e.evalHistogram(fp).Observe(time.Since(t0))
+		e.evalHistogram(fp, resolved).ObserveEx(time.Since(t0), sp.ID())
 	}
 	return &Result{
 		Data:            res.Data,
@@ -506,16 +542,20 @@ func (e *Engine) runPlanOnce(plan strategy.Plan, bind strategy.Bindings, pool *o
 }
 
 // evalHistogram resolves (memoized per engine) the latency series for a
-// fingerprint under the engine's strategy.
-func (e *Engine) evalHistogram(fp string) *obs.Histogram {
+// fingerprint under the engine's strategy and the resolved execution
+// path. The strategy label stays the engine's configured strategy (so
+// dashboards keyed on it are stable); resolved carries the tier that
+// actually ran, un-hiding the tiered strategy's routing.
+func (e *Engine) evalHistogram(fp, resolved string) *obs.Histogram {
 	short := compile.ShortKey(fp)
-	if h, ok := e.evalHist[short]; ok {
+	key := short + "|" + resolved
+	if h, ok := e.evalHist[key]; ok {
 		return h
 	}
 	h := e.reg.Histogram("dfg_eval_seconds",
-		"End-to-end evaluation latency by expression fingerprint and strategy.",
-		obs.Labels{"fingerprint": short, "strategy": e.strat.Name()})
-	e.evalHist[short] = h
+		"End-to-end evaluation latency by expression fingerprint, strategy and resolved execution path.",
+		obs.Labels{"fingerprint": short, "strategy": e.strat.Name(), "resolved": resolved})
+	e.evalHist[key] = h
 	return h
 }
 

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Exemplar links one concrete observation to its retained trace — the
+// Prometheus exemplar idea, carried out-of-band: the 0.0.4 text format
+// has no exemplar syntax, so the serve layer exposes these on a
+// dedicated /exemplars endpoint instead of inline in /metrics, keyed by
+// the same family name and label signature.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	DurNS   int64  `json:"dur_ns"`
+	UnixNS  int64  `json:"t"`
+}
+
+// ObserveEx records one duration and, when traceID is non-empty,
+// remembers it as the histogram's most recent exemplar (and as the
+// slowest, if it is). The exemplar stores are single atomic pointer
+// swaps, so the hot path stays allocation-light and lock-free.
+func (h *Histogram) ObserveEx(d time.Duration, traceID string) {
+	h.Observe(d)
+	if h == nil || traceID == "" {
+		return
+	}
+	e := &Exemplar{TraceID: traceID, DurNS: int64(d), UnixNS: time.Now().UnixNano()}
+	h.exLast.Store(e)
+	for {
+		cur := h.exMax.Load()
+		if cur != nil && cur.DurNS >= e.DurNS {
+			return
+		}
+		if h.exMax.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// LastExemplar returns the most recent exemplar (nil if none yet).
+func (h *Histogram) LastExemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.exLast.Load()
+}
+
+// MaxExemplar returns the slowest exemplar seen (nil if none yet).
+func (h *Histogram) MaxExemplar() *Exemplar {
+	if h == nil {
+		return nil
+	}
+	return h.exMax.Load()
+}
+
+// SeriesExemplars is one histogram series' exemplar pair, identified
+// the same way /metrics identifies the series.
+type SeriesExemplars struct {
+	Name    string    `json:"name"`
+	Labels  string    `json:"labels,omitempty"` // rendered {k="v",...} signature
+	Last    *Exemplar `json:"last,omitempty"`
+	Slowest *Exemplar `json:"slowest,omitempty"`
+}
+
+// Exemplars lists every histogram series that currently has an
+// exemplar, in registration order — the /exemplars endpoint's payload.
+func (r *Registry) Exemplars() []SeriesExemplars {
+	if r == nil {
+		return nil
+	}
+	type histRef struct {
+		name, labels string
+		hist         *Histogram
+	}
+	var hists []histRef
+	r.mu.Lock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.kind != kindHistogram {
+			continue
+		}
+		for _, sig := range f.order {
+			hists = append(hists, histRef{name: name, labels: sig, hist: f.series[sig].hist})
+		}
+	}
+	r.mu.Unlock()
+	var out []SeriesExemplars
+	for _, h := range hists {
+		last, max := h.hist.LastExemplar(), h.hist.MaxExemplar()
+		if last == nil && max == nil {
+			continue
+		}
+		out = append(out, SeriesExemplars{Name: h.name, Labels: h.labels, Last: last, Slowest: max})
+	}
+	return out
+}
+
+// exStore is the pair of atomic exemplar slots embedded in Histogram.
+type exStore struct {
+	exLast atomic.Pointer[Exemplar]
+	exMax  atomic.Pointer[Exemplar]
+}

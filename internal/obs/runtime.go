@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsReader memoizes runtime.ReadMemStats: the call stops the
+// world briefly, and callback-backed gauges are read once per series
+// per scrape, so several gauges sharing one scrape should also share
+// one read.
+type memStatsReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	once time.Duration
+}
+
+func (m *memStatsReader) read() runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now := time.Now(); m.at.IsZero() || now.Sub(m.at) >= m.once {
+		runtime.ReadMemStats(&m.ms)
+		m.at = now
+	}
+	return m.ms
+}
+
+// RegisterRuntimeMetrics adds Go runtime self-metrics to the registry —
+// goroutine count, GC pause total, GC cycle count and in-use heap — so
+// fleet dashboards scraping /metrics need no sidecar exporter. Safe to
+// call once per registry; calling again replaces the callbacks.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	mem := &memStatsReader{once: 500 * time.Millisecond}
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_inuse_bytes",
+		"Bytes in in-use heap spans.", nil,
+		func() float64 { return float64(mem.read().HeapInuse) })
+	r.CounterFunc("go_gc_pause_seconds_total",
+		"Total stop-the-world GC pause time in seconds.", nil,
+		func() float64 { return float64(mem.read().PauseTotalNs) / 1e9 })
+	r.CounterFunc("go_gc_runs_total",
+		"Completed GC cycles.", nil,
+		func() float64 { return float64(mem.read().NumGC) })
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs are assigned to every root span a tracer starts, so a
+// histogram exemplar, a /slow log line, a perf-database record and a
+// flight-recorder entry can all point at the same retained trace. The
+// ID is process-unique and cheap: a start-time prefix plus a sequence
+// number — no randomness needed, collisions across restarts are made
+// unlikely by the millisecond prefix.
+var (
+	traceSeq  atomic.Uint64
+	traceBase = uint64(time.Now().UnixMilli()) & 0xffffffff
+)
+
+func nextTraceID() string {
+	return fmt.Sprintf("%08x-%x", traceBase, traceSeq.Add(1))
+}
+
+// ID returns the span's trace ID ("" on non-roots and nil spans).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// DefaultTailPercent is the slow-tail retention fraction SetTail(0)
+// configures: the slowest 5% of requests keep their full span trees.
+const DefaultTailPercent = 5.0
+
+// SetTail configures tail-based trace retention: finished roots in the
+// slowest pct percent of all requests (estimated against a running
+// duration histogram, once enough samples exist), plus every root that
+// errored, degraded, retried or was rerouted, are retained in a
+// dedicated ring queryable by ByID/Retained. pct 0 applies
+// DefaultTailPercent; negative pct disables duration-based retention
+// (error/degraded/rerouted roots are still kept).
+func (t *Tracer) SetTail(pct float64) {
+	if t == nil {
+		return
+	}
+	if pct == 0 {
+		pct = DefaultTailPercent
+	}
+	t.mu.Lock()
+	t.tailPct = pct
+	if t.retained.buf == nil {
+		t.retained = newRing(len(t.recent.buf))
+	}
+	t.mu.Unlock()
+}
+
+// tailMinSamples is how many durations the tail estimator needs before
+// quantile-based retention kicks in — below it, every request would be
+// "the slowest 5%" of a near-empty histogram.
+const tailMinSamples = 32
+
+// retainTail decides, with t.mu held, whether a finished root belongs
+// in the retained ring.
+func (t *Tracer) retainTail(root *Span) bool {
+	if t.retained.buf == nil {
+		return false
+	}
+	if interesting(root) {
+		return true
+	}
+	if t.tailPct <= 0 {
+		return false
+	}
+	t.tailHist.Observe(root.Duration())
+	if t.tailHist.Count() < tailMinSamples {
+		return false
+	}
+	return root.Duration() >= t.tailHist.Quantile(1-t.tailPct/100)
+}
+
+// interesting reports whether a trace is unconditionally worth keeping:
+// it errored, degraded down the fallback ladder, burned a retry, or was
+// rerouted off a tripped worker.
+func interesting(root *Span) bool {
+	if root.Attr("error") != "" || root.Attr("rerouted") != "" {
+		return true
+	}
+	return root.Find("fallback") != nil || root.Find("retry") != nil
+}
+
+// Retained returns up to n retained (tail-sampled) traces, oldest
+// first. n <= 0 means all.
+func (t *Tracer) Retained(n int) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.retained.buf == nil {
+		return nil
+	}
+	return t.retained.last(n)
+}
+
+// ByID returns the retained, slow or recent trace with the given ID
+// (nil if it has aged out of all three rings).
+func (t *Tracer) ByID(id string) *Span {
+	if t == nil || id == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range []*ring{&t.retained, &t.slow, &t.recent} {
+		if r.buf == nil {
+			continue
+		}
+		spans := r.last(0)
+		for i := len(spans) - 1; i >= 0; i-- {
+			if spans[i].id == id {
+				return spans[i]
+			}
+		}
+	}
+	return nil
+}

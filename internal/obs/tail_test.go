@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceIDs: every root gets a unique ID, and ByID resolves it from
+// the recent ring.
+func TestTraceIDs(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.Start("request")
+	b := tr.Start("request")
+	if a.ID() == "" || b.ID() == "" || a.ID() == b.ID() {
+		t.Fatalf("trace ids: %q vs %q", a.ID(), b.ID())
+	}
+	a.Finish()
+	b.Finish()
+	if got := tr.ByID(a.ID()); got != a {
+		t.Fatalf("ByID(%q) = %v, want the finished root", a.ID(), got)
+	}
+	if tr.ByID("no-such-id") != nil {
+		t.Fatal("ByID on unknown id must return nil")
+	}
+	var nilSpan *Span
+	if nilSpan.ID() != "" {
+		t.Fatal("nil span ID must be empty")
+	}
+	var nilTr *Tracer
+	if nilTr.ByID("x") != nil || nilTr.Retained(0) != nil {
+		t.Fatal("nil tracer tail accessors must be no-ops")
+	}
+	nilTr.SetTail(5) // must not panic
+}
+
+// TestTailRetainsInteresting: with duration-based retention disabled
+// (negative pct), errored and rerouted roots are still retained while
+// healthy ones age out of the retained ring entirely.
+func TestTailRetainsInteresting(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetTail(-1)
+
+	ok := tr.Start("request")
+	ok.Finish()
+	bad := tr.Start("request")
+	bad.SetAttr("error", "boom")
+	bad.Finish()
+	moved := tr.Start("request")
+	moved.SetAttr("rerouted", "2")
+	moved.Finish()
+
+	kept := tr.Retained(0)
+	if len(kept) != 2 {
+		t.Fatalf("retained %d traces, want 2 (error + rerouted)", len(kept))
+	}
+	for _, sp := range kept {
+		if sp == ok {
+			t.Fatal("healthy trace retained under negative tail percent")
+		}
+	}
+	if tr.ByID(bad.ID()) != bad {
+		t.Fatal("errored trace not resolvable by ID")
+	}
+}
+
+// TestTailRetainsSlowest: with a percentage configured, a root far above
+// the running duration distribution is retained once the estimator has
+// enough samples; the fast majority is not.
+func TestTailRetainsSlowest(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetTail(5)
+	// Feed the estimator past tailMinSamples with fast requests.
+	for i := 0; i < tailMinSamples+8; i++ {
+		sp := tr.Start("request")
+		sp.Finish() // ~0 duration
+	}
+	fastRetained := len(tr.Retained(0))
+
+	slow := tr.Start("request")
+	slow.Start = time.Now().Add(-time.Second) // backdate: 1s duration
+	slow.Finish()
+
+	kept := tr.Retained(0)
+	if len(kept) != fastRetained+1 {
+		t.Fatalf("retained %d traces after slow root, want %d", len(kept), fastRetained+1)
+	}
+	if got := tr.ByID(slow.ID()); got != slow {
+		t.Fatal("slow root not retained / resolvable by ID")
+	}
+}
+
+// TestExemplars: ObserveEx tracks both the most recent and the slowest
+// observation, and the registry lists them per series.
+func TestExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dfg_eval_seconds", "Evaluation latency.", Labels{"strategy": "vm"})
+	h.ObserveEx(5*time.Millisecond, "t-1")
+	h.ObserveEx(10*time.Millisecond, "t-2")
+	h.ObserveEx(time.Millisecond, "t-3")
+
+	if last := h.LastExemplar(); last == nil || last.TraceID != "t-3" {
+		t.Fatalf("LastExemplar = %+v, want t-3", last)
+	}
+	if max := h.MaxExemplar(); max == nil || max.TraceID != "t-2" {
+		t.Fatalf("MaxExemplar = %+v, want t-2", max)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("ObserveEx must still observe: count = %d", h.Count())
+	}
+
+	ex := r.Exemplars()
+	if len(ex) != 1 {
+		t.Fatalf("Exemplars listed %d series, want 1", len(ex))
+	}
+	if ex[0].Name != "dfg_eval_seconds" || !strings.Contains(ex[0].Labels, `strategy="vm"`) {
+		t.Fatalf("series identity: %+v", ex[0])
+	}
+	if ex[0].Last.TraceID != "t-3" || ex[0].Slowest.TraceID != "t-2" {
+		t.Fatalf("series exemplars: %+v", ex[0])
+	}
+
+	// Empty trace IDs observe without storing an exemplar.
+	h2 := r.Histogram("dfg_other_seconds", "Other.", nil)
+	h2.ObserveEx(time.Millisecond, "")
+	for _, s := range r.Exemplars() {
+		if s.Name == "dfg_other_seconds" {
+			t.Fatal("empty trace id must not create an exemplar")
+		}
+	}
+}
+
+// TestRuntimeMetrics: the self-metrics register and expose plausible
+// values through the Prometheus text writer.
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{"go_goroutines", "go_heap_inuse_bytes", "go_gc_pause_seconds_total", "go_gc_runs_total"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "go_goroutines 0") {
+		t.Fatal("go_goroutines reported 0")
+	}
+}

@@ -38,6 +38,7 @@ type Span struct {
 	Children []*Span
 
 	tracer *Tracer // non-nil on roots only; Finish publishes there
+	id     string  // trace ID, assigned to roots by Tracer.Start (see ID)
 }
 
 // Child opens a sub-span starting now. The caller must Finish it (or a
@@ -181,12 +182,16 @@ func (s *Span) WriteText(w io.Writer) {
 // reading the rings takes a mutex. The zero Tracer pointer (nil) is a
 // valid no-op tracer: Start returns a nil span and nothing is recorded.
 type Tracer struct {
-	mu     sync.Mutex
-	recent ring
-	slow   ring
+	mu       sync.Mutex
+	recent   ring
+	slow     ring
+	retained ring // tail-sampled traces (see SetTail); nil buf = disabled
 
 	slowThreshold time.Duration
 	onSlow        func(*Span)
+
+	tailPct  float64   // slowest-percent retention fraction
+	tailHist Histogram // running duration distribution for the tail cut
 }
 
 // DefaultKeep is the recent-trace ring capacity NewTracer(0) uses.
@@ -221,7 +226,7 @@ func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	return &Span{Name: name, Start: time.Now(), tracer: t}
+	return &Span{Name: name, Start: time.Now(), tracer: t, id: nextTraceID()}
 }
 
 // publish files a finished root into the rings and fires the slow hook.
@@ -232,6 +237,9 @@ func (t *Tracer) publish(root *Span) {
 	if t.slowThreshold > 0 && root.Duration() >= t.slowThreshold {
 		t.slow.add(root)
 		slowFn = t.onSlow
+	}
+	if t.retainTail(root) {
+		t.retained.add(root)
 	}
 	t.mu.Unlock()
 	if slowFn != nil {

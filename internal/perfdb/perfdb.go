@@ -1,0 +1,187 @@
+// Package perfdb is the repository's continuous-profiling substrate: a
+// durable, queryable record of its own performance. Every evaluation an
+// instrumented engine runs deposits one compact EvalRecord — identity
+// (fingerprint, strategy, the *resolved* execution tier, optimisation
+// level, size, device class), the stage timings (queue wait, plan,
+// upload, kernel, download, total), device-traffic counts, arena
+// activity, and the fault-recovery flags — into a lock-cheap sharded
+// ring buffer (Recorder). Snapshots flush as schema-versioned JSONL
+// stamped with the build and host identity (Meta), so BENCH_*.json-style
+// artifacts from different PRs, machines and revisions stay comparable.
+//
+// On top of the raw records sit three consumers:
+//
+//   - Aggregate/Compare: per (fingerprint, strategy, opt, size-bucket)
+//     aggregation with tolerance-based regression verdicts — the engine
+//     behind cmd/dfg-report's regression gate and the future auto-tuner's
+//     offline input;
+//   - FlightRecorder: a bounded ring of recent requests with their full
+//     span trees, dumped to disk automatically on a circuit-breaker trip
+//     or worker panic, so postmortems never depend on having had tracing
+//     verbosity turned up in advance;
+//   - the serve layer's HTTP surface, which links Prometheus histogram
+//     exemplars to retained traces by trace id.
+//
+// The package deliberately depends only on internal/obs (for span
+// dumps): dfg, serve and the benchmarks all import it, so it must sit at
+// the bottom of the dependency order.
+package perfdb
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Schema identifies the perf-database record format. Bump the version on
+// any incompatible field change; readers reject mismatched majors.
+const Schema = "dfg.perfdb/v1"
+
+// EvalRecord is one evaluation's compact performance record. Durations
+// are nanoseconds; modeled device times come from the run's ocl.Profile.
+type EvalRecord struct {
+	// UnixNS timestamps the record (record time, not enqueue time).
+	UnixNS int64 `json:"t"`
+	// TraceID links the record to a retained span tree, when tracing was
+	// on for the request ("" otherwise).
+	TraceID string `json:"trace_id,omitempty"`
+	// Fingerprint is the short compile-cache fingerprint of the
+	// expression (with its definitions and opt level folded in).
+	Fingerprint string `json:"fp"`
+	// Strategy is the strategy the evaluation entered with (the plan
+	// cache name, e.g. "tiered@4096"); Resolved is what actually ran —
+	// the tiered strategy's chosen tier, or the degradation ladder's
+	// landing rung.
+	Strategy string `json:"strategy"`
+	Resolved string `json:"resolved"`
+	// Opt is the optimisation level ("paper" or "O2").
+	Opt string `json:"opt"`
+	// Device names the simulated device class.
+	Device string `json:"device"`
+	// N is the evaluation's element count (the kernel ND-range).
+	N int `json:"n"`
+
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+	// PlanNS covers compile+plan for the call (0 on warm prepared evals,
+	// where planning happened at Prepare time).
+	PlanNS     int64 `json:"plan_ns,omitempty"`
+	UploadNS   int64 `json:"upload_ns,omitempty"`
+	KernelNS   int64 `json:"kernel_ns,omitempty"`
+	DownloadNS int64 `json:"download_ns,omitempty"`
+	TotalNS    int64 `json:"total_ns"`
+
+	Writes     int   `json:"writes"`
+	Reads      int   `json:"reads"`
+	Kernels    int   `json:"kernels"`
+	WriteBytes int64 `json:"write_bytes,omitempty"`
+	ReadBytes  int64 `json:"read_bytes,omitempty"`
+	PeakBytes  int64 `json:"peak_bytes,omitempty"`
+
+	// Arena activity across the run (deltas of the engine's arena
+	// counters): fresh device-buffer allocations, free-list reuses, and
+	// resident-source uploads moved vs skipped.
+	Allocs         int64 `json:"allocs"`
+	Reused         int64 `json:"reused,omitempty"`
+	Uploads        int64 `json:"uploads,omitempty"`
+	UploadsSkipped int64 `json:"uploads_skipped,omitempty"`
+
+	// Recovery flags: transient retries burned, the ladder rung a
+	// degraded run landed on (""), whether the device was lost, and the
+	// final error ("" on success).
+	Retries    int    `json:"retries,omitempty"`
+	Degraded   string `json:"degraded,omitempty"`
+	DeviceLost bool   `json:"device_lost,omitempty"`
+	Err        string `json:"err,omitempty"`
+}
+
+// Meta stamps a snapshot with the identity needed to compare it against
+// snapshots from other machines, builds and revisions.
+type Meta struct {
+	Schema    string `json:"schema"`
+	Kind      string `json:"kind"` // "meta" (the JSONL header line)
+	GitRev    string `json:"git_rev"`
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	Host      string `json:"host"`
+	// Device names the simulated device class the snapshot's records ran
+	// on, when a single class applies ("" for mixed snapshots).
+	Device        string `json:"device,omitempty"`
+	CreatedUnixNS int64  `json:"created_ns"`
+}
+
+// CollectMeta gathers the current build and host identity. device may be
+// "" when the snapshot mixes device classes.
+func CollectMeta(device string) Meta {
+	host, _ := os.Hostname()
+	return Meta{
+		Schema:        Schema,
+		Kind:          "meta",
+		GitRev:        GitRev(),
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Host:          host,
+		Device:        device,
+		CreatedUnixNS: time.Now().UnixNano(),
+	}
+}
+
+// GitRev resolves the git revision the binary was built from: the VCS
+// stamp Go embeds in module builds when available, else the checked-out
+// HEAD read straight from the .git directory (go run and test binaries
+// are not always stamped), else "unknown".
+func GitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	if rev := gitRevFromDir(); rev != "" {
+		return rev
+	}
+	return "unknown"
+}
+
+// gitRevFromDir reads HEAD from the enclosing .git directory, following
+// one level of symbolic ref. Best effort: any failure returns "".
+func gitRevFromDir() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		head, err := os.ReadFile(filepath.Join(dir, ".git", "HEAD"))
+		if err == nil {
+			s := strings.TrimSpace(string(head))
+			if ref, ok := strings.CutPrefix(s, "ref: "); ok {
+				if b, err := os.ReadFile(filepath.Join(dir, ".git", ref)); err == nil {
+					return strings.TrimSpace(string(b))
+				}
+				return ""
+			}
+			return s
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

@@ -7,14 +7,18 @@ package serve
 // counters, callback gauges, or immutable published span trees).
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"dfg/internal/metrics"
 	"dfg/internal/obs"
+	"dfg/internal/perfdb"
 )
 
 // Handler returns the pool's introspection endpoint:
@@ -23,7 +27,12 @@ import (
 //	GET /metrics        Prometheus text exposition (version 0.0.4)
 //	GET /trace?last=N   the last N request traces as Chrome-trace JSON
 //	                    (open in Perfetto / chrome://tracing); default 16
+//	GET /trace/{id}     one retained trace by trace ID — the exemplar
+//	                    links on /exemplars and the IDs on /slow resolve
+//	                    here (text, or ?format=json for the span tree)
 //	GET /slow?last=N    the last N slow-request span trees as text
+//	GET /exemplars      per-histogram exemplar trace links (JSON)
+//	GET /debug/pprof/*  Go's profiling handlers (Config.EnablePprof)
 //
 // The handler stays valid after Close — it then serves the pool's final,
 // frozen state, so an operator can still pull metrics and traces from a
@@ -33,7 +42,16 @@ func (p *Pool) Handler() http.Handler {
 	mux.HandleFunc("/healthz", p.handleHealthz)
 	mux.HandleFunc("/metrics", p.handleMetrics)
 	mux.HandleFunc("/trace", p.handleTrace)
+	mux.HandleFunc("/trace/", p.handleTraceByID)
 	mux.HandleFunc("/slow", p.handleSlow)
+	mux.HandleFunc("/exemplars", p.handleExemplars)
+	if p.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -91,6 +109,52 @@ func (p *Pool) handleTrace(w http.ResponseWriter, r *http.Request) {
 	_ = metrics.WriteSpanTraces(w, p.tracer.Last(n))
 }
 
+// handleTraceByID serves one retained trace — /trace/{id} — resolving
+// the trace IDs that exemplars, /slow lines, perf-database records and
+// flight-recorder entries carry. Text by default; ?format=json returns
+// the span tree in the flight-dump SpanDump shape.
+func (p *Pool) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if p.tracer == nil {
+		http.Error(w, "tracing disabled (TraceKeep < 0)", http.StatusNotFound)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" {
+		http.Error(w, "missing trace id", http.StatusBadRequest)
+		return
+	}
+	sp := p.tracer.ByID(id)
+	if sp == nil {
+		http.Error(w, "trace "+id+" not retained (aged out or never existed)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(perfdb.DumpSpan(sp))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "trace %s (%v)\n", id, sp.Duration())
+	sp.WriteText(w)
+}
+
+// handleExemplars serves the histogram exemplars as JSON: each series'
+// most recent and slowest observation with its trace ID, resolvable via
+// /trace/{id}. This is the out-of-band stand-in for Prometheus
+// exemplars, which the 0.0.4 text format cannot carry inline.
+func (p *Pool) handleExemplars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ex := p.reg.Exemplars()
+	if ex == nil {
+		ex = []obs.SeriesExemplars{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ex)
+}
+
 // handleSlow renders the retained slow-request span trees as text.
 func (p *Pool) handleSlow(w http.ResponseWriter, r *http.Request) {
 	if p.tracer == nil {
@@ -109,7 +173,7 @@ func (p *Pool) handleSlow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, sp := range slow {
-		fmt.Fprintf(w, "--- %v (threshold %v)\n", sp.Duration(), p.cfg.SlowThreshold)
+		fmt.Fprintf(w, "--- %v (threshold %v) trace_id=%s\n", sp.Duration(), p.cfg.SlowThreshold, sp.ID())
 		sp.WriteText(w)
 	}
 }

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dfg"
+	"dfg/internal/ocl"
+	"dfg/internal/perfdb"
+)
+
+// perfReq is a small healthy request the perf tests reuse.
+func perfReq() Request {
+	n := 64
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+	}
+	return Request{Expr: "f = x*2 + 1", N: n, Inputs: map[string][]float32{"x": xs}}
+}
+
+// TestPerfRecordsEveryEvaluation: the pool's always-on recorder holds
+// one record per served request, carrying identity, timings and — for a
+// tiered request routed to the host VM — the resolved tier.
+func TestPerfRecordsEveryEvaluation(t *testing.T) {
+	pool, err := NewPool(Config{Workers: 2, Device: dfg.CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	const reqs = 6
+	for i := 0; i < reqs; i++ {
+		if _, err := pool.Submit(context.Background(), perfReq()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A tiered request below the threshold must resolve to the VM tier.
+	tiered := perfReq()
+	tiered.Strategy = "tiered@4096"
+	if _, err := pool.Submit(context.Background(), tiered); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := pool.PerfRecorder()
+	if got := rec.Recorded(); got != reqs+1 {
+		t.Fatalf("Recorded = %d, want %d", got, reqs+1)
+	}
+	snap := rec.Snapshot()
+	var sawResolved bool
+	for _, r := range snap {
+		if r.Fingerprint == "" || r.Strategy == "" || r.Device == "" || r.Opt == "" {
+			t.Fatalf("record missing identity: %+v", r)
+		}
+		if r.TotalNS <= 0 {
+			t.Fatalf("record missing total time: %+v", r)
+		}
+		if r.TraceID == "" {
+			t.Fatalf("record missing trace id (tracing is on by default): %+v", r)
+		}
+		if r.QueueWaitNS < 0 {
+			t.Fatalf("negative queue wait: %+v", r)
+		}
+		if strings.HasPrefix(r.Strategy, "tiered@") && r.Resolved == "vm" {
+			sawResolved = true
+		}
+	}
+	if !sawResolved {
+		t.Fatalf("no record resolved tiered -> vm; snapshot: %+v", snap)
+	}
+}
+
+// TestFlushPerfConcurrentWithClose: FlushPerf racing a draining Close
+// (and racing in-flight evaluations) must stay safe and both snapshots
+// must parse. Run under -race in CI.
+func TestFlushPerfConcurrentWithClose(t *testing.T) {
+	dir := t.TempDir()
+	pool, err := NewPool(Config{Workers: 2, Device: dfg.CPU, Strategy: "fusion", PerfDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				pool.Submit(context.Background(), perfReq())
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if _, err := pool.FlushPerf(); err != nil {
+					t.Errorf("concurrent FlushPerf: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	files, err := filepath.Glob(filepath.Join(dir, "perfdb-*.jsonl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no perfdb snapshots written (err=%v)", err)
+	}
+	// Every snapshot — including the mid-drain ones — must parse, and the
+	// set must include Close's final flush covering all served requests.
+	var maxRecs int
+	for _, f := range files {
+		meta, recs, err := perfdb.Load(f)
+		if err != nil {
+			t.Fatalf("load %s: %v", f, err)
+		}
+		if meta.Schema != perfdb.Schema {
+			t.Fatalf("%s: schema %q", f, meta.Schema)
+		}
+		if len(recs) > maxRecs {
+			maxRecs = len(recs)
+		}
+	}
+	if served := pool.Stats().Served; int64(maxRecs) < served {
+		t.Fatalf("final snapshot has %d records, want >= %d served", maxRecs, served)
+	}
+}
+
+// TestFlightDumpOnBreakerTrip: a device loss rescued by the recovery
+// ladder still trips the breaker, which must leave a parseable flight
+// dump containing the tripping request's span tree. This is the
+// acceptance gate for the postmortem path, and runs under -race in CI.
+func TestFlightDumpOnBreakerTrip(t *testing.T) {
+	dir := t.TempDir()
+	var armed bool
+	pool, err := NewPool(Config{
+		Workers:         1,
+		Device:          dfg.CPU,
+		Strategy:        "fusion",
+		PerfDir:         dir,
+		BreakerCooldown: time.Hour, // keep the trip visible
+		FaultPlanFor: func(worker int) *ocl.FaultPlan {
+			if !armed {
+				armed = true
+				return ocl.NewFaultPlan(1).LoseDeviceAt(0)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	// The device dies on the first kernel; the VM rung rescues the
+	// request, the breaker trips, and the trip must dump the flight ring.
+	if _, err := pool.Submit(context.Background(), perfReq()); err != nil {
+		t.Fatalf("rescued request failed: %v", err)
+	}
+	if states := pool.BreakerStates(); states[0] != "open" {
+		t.Fatalf("breaker = %q, want open", states[0])
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*-breaker-trip.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("breaker-trip dumps = %v (err=%v), want exactly one", files, err)
+	}
+	d, err := perfdb.LoadFlight(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reason != "breaker-trip" || len(d.Entries) == 0 {
+		t.Fatalf("dump: reason=%q entries=%d", d.Reason, len(d.Entries))
+	}
+	last := d.Entries[len(d.Entries)-1]
+	if last.Span == nil || last.Span.Name != "request" {
+		t.Fatalf("tripping request's span tree missing: %+v", last.Span)
+	}
+	// The rescue is visible in the tree: the ladder recorded a fallback
+	// and the evaluation resolved to the VM rung.
+	if last.Span.Find("fallback") == nil {
+		t.Fatalf("span tree lacks the fallback rung:\n%+v", last.Span)
+	}
+	if len(d.Recent) == 0 {
+		t.Fatal("dump carries no recent perf records")
+	}
+	if pool.FlightRecorder().Dumped() != 1 {
+		t.Fatalf("Dumped = %d, want 1", pool.FlightRecorder().Dumped())
+	}
+}
+
+// TestPerfHTTPSurface covers the new introspection endpoints: exemplars
+// with resolvable trace IDs, /trace/{id} lookup in both formats, the
+// trace_id on /slow, pprof gating, and the perf/runtime series on
+// /metrics.
+func TestPerfHTTPSurface(t *testing.T) {
+	pool, err := NewPool(Config{
+		Workers: 1, Device: dfg.CPU, Strategy: "fusion",
+		SlowThreshold: time.Nanosecond, SlowLog: io.Discard,
+		EnablePprof: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Submit(context.Background(), perfReq()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(pool.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, name := range []string{"dfg_perf_records_total", "go_goroutines", "dfg_flight_dumps_total", `resolved="fusion"`} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+
+	code, body = get("/exemplars")
+	if code != http.StatusOK || !strings.Contains(body, "trace_id") {
+		t.Fatalf("/exemplars: %d %q", code, body)
+	}
+
+	// Pull a live trace ID off the slow log and resolve it.
+	code, body = get("/slow")
+	if code != http.StatusOK || !strings.Contains(body, "trace_id=") {
+		t.Fatalf("/slow: %d %q", code, body)
+	}
+	line := body[strings.Index(body, "trace_id=")+len("trace_id="):]
+	id := strings.Fields(line)[0]
+	code, body = get("/trace/" + id)
+	if code != http.StatusOK || !strings.Contains(body, "trace "+id) {
+		t.Fatalf("/trace/{id}: %d %q", code, body)
+	}
+	code, body = get("/trace/" + id + "?format=json")
+	if code != http.StatusOK || !strings.Contains(body, `"name": "request"`) {
+		t.Fatalf("/trace/{id}?format=json: %d %q", code, body)
+	}
+	if code, _ = get("/trace/nope"); code != http.StatusNotFound {
+		t.Fatalf("/trace/nope: %d, want 404", code)
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ with EnablePprof: %d", code)
+	}
+
+	// pprof is off by default.
+	plain, err := NewPool(Config{Workers: 1, Device: dfg.CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	srv2 := httptest.NewServer(plain.Handler())
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without EnablePprof: %d, want 404", resp.StatusCode)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"dfg/internal/obs"
 	"dfg/internal/ocl"
 	"dfg/internal/passes"
+	"dfg/internal/perfdb"
 )
 
 // ErrPoolClosed is returned for requests submitted after Close.
@@ -118,6 +119,26 @@ type Config struct {
 	// device context at construction (and again after every device
 	// replacement) — the chaos-testing hook behind dfg-serve -chaos.
 	FaultPlanFor func(worker int) *ocl.FaultPlan
+
+	// PerfDir, when set, is the perf-database directory: Close (and
+	// FlushPerf) write the pool's evaluation records there as
+	// schema-versioned JSONL, and the flight recorder writes its
+	// postmortem dumps there when a breaker trips or a worker panics.
+	// Empty keeps the continuous-profiling recorder in memory only (its
+	// ring is still live and inspectable) and disables flight dumps.
+	PerfDir string
+	// FlightKeep sizes the flight recorder's ring of recent requests
+	// (0 means perfdb.DefaultFlightKeep); negative disables the flight
+	// recorder entirely.
+	FlightKeep int
+	// TailPercent is the slowest-request percentile the tracer retains
+	// beyond its recent ring (tail-based sampling). 0 means
+	// obs.DefaultTailPercent; negative keeps only errored, degraded or
+	// rerouted request traces.
+	TailPercent float64
+	// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/
+	// on the pool's HTTP Handler.
+	EnablePprof bool
 }
 
 // Request is one evaluation: an expression program over named inputs.
@@ -208,6 +229,15 @@ type Pool struct {
 	waitHist *obs.Histogram
 	runHist  *obs.Histogram
 
+	// Continuous profiling: every worker engine deposits one EvalRecord
+	// per evaluation into perf (a sharded ring shared by the whole
+	// pool); flight keeps the postmortem ring of recent requests and
+	// dumps it on breaker trips and worker panics. meta stamps both the
+	// JSONL snapshots and the flight dumps with build/host identity.
+	perf   *perfdb.Recorder
+	flight *perfdb.FlightRecorder
+	meta   perfdb.Meta
+
 	start    time.Time
 	closedAt atomic.Int64 // unix ns; 0 while the pool is open
 
@@ -255,6 +285,12 @@ func NewPool(cfg Config) (*Pool, error) {
 	}
 	if cfg.TraceKeep >= 0 {
 		p.tracer = obs.NewTracer(cfg.TraceKeep)
+		p.tracer.SetTail(cfg.TailPercent)
+	}
+	p.perf = perfdb.NewRecorder(0)
+	p.meta = perfdb.CollectMeta(cfg.Device.String())
+	if cfg.FlightKeep >= 0 {
+		p.flight = perfdb.NewFlightRecorder(cfg.PerfDir, cfg.FlightKeep, p.meta, p.perf)
 	}
 	if cfg.SlowThreshold > 0 && p.tracer != nil {
 		logw := cfg.SlowLog
@@ -306,6 +342,10 @@ func (p *Pool) newEngine(worker int) (*dfg.Engine, error) {
 	// Workers pass their per-request span into EvalTraced, so the
 	// engines get only the registry (per-fingerprint histograms).
 	eng.Instrument(nil, p.reg)
+	// Derived per-request variant engines are views of this one, so the
+	// recorder pointer rides along into every WithOptLevel/WithStrategy
+	// copy a worker makes.
+	eng.SetPerfRecorder(p.perf)
 	if !p.cfg.NoRecovery {
 		pol := dfg.DefaultRetryPolicy()
 		if p.cfg.Recovery != nil {
@@ -502,6 +542,17 @@ func (p *Pool) registerMetrics() {
 			labels, func() float64 { return p.comp.PassStat(pass).Seconds })
 	}
 
+	// Continuous-profiling and flight-recorder health, plus the Go
+	// runtime's own gauges (goroutines, heap, GC pauses) so the scrape
+	// covers the process serving the pool, not just the pool.
+	r.CounterFunc("dfg_perf_records_total", "Evaluation records deposited in the perf recorder.",
+		nil, func() float64 { return float64(p.perf.Recorded()) })
+	r.CounterFunc("dfg_perf_records_dropped_total", "Perf records overwritten in the ring before a flush.",
+		nil, func() float64 { return float64(p.perf.Dropped()) })
+	r.CounterFunc("dfg_flight_dumps_total", "Flight-recorder postmortem dumps written.",
+		nil, func() float64 { return float64(p.flight.Dumped()) })
+	obs.RegisterRuntimeMetrics(r)
+
 	p.waitHist = r.Histogram("dfg_request_wait_seconds", "Time requests spent queued.", nil)
 	p.runHist = r.Histogram("dfg_request_run_seconds", "Time requests spent executing.", nil)
 }
@@ -514,6 +565,26 @@ func (p *Pool) Registry() *obs.Registry { return p.reg }
 // Tracer exposes the pool's request tracer (nil when tracing is
 // disabled via TraceKeep < 0).
 func (p *Pool) Tracer() *obs.Tracer { return p.tracer }
+
+// PerfRecorder exposes the pool's continuous-profiling recorder (always
+// non-nil): every worker evaluation deposits one perfdb.EvalRecord here.
+func (p *Pool) PerfRecorder() *perfdb.Recorder { return p.perf }
+
+// FlightRecorder exposes the pool's flight recorder (nil when disabled
+// via FlightKeep < 0). Embedders may call Dump on it directly — e.g. a
+// failed external soak wanting the postmortem artifact.
+func (p *Pool) FlightRecorder() *perfdb.FlightRecorder { return p.flight }
+
+// FlushPerf writes the perf recorder's current contents to Config.PerfDir
+// as one schema-versioned JSONL snapshot and returns its path. It is safe
+// to call at any time — including concurrently with a draining Close —
+// and a pool with no PerfDir returns ("", nil) without touching disk.
+func (p *Pool) FlushPerf() (string, error) {
+	if p.cfg.PerfDir == "" {
+		return "", nil
+	}
+	return perfdb.WriteFile(p.cfg.PerfDir, p.meta, p.perf.Snapshot())
+}
 
 // maxPreparedPerWorker bounds each worker's cache of open prepared-plan
 // handles (and with it the device memory its arena keeps resident).
@@ -629,14 +700,32 @@ func (p *Pool) worker(id int) {
 				if probe {
 					root.SetAttr("breaker", "probe")
 				}
+				if j.hops > 0 {
+					// Tail retention keeps every rerouted request's trace.
+					root.SetAttr("rerouted", strconv.Itoa(j.hops))
+				}
 			}
-			res, err := p.runShielded(id, eng, byVariant, prepared, root, j)
+			res, err := p.runShielded(id, eng, byVariant, prepared, root, wait, j)
 			run := time.Since(pickup)
 			if root != nil {
 				if err != nil {
 					root.SetAttr("error", err.Error())
 				}
 				root.Finish()
+			}
+			// File the request into the flight ring before any breaker
+			// bookkeeping, so a dump triggered by this very request
+			// includes its own span tree.
+			if p.flight != nil {
+				fe := perfdb.FlightEntry{
+					UnixNS: pickup.UnixNano(), Worker: id,
+					Expr: j.req.Expr, N: j.req.N,
+					TraceID: root.ID(), DurNS: int64(run), Span: root,
+				}
+				if err != nil {
+					fe.Err = err.Error()
+				}
+				p.flight.Note(fe)
 			}
 			p.busy[id].Add(int64(run))
 			p.runHist.Observe(run)
@@ -651,7 +740,9 @@ func (p *Pool) worker(id int) {
 			switch {
 			case errors.Is(err, ErrWorkerPanic):
 				// The device (or a kernel on it) panicked; the engine state
-				// is suspect. Replace it and keep serving.
+				// is suspect. Dump the flight ring, replace the engine, and
+				// keep serving.
+				p.flight.Dump("worker-panic")
 				restart()
 			case err == nil:
 				if eng.DeviceLost() {
@@ -660,7 +751,9 @@ func (p *Pool) worker(id int) {
 					// trip the breaker anyway so the cooldown/probe machinery
 					// heals (or replaces) it instead of every request limping
 					// through the VM forever.
-					br.failure(pickup, true)
+					if br.failure(pickup, true) {
+						p.flight.Dump("breaker-trip")
+					}
 					if br.failedProbes() >= p.cfg.ReplaceAfterProbes {
 						restart()
 					}
@@ -689,13 +782,20 @@ func (p *Pool) noteFault(id int, br *breaker, err error, now time.Time, restart 
 	if !errors.As(err, &fe) {
 		return
 	}
+	var opened bool
 	switch ocl.Classify(err) {
 	case ocl.ClassDeviceLost:
-		br.failure(now, true)
+		opened = br.failure(now, true)
 	case ocl.ClassTransient, ocl.ClassPermanent:
-		br.failure(now, false)
+		opened = br.failure(now, false)
 	default:
 		return
+	}
+	if opened {
+		// The failure that opens a breaker is exactly the postmortem
+		// moment: dump the flight ring while the failing request's span
+		// tree is still in it.
+		p.flight.Dump("breaker-trip")
 	}
 	if br.failedProbes() >= p.cfg.ReplaceAfterProbes {
 		restart()
@@ -733,14 +833,14 @@ func (p *Pool) reroute(j *job) bool {
 // unwind (buffer releases are deferred), so the engine's arena still
 // drains; the caller replaces the engine anyway.
 func (p *Pool) runShielded(id int, eng *dfg.Engine, byVariant map[string]*dfg.Engine,
-	cache map[string]*dfg.Prepared, root *obs.Span, j *job) (res *dfg.Result, err error) {
+	cache map[string]*dfg.Prepared, root *obs.Span, wait time.Duration, j *job) (res *dfg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
 			err = fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, id, r)
 		}
 	}()
-	return evalPrepared(j.ctx, eng, byVariant, cache, root, j.req)
+	return evalPrepared(j.ctx, eng, byVariant, cache, root, wait, j.req)
 }
 
 // evalPrepared runs one request through the worker's prepared-plan
@@ -757,7 +857,7 @@ func (p *Pool) runShielded(id int, eng *dfg.Engine, byVariant map[string]*dfg.En
 // cache is bounded by closing an arbitrary old handle; the plan it
 // wrapped stays in the shared compiler cache, so re-preparing is a map
 // lookup.
-func evalPrepared(ctx context.Context, eng *dfg.Engine, byVariant map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, req Request) (*dfg.Result, error) {
+func evalPrepared(ctx context.Context, eng *dfg.Engine, byVariant map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, wait time.Duration, req Request) (*dfg.Result, error) {
 	variant := req.Opt + "|" + req.Strategy
 	if variant != "|" {
 		if cached, ok := byVariant[variant]; ok {
@@ -777,6 +877,10 @@ func evalPrepared(ctx context.Context, eng *dfg.Engine, byVariant map[string]*df
 			eng = d
 		}
 	}
+	// Stamp the measured queue wait on the engine that will actually run
+	// (variant views carry their own pending slot), so the evaluation's
+	// perf record carries it.
+	eng.NoteQueueWait(wait)
 	pr, err := eng.PrepareTraced(root, req.Expr)
 	if err != nil {
 		return nil, err
@@ -919,6 +1023,13 @@ func (p *Pool) Close() error {
 		close(p.queue)   // workers drain the remainder and exit
 		p.workers.Wait()
 		p.closedAt.Store(time.Now().UnixNano()) // freeze uptime for final metrics
+		if p.cfg.PerfDir != "" {
+			// Persist the perf database after the last worker finishes, so
+			// the snapshot covers every served request.
+			if _, err := p.FlushPerf(); err != nil {
+				p.closeErr = fmt.Errorf("serve: perf flush: %w", err)
+			}
+		}
 	})
 	return p.closeErr
 }

@@ -21,14 +21,14 @@ import (
 // seed additionally arms a probabilistic any-operation rule so long
 // executions keep faulting past the decoded schedule.
 func FuzzFaultPlanNoLeak(f *testing.F) {
-	f.Add(int64(1), []byte{0, 0, 0})             // first alloc errors
-	f.Add(int64(2), []byte{3, 2, 0})             // third kernel errors
-	f.Add(int64(3), []byte{3, 1, 1})             // second kernel loses the device
-	f.Add(int64(4), []byte{1, 0, 2})             // first write panics
-	f.Add(int64(5), []byte{2, 4, 0, 0, 1, 1})    // read error + alloc device-loss
-	f.Add(int64(6), []byte{4, 3, 2, 3, 0, 0})    // any-op panic + kernel error
-	f.Add(int64(7), []byte{})                    // probabilistic-only schedule
-	f.Add(int64(8), []byte{0, 9, 0, 0, 10, 0})   // deep alloc sweep
+	f.Add(int64(1), []byte{0, 0, 0})           // first alloc errors
+	f.Add(int64(2), []byte{3, 2, 0})           // third kernel errors
+	f.Add(int64(3), []byte{3, 1, 1})           // second kernel loses the device
+	f.Add(int64(4), []byte{1, 0, 2})           // first write panics
+	f.Add(int64(5), []byte{2, 4, 0, 0, 1, 1})  // read error + alloc device-loss
+	f.Add(int64(6), []byte{4, 3, 2, 3, 0, 0})  // any-op panic + kernel error
+	f.Add(int64(7), []byte{})                  // probabilistic-only schedule
+	f.Add(int64(8), []byte{0, 9, 0, 0, 10, 0}) // deep alloc sweep
 	f.Fuzz(func(t *testing.T, seed int64, schedule []byte) {
 		bind, _ := qcritSetup(t, mesh.Dims{NX: 6, NY: 6, NZ: 8})
 		net, err := expr.Compile(vortex.QCritExpr)

@@ -96,6 +96,11 @@ type Result struct {
 	PeakBytes int64
 	// Events is the raw event log in enqueue order.
 	Events []ocl.Event
+	// Resolved names the strategy that actually executed when the plan
+	// routes internally — the tiered plan sets it to the chosen tier
+	// ("vm", "fusion", ...). Empty means the plan's own strategy ran,
+	// so observers should fall back to the plan label.
+	Resolved string
 }
 
 // Strategy executes a dataflow network on a device environment.

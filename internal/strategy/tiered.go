@@ -89,10 +89,18 @@ func (s Tiered) Execute(env *ocl.Env, net *dataflow.Network, bind Bindings) (*Re
 }
 
 // Execute routes the binding to its tier: VM strictly below the
-// threshold, the device strategy at or above it.
+// threshold, the device strategy at or above it. The result's Resolved
+// field names the tier that ran, so metrics and the perf database can
+// attribute the evaluation to the real execution path instead of the
+// opaque "tiered" label.
 func (p *tieredPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
+	tier := p.dev
 	if bind.N > 0 && bind.N < p.threshold {
-		return p.vm.Execute(env, bind)
+		tier = p.vm
 	}
-	return p.dev.Execute(env, bind)
+	res, err := tier.Execute(env, bind)
+	if err == nil && res.Resolved == "" {
+		res.Resolved = tier.Strategy()
+	}
+	return res, err
 }

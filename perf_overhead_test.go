@@ -1,0 +1,77 @@
+package dfg_test
+
+import (
+	"testing"
+	"time"
+
+	"dfg"
+	"dfg/internal/perfdb"
+)
+
+// TestPerfRecorderOverheadWarmVM guards the continuous-profiling budget:
+// attaching the recorder to a warm host-VM evaluation path — the
+// fastest, most overhead-sensitive path the engine has — must cost less
+// than 5% plus an absolute noise floor. The comparison interleaves
+// recorded and unrecorded batches and takes the minimum of each, the
+// standard benchmark noise filter, so scheduler hiccups don't fail CI.
+func TestPerfRecorderOverheadWarmVM(t *testing.T) {
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: "vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := eng.Prepare("r = x*y + 2.0*x + y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+
+	const n = 4096
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i%37) * 0.5
+		ys[i] = float32(i%23) - 11
+	}
+	inputs := map[string][]float32{"x": xs, "y": ys}
+
+	const evalsPerBatch = 400
+	batch := func() time.Duration {
+		start := time.Now()
+		for i := 0; i < evalsPerBatch; i++ {
+			if _, err := pr.Eval(n, inputs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Warm the path (plan cached, arena populated, VM bytecode hot).
+	batch()
+
+	rec := perfdb.NewRecorder(0)
+	min := func(a, b time.Duration) time.Duration {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	base, with := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 5; round++ {
+		eng.SetPerfRecorder(nil)
+		base = min(base, batch())
+		eng.SetPerfRecorder(rec)
+		with = min(with, batch())
+	}
+
+	if rec.Recorded() != 5*evalsPerBatch {
+		t.Fatalf("recorder saw %d evaluations, want %d", rec.Recorded(), 5*evalsPerBatch)
+	}
+	// 5% relative budget plus a 500µs-per-batch absolute floor (1.25µs
+	// per evaluation) so sub-noise baselines can't produce false alarms.
+	limit := base + base/20 + 500*time.Microsecond
+	t.Logf("warm VM batch: base=%v recorded=%v limit=%v (%.1f%% overhead)",
+		base, with, limit, 100*float64(with-base)/float64(base))
+	if with > limit {
+		t.Fatalf("recorder overhead too high: base=%v recorded=%v limit=%v", base, with, limit)
+	}
+}

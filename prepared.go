@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"time"
 
 	"dfg/internal/compile"
 	"dfg/internal/obs"
@@ -145,10 +144,7 @@ func (p *Prepared) evalTraced(ctx context.Context, parent *obs.Span, n int, inpu
 	if parent != nil {
 		parent.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(n))
 	}
-	var t0 time.Time
-	if e.reg != nil {
-		t0 = time.Now()
-	}
+	t0 := e.clock()
 	bs := parent.Child("bind")
 	bind := strategy.Bindings{N: n, Sources: make(map[string]strategy.Source, len(inputs)), Ctx: ctx}
 	for name, data := range inputs {
@@ -174,10 +170,7 @@ func (p *Prepared) EvalMesh(m *Mesh, fields map[string][]float32) (*Result, erro
 	if sp != nil {
 		sp.SetAttr("strategy", e.strat.Name()).SetAttr("n", strconv.Itoa(m.Cells()))
 	}
-	var t0 time.Time
-	if e.reg != nil {
-		t0 = time.Now()
-	}
+	t0 := e.clock()
 	bs := sp.Child("bind")
 	bind, err := strategy.BindMesh(m, fields)
 	bs.Finish()

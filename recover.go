@@ -233,12 +233,12 @@ func (r *recovery) vmRung() (rung, bool) {
 // subsequent warm evaluations start there instead of re-failing the
 // primary plan.
 func (r *recovery) run(e *Engine, text string, pr *Prepared, plan strategy.Plan, label string,
-	bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time) (*Result, error) {
+	bind strategy.Bindings, pool *ocl.Arena, sp *obs.Span, fp string, t0 time.Time, capt *evalCapture) (*Result, error) {
 	retries := 0
 	fell := false    // did this call move down the ladder at all?
 	viaLost := false // was the final rung reached through a device loss?
 	for {
-		res, err := e.runPlanOnce(plan, bind, pool, sp, fp, t0)
+		res, err := e.runPlanOnce(plan, label, bind, pool, sp, fp, t0, capt)
 		if err == nil {
 			if pr != nil && fell && plan != pr.plan {
 				pr.fallback, pr.fallbackLabel, pr.fallbackLost = plan, label, viaLost
@@ -256,6 +256,7 @@ func (r *recovery) run(e *Engine, text string, pr *Prepared, plan strategy.Plan,
 				return nil, fmt.Errorf("dfg: %d retries exhausted: %w", retries, err)
 			}
 			retries++
+			capt.noteRetry()
 			d := r.backoff(retries)
 			if rs := sp.Child("retry"); rs != nil {
 				rs.SetAttr("attempt", strconv.Itoa(retries)).
@@ -296,6 +297,7 @@ func (r *recovery) run(e *Engine, text string, pr *Prepared, plan strategy.Plan,
 					obs.Labels{"from": label, "to": nxt.label}).Inc()
 			}
 			plan, label = np, nxt.label
+			capt.noteFallback(nxt.label, false)
 			fell = true
 			retries = 0
 
@@ -324,6 +326,7 @@ func (r *recovery) run(e *Engine, text string, pr *Prepared, plan strategy.Plan,
 					obs.Labels{"from": label, "to": vr.label}).Inc()
 			}
 			plan, label = np, vr.label
+			capt.noteFallback(vr.label, true)
 			fell, viaLost = true, true
 			retries = 0
 
