@@ -1,0 +1,286 @@
+package dfg
+
+import (
+	"math"
+	"testing"
+
+	"dfg/internal/passes"
+)
+
+// batchTestExprs is an overlapping batch: every member shares the
+// u*u + v*v + w*w subtree, the second member IS that subtree, and the
+// last member duplicates the first exactly (same fingerprint).
+var batchTestExprs = []string{
+	"r = sqrt(u*u + v*v + w*w)",
+	"r = u*u + v*v + w*w",
+	"r = sqrt(u*u + v*v + w*w) + 2.0 * w",
+	"r = sqrt(u*u + v*v + w*w)",
+}
+
+func batchTestInputs(n int) map[string][]float32 {
+	u := make([]float32, n)
+	v := make([]float32, n)
+	w := make([]float32, n)
+	for i := 0; i < n; i++ {
+		u[i] = float32(i%13) * 0.25
+		v[i] = float32(i%7) - 3.0
+		w[i] = float32(i%29) * 0.125
+	}
+	return map[string][]float32{"u": u, "v": v, "w": w}
+}
+
+// batchStrategies is the full execution matrix the batch differential
+// covers: the three device strategies, the streaming variant, the host
+// bytecode VM, and the size-routed tiered front.
+var batchStrategies = []string{"roundtrip", "staged", "fusion", "streaming", "vm", "tiered"}
+
+// TestBatchMatchesSoloZeroULP is the batch acceptance gate: evaluating N
+// overlapping expressions as one merged super-network must be bitwise
+// identical to N individual evaluations, under every strategy.
+func TestBatchMatchesSoloZeroULP(t *testing.T) {
+	const n = 4096
+	inputs := batchTestInputs(n)
+	for _, strat := range batchStrategies {
+		eng, err := New(Config{Device: CPU, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bres, err := eng.EvalBatch(batchTestExprs, n, inputs)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", strat, err)
+		}
+		if got := len(bres.Results); got != len(batchTestExprs) {
+			t.Fatalf("%s: %d results for %d members", strat, got, len(batchTestExprs))
+		}
+		for mi, text := range batchTestExprs {
+			solo, err := eng.Eval(text, n, inputs)
+			if err != nil {
+				t.Fatalf("%s: solo member %d: %v", strat, mi, err)
+			}
+			got := bres.Results[mi].Data
+			if len(got) != len(solo.Data) {
+				t.Fatalf("%s: member %d: batch %d elements, solo %d", strat, mi, len(got), len(solo.Data))
+			}
+			for i := range solo.Data {
+				if math.Float32bits(got[i]) != math.Float32bits(solo.Data[i]) {
+					t.Fatalf("%s: member %d diverges at element %d: batch %v vs solo %v",
+						strat, mi, i, got[i], solo.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSharesSubtreeWork checks that the merge actually eliminates
+// cross-expression duplicates: CSE reports shared nodes, and the single
+// merged run dispatches strictly fewer kernels than the members would
+// solo — the headline batching win.
+func TestBatchSharesSubtreeWork(t *testing.T) {
+	const n = 2048
+	inputs := batchTestInputs(n)
+	eng, err := New(Config{Device: CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := eng.PrepareBatch(batchTestExprs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	if pb.Solo() {
+		t.Fatal("overlapping-but-distinct batch took the solo fast path")
+	}
+	if pb.Members() != 3 {
+		t.Fatalf("distinct members = %d, want 3 (duplicate should dedup)", pb.Members())
+	}
+	if pb.Shared() == 0 {
+		t.Fatal("merge reported zero shared nodes for overlapping expressions")
+	}
+	bres, err := pb.Eval(n, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloKernels := 0
+	for _, text := range batchTestExprs {
+		res, err := eng.Eval(text, n, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloKernels += res.Profile.Kernels
+	}
+	if bres.Results[0].Profile.Kernels >= soloKernels {
+		t.Fatalf("batch dispatched %d kernels, solo members dispatch %d — batching saved nothing",
+			bres.Results[0].Profile.Kernels, soloKernels)
+	}
+}
+
+// TestBatchDuplicateMembersShareOutput: members that deduplicate to the
+// same fingerprint must share one root and therefore one backing array.
+func TestBatchDuplicateMembersShareOutput(t *testing.T) {
+	const n = 512
+	eng, err := New(Config{Device: CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := eng.EvalBatch(batchTestExprs, n, batchTestInputs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Members 0 and 3 are textually identical.
+	if &bres.Results[0].Data[0] != &bres.Results[3].Data[0] {
+		t.Fatal("duplicate members did not share a backing output array")
+	}
+	if &bres.Results[0].Data[0] == &bres.Results[1].Data[0] {
+		t.Fatal("distinct members share a backing output array")
+	}
+}
+
+// TestBatchOfOneSoloFastPath: a batch that deduplicates to one distinct
+// expression must take the ordinary solo path — same plan, same result,
+// recovery ladder and tiered routing intact — so batching never costs a
+// lone request anything.
+func TestBatchOfOneSoloFastPath(t *testing.T) {
+	const n = 1024
+	inputs := batchTestInputs(n)
+	for _, strat := range batchStrategies {
+		eng, err := New(Config{Device: CPU, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts := []string{batchTestExprs[0], batchTestExprs[0]}
+		pb, err := eng.PrepareBatch(texts)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if !pb.Solo() {
+			t.Fatalf("%s: duplicate-only batch did not take the solo fast path", strat)
+		}
+		if pb.Members() != 1 || pb.Shared() != 0 {
+			t.Fatalf("%s: members=%d shared=%d, want 1/0", strat, pb.Members(), pb.Shared())
+		}
+		bres, err := pb.Eval(n, inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		pb.Close()
+		solo, err := eng.Eval(texts[0], n, inputs)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		for _, r := range bres.Results {
+			for i := range solo.Data {
+				if math.Float32bits(r.Data[i]) != math.Float32bits(solo.Data[i]) {
+					t.Fatalf("%s: batch-of-one diverges at element %d: %v vs %v",
+						strat, i, r.Data[i], solo.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMemberCompileErrorFailsWhole: PrepareBatch is all-or-nothing;
+// the error names the failing member so callers can drop it and re-batch.
+func TestBatchMemberCompileErrorFailsWhole(t *testing.T) {
+	eng, _ := New(Config{Device: CPU, Strategy: "fusion"})
+	_, err := eng.PrepareBatch([]string{batchTestExprs[0], "r = sqrt("})
+	if err == nil {
+		t.Fatal("batch with a malformed member prepared without error")
+	}
+}
+
+// TestBatchPlanCacheHit: preparing the same batch shape twice must hit
+// the plan cache under the batch fingerprint — the serving layer leans
+// on this for recurring batch shapes.
+func TestBatchPlanCacheHit(t *testing.T) {
+	eng, err := New(Config{Device: CPU, Strategy: "fusion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb1, err := eng.PrepareBatch(batchTestExprs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb1.Close()
+	before := eng.CacheStats().PlanHits
+	pb2, err := eng.PrepareBatch(batchTestExprs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb2.Close()
+	if eng.CacheStats().PlanHits <= before {
+		t.Fatal("re-preparing an identical batch missed the plan cache")
+	}
+	if pb1.Fingerprint() != pb2.Fingerprint() {
+		t.Fatalf("batch fingerprint unstable: %s vs %s", pb1.Fingerprint(), pb2.Fingerprint())
+	}
+}
+
+// FuzzBatchDifferential fuzzes the merge itself: any pair of programs
+// the pipeline accepts must evaluate identically batched and solo. This
+// is the harness the batch-smoke CI job drives.
+func FuzzBatchDifferential(f *testing.F) {
+	f.Add(batchTestExprs[0], batchTestExprs[1])
+	f.Add(batchTestExprs[0], batchTestExprs[2])
+	f.Add("r = u + v", "r = u - v")
+	f.Add("s = min(u, v)\nr = if (s >= 0) then (sqrt(s)) else (-s)", "r = min(u, v) * w")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		const n = 257 // odd size: exercises partial final workgroups
+		inputs := batchTestInputs(n)
+		eng, err := New(Config{Device: CPU, Strategy: "fusion"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-compile members solo; skip programs the pipeline rejects
+		// (PrepareBatch is all-or-nothing, mirrored here).
+		if _, err := eng.comp.CompileAt(a, passes.LevelO2); err != nil {
+			t.Skip()
+		}
+		if _, err := eng.comp.CompileAt(b, passes.LevelO2); err != nil {
+			t.Skip()
+		}
+		texts := []string{a, b}
+		bres, err := eng.EvalBatch(texts, n, inputs)
+		if err != nil {
+			t.Skip() // members compile but need unbound sources — solo would too
+		}
+		for mi, text := range texts {
+			solo, err := eng.Eval(text, n, inputs)
+			if err != nil {
+				t.Fatalf("batch ran but solo member %d failed: %v\n%s", mi, err, text)
+			}
+			got := bres.Results[mi].Data
+			for i := range solo.Data {
+				if math.Float32bits(got[i]) != math.Float32bits(solo.Data[i]) {
+					t.Fatalf("member %d diverges at element %d: batch %v vs solo %v\n%s",
+						mi, i, got[i], solo.Data[i], text)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkBatchOfOneWarm measures the warm batch-of-one path against
+// the perf gate's no-regression criterion: the solo fast path should
+// make a prepared batch of one indistinguishable from a plain Prepared.
+func BenchmarkBatchOfOneWarm(b *testing.B) {
+	const n = 4096
+	inputs := batchTestInputs(n)
+	eng, err := New(Config{Device: CPU, Strategy: "fusion"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := eng.PrepareBatch([]string{batchTestExprs[0]})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pb.Close()
+	if _, err := pb.Eval(n, inputs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pb.Eval(n, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

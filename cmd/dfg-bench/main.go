@@ -222,10 +222,12 @@ func jsonDoc(cfg metrics.Config, results []metrics.CaseResult) ([]byte, error) {
 // fresh device buffers or diverged from the cold output — the CI gate
 // on the prepared-plan and buffer-arena machinery.
 func runRepeat(warm int, strat string, asJSON bool, outDir string) {
-	names := strategy.ExtendedNames()
+	names := metrics.RepeatNames()
 	if strat != "" {
-		if _, err := strategy.ForName(strat); err != nil {
-			fatal(err)
+		if strat != metrics.BatchOfOneName {
+			if _, err := strategy.ForName(strat); err != nil {
+				fatal(err)
+			}
 		}
 		names = []string{strat}
 	}

@@ -16,6 +16,12 @@
 //	dfg-serve -chaos 7                         # seeded fault injection on every
 //	                                           # worker device: flaky transfers,
 //	                                           # kernels, allocations, lost devices
+//	dfg-serve -batch-window 200us              # batch-forming scheduler: requests
+//	                                           # arriving within the window merge
+//	                                           # into one super-network evaluation
+//	dfg-serve -batch-window 200us -chaos 7     # soak the batch path: a faulting
+//	                                           # member degrades its batch to solo
+//	                                           # runs, and zero requests may drop
 //	dfg-serve -perf-dir perf/                  # persist the per-evaluation perf
 //	                                           # database on shutdown; flight dumps
 //	                                           # land there on breaker trips/panics
@@ -70,6 +76,9 @@ func main() {
 		tailPct   = flag.Float64("tail", 0, "retain the slowest P% of request traces for /trace/{id} (0 = default 5; negative keeps only errored/degraded traces)")
 		pprofOn   = flag.Bool("pprof", false, "mount /debug/pprof/ on the introspection endpoint")
 
+		batchWindow = flag.Duration("batch-window", 0, "batch-forming window: requests arriving within it merge into one super-network evaluation (0 = batching off)")
+		batchMax    = flag.Int("batch-max", 16, "members per batch before an early flush (with -batch-window)")
+
 		chaosSeed    = flag.Int64("chaos", 0, "seed per-worker fault injection (0 = off): probabilistic transfer/kernel/allocation faults and occasional device loss")
 		chaosProb    = flag.Float64("chaos-prob", 0.02, "per-operation fault probability under -chaos")
 		chaosLost    = flag.Float64("chaos-lost", 0.002, "per-operation device-loss probability under -chaos")
@@ -96,13 +105,15 @@ func main() {
 		PerfDir:        *perfDir,
 		TailPercent:    *tailPct,
 		EnablePprof:    *pprofOn,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
 	}
 	if *chaosSeed != 0 {
 		seed, prob, lost := *chaosSeed, *chaosProb, *chaosLost
 		cfg.FaultPlanFor = func(worker int) *ocl.FaultPlan {
 			// Deterministic per worker for a given seed: a failing soak is
 			// reproducible by rerunning with the same -chaos value.
-			return ocl.NewFaultPlan(seed + int64(worker)).
+			return ocl.NewFaultPlan(seed+int64(worker)).
 				FailEvery(ocl.FaultAlloc, prob).
 				FailEvery(ocl.FaultWrite, prob).
 				FailEvery(ocl.FaultRead, prob).
@@ -150,6 +161,12 @@ func main() {
 		inputs := syntheticInputs(*n)
 		fmt.Printf("dfg-serve: %d workers (%s, %s), %d clients, %d requests, %d distinct expressions, n=%d\n",
 			*workers, *device, *strat, *clients, *requests, *distinct, *n)
+		if *batchWindow > 0 {
+			// The expression mix deliberately overlaps — every member shares
+			// the sqrt(vmag2) subtree — so merged batches exercise
+			// cross-expression CSE, visible as CSE-shared nodes in the report.
+			fmt.Printf("dfg-serve: batch forming on: window=%v max=%d\n", *batchWindow, *batchMax)
+		}
 
 		var issued atomic.Int64
 		var wg sync.WaitGroup

@@ -177,9 +177,10 @@ type Engine struct {
 	// pendingWait and pendingPlan stage the queue-wait and compile+plan
 	// durations the next record consumes (engine methods are
 	// single-goroutine, so plain fields suffice).
-	perf        *perfdb.Recorder
-	pendingWait time.Duration
-	pendingPlan time.Duration
+	perf         *perfdb.Recorder
+	pendingWait  time.Duration
+	pendingPlan  time.Duration
+	pendingBatch int
 
 	// lvl is the optimisation level every compile goes through
 	// (Config.Opt, parsed). The zero value is the Paper level.
@@ -356,7 +357,16 @@ type Result struct {
 	PeakDeviceBytes int64
 	// Events is the raw device event log in enqueue order.
 	Events []Event
+	// Roots holds every root's output when the evaluated network was a
+	// merged multi-root super-network, in root order; nil for ordinary
+	// single-root evaluations. Batch demultiplexing consumes it — most
+	// callers want a BatchResult's per-member Results instead.
+	Roots []RootField
 }
+
+// RootField is one root's output array of a multi-root (batched)
+// evaluation. (Field already names a timestep of velocity data.)
+type RootField = strategy.Field
 
 // Define registers a named expression in the engine's expression
 // database, like the expression lists visualization tools maintain.
@@ -538,6 +548,7 @@ func (e *Engine) runPlanOnce(plan strategy.Plan, label string, bind strategy.Bin
 		Profile:         res.Profile,
 		PeakDeviceBytes: res.PeakBytes,
 		Events:          res.Events,
+		Roots:           res.Roots,
 	}, nil
 }
 

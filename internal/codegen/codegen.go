@@ -71,6 +71,11 @@ type Arg struct {
 // Program is a generated fused kernel: its OpenCL C source, the
 // executable kernel for the simulated device, and the buffer argument
 // plan the execution strategy binds.
+//
+// A multi-root super-network fuses to one kernel with several ArgOut
+// buffers, in the same order as the network's Roots(); single-root
+// networks keep exactly one ArgOut named "out", byte-identical to the
+// historical generator output.
 type Program struct {
 	// Source is the complete generated OpenCL C source.
 	Source string
@@ -81,8 +86,11 @@ type Program struct {
 	Args []Arg
 	// NumPasses is 1 unless materialization forced pass splits.
 	NumPasses int
-	// OutWidth is the output element width.
+	// OutWidth is the primary output's element width (roots[0]).
 	OutWidth int
+	// OutWidths holds every root's element width, in Roots() order.
+	// len(OutWidths) == 1 except for merged super-networks.
+	OutWidths []int
 }
 
 // opcodes of the executable plan.
@@ -164,6 +172,9 @@ func FuseWithMode(net *dataflow.Network, name string, mode Mode) (*Program, erro
 	for _, n := range order {
 		g.byID[n.ID] = n
 	}
+	for _, r := range net.Roots() {
+		g.roots = append(g.roots, g.byID[r])
+	}
 	if err := g.assignPasses(); err != nil {
 		return nil, err
 	}
@@ -180,6 +191,9 @@ type generator struct {
 	order []*dataflow.Node
 	byID  map[string]*dataflow.Node
 
+	// roots are the network's sink nodes (one per Roots() entry).
+	roots []*dataflow.Node
+
 	pass        map[string]int // node ID -> pass index
 	numPasses   int
 	materialize map[string]bool // node IDs needing global scratch
@@ -193,6 +207,24 @@ type generator struct {
 
 // scratchName labels the scratch buffer of a materialized node.
 func scratchName(id string) string { return "scratch_" + id }
+
+// outName names the i-th output argument: a single root keeps the
+// historical "out", so single-root generated source stays byte-identical;
+// super-network roots are numbered.
+func (g *generator) outName(i int) string {
+	if len(g.roots) == 1 {
+		return "out"
+	}
+	return "out" + strconv.Itoa(i)
+}
+
+// outKey is the bufIdx key of the i-th output argument.
+func (g *generator) outKey(i int) string {
+	if len(g.roots) == 1 {
+		return "__out__"
+	}
+	return "__out" + strconv.Itoa(i) + "__"
+}
 
 // assignPasses computes each node's pass and the materialization set.
 // A stencil (grad3d or a single-axis variant) whose field input is
@@ -238,7 +270,22 @@ func (g *generator) assignPasses() error {
 			}
 		}
 	}
-	g.numPasses = g.pass[g.net.Output()] + 1
+	g.numPasses = 0
+	for _, r := range g.roots {
+		if p := g.pass[r.ID] + 1; p > g.numPasses {
+			g.numPasses = p
+		}
+	}
+	// A root computed before the final pass is consumed by the final
+	// store, so it must be materialized like any cross-pass value.
+	for _, r := range g.roots {
+		if r.Filter == "source" || r.Filter == "const" {
+			continue
+		}
+		if g.pass[r.ID] < g.numPasses-1 {
+			g.materialize[r.ID] = true
+		}
+	}
 	return nil
 }
 
@@ -263,9 +310,10 @@ func (g *generator) planArgs() {
 			g.args = append(g.args, Arg{Kind: ArgScratch, Name: label, Width: n.Width})
 		}
 	}
-	out := g.net.OutputNode()
-	g.bufIdx["__out__"] = len(g.args)
-	g.args = append(g.args, Arg{Kind: ArgOut, Name: "out", Width: out.Width})
+	for i, r := range g.roots {
+		g.bufIdx[g.outKey(i)] = len(g.args)
+		g.args = append(g.args, Arg{Kind: ArgOut, Name: g.outName(i), Width: r.Width})
+	}
 }
 
 // allocRegisters gives every live node a register slot. In the emitted

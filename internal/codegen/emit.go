@@ -12,8 +12,6 @@ import (
 
 // emit renders the OpenCL C source and builds the executable plan.
 func (g *generator) emit() (*Program, error) {
-	out := g.net.OutputNode()
-
 	// Group live nodes by pass, preserving topological order.
 	passNodes := make([][]*dataflow.Node, g.numPasses)
 	for _, n := range g.order {
@@ -27,7 +25,7 @@ func (g *generator) emit() (*Program, error) {
 		cost    ocl.Cost
 	)
 	for p := 0; p < g.numPasses; p++ {
-		body, fn, passCost, err := g.emitPass(p, passNodes[p], out)
+		body, fn, passCost, err := g.emitPass(p, passNodes[p])
 		if err != nil {
 			return nil, err
 		}
@@ -45,17 +43,22 @@ func (g *generator) emit() (*Program, error) {
 		Cost:    cost,
 		Passes:  passFns,
 	}
+	widths := make([]int, len(g.roots))
+	for i, r := range g.roots {
+		widths[i] = r.Width
+	}
 	return &Program{
 		Source:    src,
 		Kernel:    k,
 		Args:      append([]Arg(nil), g.args...),
 		NumPasses: g.numPasses,
-		OutWidth:  out.Width,
+		OutWidth:  widths[0],
+		OutWidths: widths,
 	}, nil
 }
 
 // emitPass produces one pass's C body, executable function and cost.
-func (g *generator) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) (string, ocl.KernelFunc, ocl.Cost, error) {
+func (g *generator) emitPass(p int, nodes []*dataflow.Node) (string, ocl.KernelFunc, ocl.Cost, error) {
 	var (
 		stmts  []string
 		plan   []instr
@@ -181,14 +184,17 @@ func (g *generator) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) 
 	}
 
 	if p == g.numPasses-1 {
-		// Final store of the network output.
-		expr, a, err := operand(out.ID)
-		if err != nil {
-			return "", nil, cost, err
+		// Final store of every root (a single "out" for ordinary
+		// networks, one numbered output per member for super-networks).
+		for i, root := range g.roots {
+			expr, a, err := operand(root.ID)
+			if err != nil {
+				return "", nil, cost, err
+			}
+			stmts = append(stmts, fmt.Sprintf("%s[gid] = %s;", g.outName(i), expr))
+			plan = append(plan, instr{op: opStore, a: a, buf: g.bufIdx[g.outKey(i)], width: root.Width})
+			cost.StoreBytes += float64(4 * root.Width)
 		}
-		stmts = append(stmts, fmt.Sprintf("out[gid] = %s;", expr))
-		plan = append(plan, instr{op: opStore, a: a, buf: g.bufIdx["__out__"], width: out.Width})
-		cost.StoreBytes += float64(4 * out.Width)
 	}
 
 	var b strings.Builder

@@ -1,0 +1,148 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"dfg/internal/obs"
+	"dfg/internal/passes"
+)
+
+// This file is the compile layer's batch front door: it fingerprints a
+// set of already-compiled member networks, merges them into one
+// multi-root super-network (passes.MergeNetworks) with cross-expression
+// CSE, and caches the merged result under the batch fingerprint with
+// the same singleflight + LRU discipline as the single-expression
+// caches. Batch plans then flow through the ordinary plan cache via
+// PlanNetTraced, keyed PlanKey(batch fingerprint, strategy, device
+// class), so a recurring batch shape pays merge and plan costs once.
+
+// BatchFingerprint returns the cache fingerprint of a batch: a digest
+// over the sorted, de-duplicated member fingerprints. Member order and
+// multiplicity do not matter — the same expression set always merges to
+// the same super-network. The "batch:" prefix keeps batch keys disjoint
+// from single-expression keys (which are hex, optionally "-tag"ged).
+// Optimisation level needs no extra tagging: member fingerprints
+// already carry their level's cache tag.
+func BatchFingerprint(fps []string) string {
+	sorted := append([]string(nil), fps...)
+	sort.Strings(sorted)
+	h := sha256.New()
+	var lenBuf [8]byte
+	prev := ""
+	for i, fp := range sorted {
+		if i > 0 && fp == prev {
+			continue
+		}
+		prev = fp
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(fp)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(fp))
+	}
+	return "batch:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// mergeEntry is one merged-network cache slot, with the same
+// singleflight shape as entry/planEntry.
+type mergeEntry struct {
+	once    sync.Once
+	done    atomic.Bool
+	merged  *passes.Merged
+	err     error
+	lastUse atomic.Int64
+}
+
+// MergeTraced returns the merged super-network for a set of compiled
+// members, merging on first use. Members must already be sealed
+// networks from this compiler (Fp is their CompileTracedAt
+// fingerprint). Returns the merged result, the batch fingerprint, and
+// any merge error. The "merge" child span annotates its cache outcome
+// and member count like the network cache does.
+func (c *Compiler) MergeTraced(members []passes.MergeMember, lvl passes.Level, parent *obs.Span) (*passes.Merged, string, error) {
+	if len(members) == 0 {
+		return nil, "", fmt.Errorf("compile: merge needs at least one member")
+	}
+	fps := make([]string, len(members))
+	for i, m := range members {
+		fps[i] = m.Fp
+	}
+	bfp := BatchFingerprint(fps)
+
+	ms := parent.Child("merge")
+	defer ms.Finish()
+	if ms != nil {
+		ms.SetAttr("fingerprint", ShortKey(bfp))
+		ms.SetAttr("members", strconv.Itoa(len(members)))
+	}
+
+	me := c.mergeLookup(bfp)
+	wasDone := me.done.Load()
+	ran := false
+	me.once.Do(func() {
+		ran = true
+		c.mergeBuilds.Add(1)
+		me.merged, me.err = passes.MergeNetworks(members, lvl, passes.RunOptions{Parent: ms})
+		me.done.Store(true)
+	})
+	switch {
+	case ran:
+		ms.SetAttr("outcome", "miss")
+	case wasDone:
+		ms.SetAttr("outcome", "hit")
+	default:
+		ms.SetAttr("outcome", "singleflight-wait")
+	}
+	if me.merged != nil && ms != nil {
+		ms.SetAttr("shared", strconv.Itoa(me.merged.Shared))
+	}
+	return me.merged, bfp, me.err
+}
+
+// mergeLookup returns the merge entry for key, creating (and bounding
+// the merge cache) as needed.
+func (c *Compiler) mergeLookup(key string) *mergeEntry {
+	now := c.clock.Add(1)
+	c.mu.RLock()
+	me := c.merges[key]
+	c.mu.RUnlock()
+	if me != nil {
+		c.mergeHits.Add(1)
+		me.lastUse.Store(now)
+		return me
+	}
+	c.mu.Lock()
+	if me = c.merges[key]; me == nil {
+		c.mergeMisses.Add(1)
+		me = &mergeEntry{}
+		me.lastUse.Store(now)
+		c.merges[key] = me
+		c.evictMergesLocked()
+	} else {
+		c.mergeHits.Add(1)
+		me.lastUse.Store(now)
+	}
+	c.mu.Unlock()
+	return me
+}
+
+// evictMergesLocked drops least-recently-used merged networks until the
+// merge cache fits the shared bound. Merged networks are sealed and
+// immutable, so holders of an evicted entry keep executing it safely.
+func (c *Compiler) evictMergesLocked() {
+	for len(c.merges) > c.maxEntries {
+		var oldestKey string
+		oldest := int64(1<<63 - 1)
+		for k, me := range c.merges {
+			if u := me.lastUse.Load(); u < oldest {
+				oldest, oldestKey = u, k
+			}
+		}
+		delete(c.merges, oldestKey)
+	}
+}

@@ -47,7 +47,8 @@ type Compiler struct {
 	mu         sync.RWMutex
 	defs       map[string]string // copy-on-write: replaced wholesale, never mutated
 	entries    map[string]*entry
-	plans      map[string]*planEntry // keyed (fingerprint, strategy, device class)
+	plans      map[string]*planEntry  // keyed (fingerprint, strategy, device class)
+	merges     map[string]*mergeEntry // keyed by batch fingerprint
 	maxEntries int
 
 	clock    atomic.Int64 // advances on every cache touch, for LRU eviction
@@ -59,6 +60,10 @@ type Compiler struct {
 	planBuilds atomic.Int64 // plans actually constructed
 	planHits   atomic.Int64
 	planMisses atomic.Int64
+
+	mergeBuilds atomic.Int64 // super-networks actually merged
+	mergeHits   atomic.Int64
+	mergeMisses atomic.Int64
 
 	passMu    sync.Mutex
 	passStats map[string]*passAgg // pass name -> cumulative counters
@@ -101,6 +106,7 @@ func NewCompiler() *Compiler {
 		defs:       map[string]string{},
 		entries:    make(map[string]*entry),
 		plans:      make(map[string]*planEntry),
+		merges:     make(map[string]*mergeEntry),
 		maxEntries: DefaultMaxEntries,
 		passStats:  make(map[string]*passAgg),
 	}
@@ -350,6 +356,18 @@ func (c *Compiler) PlanTracedAt(text string, lvl passes.Level, strat strategy.St
 	if err != nil {
 		return nil, fp, err
 	}
+	plan, err := c.PlanNetTraced(net, fp, strat, dev, parent)
+	return plan, fp, err
+}
+
+// PlanNetTraced resolves (or builds) the execution plan for an
+// already-compiled network under an explicit fingerprint — the shared
+// back half of PlanTracedAt, and the front door for merged batch
+// super-networks, whose fingerprint is a BatchFingerprint rather than
+// an expression digest. The fingerprint must uniquely identify the
+// network's content (both digest families guarantee this), since it
+// keys the shared plan cache.
+func (c *Compiler) PlanNetTraced(net *dataflow.Network, fp string, strat strategy.Strategy, dev *ocl.Device, parent *obs.Span) (strategy.Plan, error) {
 	key := PlanKey(fp, strategy.PlanCacheName(strat), dev.Name())
 
 	ps := parent.Child("plan")
@@ -371,7 +389,7 @@ func (c *Compiler) PlanTracedAt(text string, lvl passes.Level, strat strategy.St
 	default:
 		ps.SetAttr("outcome", "singleflight-wait")
 	}
-	return pe.plan, fp, pe.err
+	return pe.plan, pe.err
 }
 
 // planLookup returns the plan entry for key, creating (and bounding the
@@ -509,24 +527,34 @@ type Stats struct {
 	PlanHits, PlanMisses int64
 	// PlanEntries is the current number of cached plans.
 	PlanEntries int
+	// MergeBuilds is how many batch super-networks were actually merged.
+	MergeBuilds int64
+	// MergeHits and MergeMisses count merge-cache lookups.
+	MergeHits, MergeMisses int64
+	// MergeEntries is the current number of cached merged networks.
+	MergeEntries int
 }
 
 // Stats returns a consistent snapshot of the counters.
 func (c *Compiler) Stats() Stats {
 	c.mu.RLock()
-	entries, ndefs, plans := len(c.entries), len(c.defs), len(c.plans)
+	entries, ndefs, plans, merges := len(c.entries), len(c.defs), len(c.plans), len(c.merges)
 	c.mu.RUnlock()
 	return Stats{
-		Compiles:    c.compiles.Load(),
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Inflight:    c.inflight.Load(),
-		Entries:     entries,
-		Definitions: ndefs,
-		PlanBuilds:  c.planBuilds.Load(),
-		PlanHits:    c.planHits.Load(),
-		PlanMisses:  c.planMisses.Load(),
-		PlanEntries: plans,
+		Compiles:     c.compiles.Load(),
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Inflight:     c.inflight.Load(),
+		Entries:      entries,
+		Definitions:  ndefs,
+		PlanBuilds:   c.planBuilds.Load(),
+		PlanHits:     c.planHits.Load(),
+		PlanMisses:   c.planMisses.Load(),
+		PlanEntries:  plans,
+		MergeBuilds:  c.mergeBuilds.Load(),
+		MergeHits:    c.mergeHits.Load(),
+		MergeMisses:  c.mergeMisses.Load(),
+		MergeEntries: merges,
 	}
 }
 

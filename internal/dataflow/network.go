@@ -65,8 +65,12 @@ type Network struct {
 	byID    map[string]*Node
 	aliases map[string]string // user name -> node ID (assignment statements)
 	output  string
-	nextID  int
-	sealed  bool
+	// roots, when non-empty, designates multiple sinks (a super-network
+	// merged from several expressions). roots[0] is always the primary
+	// output, so every single-root consumer keeps working unchanged.
+	roots  []string
+	nextID int
+	sealed bool
 }
 
 // NewNetwork creates an empty network.
@@ -193,7 +197,9 @@ func (nw *Network) Alias(name, id string) error {
 	return nil
 }
 
-// SetOutput designates the network's sink.
+// SetOutput designates the network's sink. It resets any multi-root
+// set: a network is either single-output (SetOutput) or multi-root
+// (SetRoots), never an inconsistent mix.
 func (nw *Network) SetOutput(name string) error {
 	nw.mustMutable("SetOutput")
 	resolved, err := nw.resolve(name)
@@ -201,8 +207,53 @@ func (nw *Network) SetOutput(name string) error {
 		return err
 	}
 	nw.output = resolved
+	nw.roots = nil
 	return nil
 }
+
+// SetRoots designates multiple sinks at once — the super-network form a
+// batch merge produces. The first root becomes the primary output, so
+// Output() and every single-root code path stay meaningful. Names may be
+// node IDs or aliases; duplicates are collapsed (two merged expressions
+// whose outputs CSE'd into one node share a root).
+func (nw *Network) SetRoots(names ...string) error {
+	nw.mustMutable("SetRoots")
+	if len(names) == 0 {
+		return fmt.Errorf("dataflow: SetRoots needs at least one root")
+	}
+	resolved := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, nm := range names {
+		id, err := nw.resolve(nm)
+		if err != nil {
+			return err
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		resolved = append(resolved, id)
+	}
+	nw.roots = resolved
+	nw.output = resolved[0]
+	return nil
+}
+
+// Roots returns the network's sinks: the explicit multi-root set when
+// one was declared via SetRoots, else the single output (or nil when no
+// output is set). The returned slice must not be mutated.
+func (nw *Network) Roots() []string {
+	if len(nw.roots) > 0 {
+		return nw.roots
+	}
+	if nw.output == "" {
+		return nil
+	}
+	return []string{nw.output}
+}
+
+// MultiRoot reports whether the network carries more than one sink.
+func (nw *Network) MultiRoot() bool { return len(nw.roots) > 1 }
 
 // Output returns the node ID of the designated sink ("" if unset).
 func (nw *Network) Output() string { return nw.output }
@@ -290,8 +341,8 @@ func (nw *Network) Consumers() map[string]int {
 			counts[in]++
 		}
 	}
-	if nw.output != "" {
-		counts[nw.output]++
+	for _, r := range nw.Roots() {
+		counts[r]++
 	}
 	return counts
 }
@@ -345,7 +396,8 @@ func (nw *Network) TopoOrder() ([]*Node, error) {
 	return order, nil
 }
 
-// liveSet marks every node reachable backwards from the output.
+// liveSet marks every node reachable backwards from any root (the
+// single output, or every sink of a multi-root super-network).
 func (nw *Network) liveSet() map[string]bool {
 	live := make(map[string]bool)
 	var visit func(id string)
@@ -362,8 +414,8 @@ func (nw *Network) liveSet() map[string]bool {
 			visit(in)
 		}
 	}
-	if nw.output != "" {
-		visit(nw.output)
+	for _, r := range nw.Roots() {
+		visit(r)
 	}
 	return live
 }

@@ -44,6 +44,21 @@ func (nw *Network) ApplyRemap(subst map[string]string) {
 	if nw.output != "" {
 		nw.output = resolve(nw.output)
 	}
+	if len(nw.roots) > 0 {
+		// Remap the root set, collapsing roots a rewrite merged into one
+		// node (cross-expression CSE can unify two members' outputs).
+		kept := nw.roots[:0]
+		seen := make(map[string]bool, len(nw.roots))
+		for _, r := range nw.roots {
+			r = resolve(r)
+			if !seen[r] {
+				seen[r] = true
+				kept = append(kept, r)
+			}
+		}
+		nw.roots = kept
+		nw.output = kept[0]
+	}
 	for name, id := range nw.aliases {
 		nw.aliases[name] = resolve(id)
 	}
@@ -64,6 +79,11 @@ func (nw *Network) RemoveNodes(ids []string) error {
 	}
 	if dead[nw.output] {
 		return fmt.Errorf("dataflow: cannot remove output node %q", nw.output)
+	}
+	for _, r := range nw.roots {
+		if dead[r] {
+			return fmt.Errorf("dataflow: cannot remove root node %q", r)
+		}
 	}
 	kept := nw.nodes[:0]
 	for _, n := range nw.nodes {

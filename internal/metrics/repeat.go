@@ -60,13 +60,26 @@ func (c RepeatCase) Reduced() bool {
 	return c.Identical && c.WarmAllocs == 0 && c.ColdAllocs > 0
 }
 
+// BatchOfOneName is the pseudo-strategy naming the batch-of-one repeat
+// case: the Q-criterion expression prepared through PrepareBatch (one
+// member) on a fusion engine. The batch front's solo fast path makes
+// this indistinguishable from the plain fusion row — the case is the
+// perf gate pinning that batching never taxes a lone request.
+const BatchOfOneName = "batch1"
+
+// RepeatNames is the full warm-vs-cold case list: every strategy plus
+// the batch-of-one pseudo-strategy.
+func RepeatNames() []string {
+	return append(strategy.ExtendedNames(), BatchOfOneName)
+}
+
 // RunRepeat runs the warm-vs-cold comparison for the paper's Q-criterion
 // expression (the most buffer-hungry of the Figure 3 expressions) under
-// every strategy, with warm repeated evaluations per case. The grid is
-// fixed and small — the point is allocation and transfer counting, not
-// runtime.
+// every strategy plus the batch-of-one case, with warm repeated
+// evaluations per case. The grid is fixed and small — the point is
+// allocation and transfer counting, not runtime.
 func RunRepeat(warm int) ([]RepeatCase, error) {
-	return RunRepeatFor(warm, strategy.ExtendedNames())
+	return RunRepeatFor(warm, RepeatNames())
 }
 
 // RunRepeatFor is RunRepeat restricted to the named strategies — the
@@ -95,28 +108,53 @@ func RunRepeatFor(warm int, names []string) ([]RepeatCase, error) {
 }
 
 // repeatCase measures one strategy's cold and warm behavior through the
-// public Prepare/Eval API.
+// public Prepare/Eval API (or, for the batch-of-one pseudo-strategy,
+// the PrepareBatch front over a fusion engine).
 func repeatCase(strat string, m *mesh.Mesh, fields map[string][]float32, warm int) (RepeatCase, error) {
 	if strat == "vm" {
 		// The VM's pooling is process-global host scratch: start the case
 		// from an empty pool so the cold/warm split is attributable.
 		vm.DrainPool()
 	}
-	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: strat})
+	engStrat := strat
+	if strat == BatchOfOneName {
+		engStrat = "fusion"
+	}
+	eng, err := dfg.New(dfg.Config{Device: dfg.CPU, Strategy: engStrat})
 	if err != nil {
 		return RepeatCase{}, err
 	}
-	pr, err := eng.Prepare(vortex.QCritExpr)
-	if err != nil {
-		return RepeatCase{}, err
+	var eval func() (*dfg.Result, error)
+	if strat == BatchOfOneName {
+		pb, err := eng.PrepareBatch([]string{vortex.QCritExpr})
+		if err != nil {
+			return RepeatCase{}, err
+		}
+		defer pb.Close()
+		if !pb.Solo() {
+			return RepeatCase{}, fmt.Errorf("batch of one missed the solo fast path")
+		}
+		eval = func() (*dfg.Result, error) {
+			bres, err := pb.EvalMesh(m, fields)
+			if err != nil {
+				return nil, err
+			}
+			return bres.Results[0], nil
+		}
+	} else {
+		pr, err := eng.Prepare(vortex.QCritExpr)
+		if err != nil {
+			return RepeatCase{}, err
+		}
+		defer pr.Close()
+		eval = func() (*dfg.Result, error) { return pr.EvalMesh(m, fields) }
 	}
-	defer pr.Close()
 
 	c := RepeatCase{Expr: "Q-Crit", Strategy: strat, Cells: m.Cells(), WarmEvals: warm}
 
 	before := eng.ArenaStats()
 	scratchBefore := vm.Stats()
-	cold, err := pr.EvalMesh(m, fields)
+	cold, err := eval()
 	if err != nil {
 		return c, err
 	}
@@ -128,7 +166,7 @@ func repeatCase(strat string, m *mesh.Mesh, fields map[string][]float32, warm in
 
 	c.Identical = true
 	for i := 0; i < warm; i++ {
-		res, err := pr.EvalMesh(m, fields)
+		res, err := eval()
 		if err != nil {
 			return c, err
 		}

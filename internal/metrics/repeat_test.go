@@ -12,8 +12,8 @@ func TestRunRepeatWarmPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cases) != 5 {
-		t.Fatalf("want 5 strategies, got %d", len(cases))
+	if want := len(RepeatNames()); len(cases) != want {
+		t.Fatalf("want %d cases, got %d", want, len(cases))
 	}
 	for _, c := range cases {
 		t.Logf("%-10s cold_allocs=%d warm_allocs=%d cold_writes=%d warm_writes=%d reused=%d skipped=%d scratch_cold=%d scratch_warm=%d identical=%v",
@@ -41,5 +41,17 @@ func TestRunRepeatWarmPath(t *testing.T) {
 				t.Errorf("%s: no uploads skipped on the warm path", c.Strategy)
 			}
 		}
+	}
+	// The batch-of-one case must be indistinguishable from plain fusion —
+	// the solo fast path means PrepareBatch of a single expression costs
+	// exactly what Prepare does.
+	byName := map[string]RepeatCase{}
+	for _, c := range cases {
+		byName[c.Strategy] = c
+	}
+	fusion, batch1 := byName["fusion"], byName[BatchOfOneName]
+	if fusion.ColdAllocs != batch1.ColdAllocs || fusion.WarmAllocs != batch1.WarmAllocs ||
+		fusion.ColdWrites != batch1.ColdWrites || fusion.WarmWrites != batch1.WarmWrites {
+		t.Errorf("batch-of-one diverges from fusion: fusion %+v vs batch1 %+v", fusion, batch1)
 	}
 }

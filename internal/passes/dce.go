@@ -33,7 +33,9 @@ func (dce) Run(nw *dataflow.Network, st *Stats) error {
 			visit(in)
 		}
 	}
-	visit(nw.Output())
+	for _, r := range nw.Roots() {
+		visit(r)
+	}
 	var dead []string
 	for _, n := range nw.Nodes() {
 		if !live[n.ID] {

@@ -1,0 +1,167 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"dfg/internal/dataflow"
+)
+
+// This file is the batch scheduler's middle-end: MergeNetworks folds the
+// sealed networks of several concurrently-requested expressions into one
+// multi-root super-network and runs cross-expression CSE over it, so a
+// subtree shared between members (the velocity magnitude inside two
+// users' criteria) is planned and executed exactly once per batch.
+
+// MergeMember is one expression entering a merge: its compile-cache
+// fingerprint (the batch identity and demux key) and its sealed,
+// already-optimised network.
+type MergeMember struct {
+	Fp  string
+	Net *dataflow.Network
+}
+
+// Merged is a super-network produced by MergeNetworks. Fps holds the
+// distinct member fingerprints in sorted order and Roots the matching
+// sink node IDs — Roots[i] is where Fps[i]'s output lives after
+// cross-expression CSE (two members whose outputs unified share a root).
+// Shared counts the nodes the merge eliminated: duplicates that existed
+// in more than one member and now execute once.
+type Merged struct {
+	Net    *dataflow.Network
+	Fps    []string
+	Roots  []string
+	Shared int
+}
+
+// Root returns the super-network sink carrying the given member
+// fingerprint's output.
+func (m *Merged) Root(fp string) (string, bool) {
+	for i, f := range m.Fps {
+		if f == fp {
+			return m.Roots[i], true
+		}
+	}
+	return "", false
+}
+
+// rootAlias names the provenance alias for the i-th sorted member. The
+// NUL prefix keeps it out of the identifier space, so it can never
+// collide with a source name or user alias from any expression.
+func rootAlias(i int) string { return "\x00batch-root:" + strconv.Itoa(i) }
+
+// MergeNetworks clones every member's live nodes into one fresh network
+// (sources unify by name — batch members bind the same mesh, so equal
+// names mean equal arrays), declares one root per member, and runs the
+// cross-expression elimination passes: constant pooling plus the
+// order-sensitive CSE, with the commutativity-normalised CSE round added
+// at LevelO2. Both are bitwise-safe, so the super-network's per-root
+// outputs are zero-ULP identical to the members evaluated individually.
+//
+// Members are deduplicated and ordered by fingerprint before cloning, so
+// one batch membership set always produces one deterministic
+// super-network — the property the batch plan cache keys on.
+func MergeNetworks(members []MergeMember, lvl Level, opt RunOptions) (*Merged, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("passes: merge needs at least one member")
+	}
+	distinct := make(map[string]*dataflow.Network, len(members))
+	for _, m := range members {
+		if m.Net == nil {
+			return nil, fmt.Errorf("passes: merge member %q has no network", m.Fp)
+		}
+		if m.Net.Output() == "" {
+			return nil, fmt.Errorf("passes: merge member %q has no output", m.Fp)
+		}
+		distinct[m.Fp] = m.Net
+	}
+	fps := make([]string, 0, len(distinct))
+	for fp := range distinct {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+
+	nw := dataflow.NewNetwork()
+	roots := make([]string, len(fps))
+	for i, fp := range fps {
+		root, err := cloneInto(nw, distinct[fp])
+		if err != nil {
+			return nil, fmt.Errorf("passes: merge member %q: %w", fp, err)
+		}
+		roots[i] = root
+		if err := nw.Alias(rootAlias(i), root); err != nil {
+			return nil, fmt.Errorf("passes: merge member %q: %w", fp, err)
+		}
+	}
+	if err := nw.SetRoots(roots...); err != nil {
+		return nil, err
+	}
+
+	pipe := mergePaper
+	if lvl == LevelO2 {
+		pipe = mergeO2
+	}
+	res, err := pipe.RunWith(nw, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// The passes remapped the provenance aliases along with everything
+	// else; read each member's final root back out before sealing.
+	for i := range fps {
+		n := nw.Node(rootAlias(i))
+		if n == nil {
+			return nil, fmt.Errorf("passes: merge lost root for member %q", fps[i])
+		}
+		roots[i] = n.ID
+	}
+	nw.Seal()
+	return &Merged{Net: nw, Fps: fps, Roots: roots, Shared: res.NodesRemoved()}, nil
+}
+
+// mergePaper and mergeO2 are the cross-expression pipelines. Members
+// arrive individually optimised, so any node these eliminate was
+// duplicated across members — exactly what Merged.Shared reports.
+var (
+	mergePaper = New("merge", ConstPool(), CSE())
+	mergeO2    = New("merge-O2", ConstPool(), CSE(), CSECommute())
+)
+
+// cloneInto copies src's live nodes (in topological order) into dst
+// through the builder API, unifying sources by name, and returns the ID
+// dst assigned to src's output node.
+func cloneInto(dst, src *dataflow.Network) (string, error) {
+	order, err := src.TopoOrder()
+	if err != nil {
+		return "", err
+	}
+	remap := make(map[string]string, len(order))
+	for _, n := range order {
+		var id string
+		switch n.Filter {
+		case "source":
+			if dst.NodeByID(n.ID) != nil {
+				id = n.ID // shared with an earlier member
+			} else if id, err = dst.AddSource(n.ID); err != nil {
+				return "", err
+			}
+		case "const":
+			id = dst.AddConst(n.Value)
+		case "decompose":
+			if id, err = dst.AddDecompose(remap[n.Inputs[0]], n.Comp); err != nil {
+				return "", err
+			}
+		default:
+			ins := make([]string, len(n.Inputs))
+			for i, in := range n.Inputs {
+				ins[i] = remap[in]
+			}
+			if id, err = dst.AddFilter(n.Filter, ins...); err != nil {
+				return "", err
+			}
+		}
+		remap[n.ID] = id
+	}
+	return remap[src.Output()], nil
+}

@@ -53,6 +53,12 @@ func VerifyInvariants(nw *dataflow.Network) error {
 			return fmt.Errorf("alias %q points at missing node %q", a[0], a[1])
 		}
 	}
+	roots := nw.Roots()
+	for _, r := range roots {
+		if nw.NodeByID(r) == nil {
+			return fmt.Errorf("root %q is not a node", r)
+		}
+	}
 	if err := nw.Validate(); err != nil {
 		return err
 	}
@@ -60,8 +66,8 @@ func VerifyInvariants(nw *dataflow.Network) error {
 	for _, c := range nw.Consumers() {
 		total += c
 	}
-	if total != edges+1 {
-		return fmt.Errorf("reference counts not conserved: %d consumer refs for %d edges (+1 output)", total, edges)
+	if total != edges+len(roots) {
+		return fmt.Errorf("reference counts not conserved: %d consumer refs for %d edges (+%d roots)", total, edges, len(roots))
 	}
 	return nil
 }

@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -106,7 +105,7 @@ func Parse(data []byte) (Meta, []EvalRecord, error) {
 			if err := json.Unmarshal(line, &meta); err != nil {
 				return meta, nil, fmt.Errorf("perfdb: line %d: %w", lineNo, err)
 			}
-			if major(meta.Schema) != major(Schema) {
+			if !schemaCompatible(meta.Schema) {
 				return meta, nil, fmt.Errorf("perfdb: schema %q incompatible with %q", meta.Schema, Schema)
 			}
 		case "eval", "":
@@ -125,10 +124,10 @@ func Parse(data []byte) (Meta, []EvalRecord, error) {
 	return meta, recs, nil
 }
 
-// major extracts the schema's major identity ("dfg.perfdb/v1").
-func major(schema string) string {
-	if i := strings.IndexByte(schema, '.'); i >= 0 && strings.Count(schema, ".") > 1 {
-		return schema[:strings.LastIndexByte(schema, '.')]
-	}
-	return schema
+// schemaCompatible reports whether this reader decodes a snapshot's
+// schema: the current version, plus v1, whose records are a strict
+// subset of v2 (the batch field, absent = unbatched). Empty means a
+// headerless hand-built fixture, tolerated like a missing meta line.
+func schemaCompatible(schema string) bool {
+	return schema == "" || schema == Schema || schema == SchemaV1
 }

@@ -37,8 +37,14 @@ import (
 )
 
 // Schema identifies the perf-database record format. Bump the version on
-// any incompatible field change; readers reject mismatched majors.
-const Schema = "dfg.perfdb/v1"
+// any incompatible field change; readers reject schemas they don't know.
+// v2 added the per-record batch size (EvalRecord.Batch); v1 snapshots
+// remain readable (SchemaV1), their records decoding with Batch == 0.
+const Schema = "dfg.perfdb/v2"
+
+// SchemaV1 is the previous record format, which this reader still
+// accepts: v2 is a strict superset (the batch field, absent = unbatched).
+const SchemaV1 = "dfg.perfdb/v1"
 
 // EvalRecord is one evaluation's compact performance record. Durations
 // are nanoseconds; modeled device times come from the run's ocl.Profile.
@@ -63,6 +69,11 @@ type EvalRecord struct {
 	Device string `json:"device"`
 	// N is the evaluation's element count (the kernel ND-range).
 	N int `json:"n"`
+	// Batch is the number of member expressions merged into the
+	// super-network this evaluation executed (schema v2). 0 means an
+	// unbatched solo evaluation — including batches of one, which take
+	// the solo fast path.
+	Batch int `json:"batch,omitempty"`
 
 	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
 	// PlanNS covers compile+plan for the call (0 on warm prepared evals,

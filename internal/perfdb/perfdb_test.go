@@ -106,8 +106,8 @@ func TestSnapshotRoundtrip(t *testing.T) {
 }
 
 // TestParseForwardCompat checks the reader's tolerance contract: unknown
-// line kinds are skipped, a missing meta header is tolerated, and a
-// different schema major is rejected.
+// line kinds are skipped, a missing meta header is tolerated, the v1
+// schema still loads, and an unknown schema version is rejected.
 func TestParseForwardCompat(t *testing.T) {
 	jsonl := `{"kind":"meta","schema":"dfg.perfdb/v1","git_rev":"x"}
 {"kind":"future-kind","whatever":true}
@@ -127,9 +127,9 @@ func TestParseForwardCompat(t *testing.T) {
 		t.Fatalf("bare-record parse: %v, %d records", err, len(recs))
 	}
 
-	// Wrong major: rejected.
-	if _, _, err := Parse([]byte(`{"kind":"meta","schema":"dfg.perfdb/v2"}` + "\n")); err == nil {
-		t.Fatal("schema major mismatch not rejected")
+	// Unknown version: rejected.
+	if _, _, err := Parse([]byte(`{"kind":"meta","schema":"dfg.perfdb/v3"}` + "\n")); err == nil {
+		t.Fatal("unknown schema version not rejected")
 	}
 }
 

@@ -10,6 +10,15 @@
 // failed without touching a device. Close drains the queue gracefully —
 // every accepted request gets a response — and then stops the workers.
 //
+// With Config.BatchWindow set, a batch-forming scheduler sits in front
+// of the queue: requests landing within the window that share a batch
+// key (element count, opt/strategy variant, input arrays) merge into one
+// cross-expression super-network, evaluated in a single run whose root
+// outputs fan back out to every member — subtrees shared between member
+// expressions execute once. A batch of one takes the unmodified solo
+// path, and a failed merged run degrades to per-member solo evaluation
+// (recovery ladder included), so batching never drops a request.
+//
 // Profiles from all workers are aggregated (ocl.Accumulator), giving the
 // service-level view of device traffic that the per-run ocl.Profile
 // gives a single engine.
@@ -21,7 +30,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +95,20 @@ type Config struct {
 	// MaxCacheEntries bounds the shared compile cache. Zero keeps the
 	// compile package default.
 	MaxCacheEntries int
+
+	// BatchWindow, when positive, turns on the batch-forming scheduler:
+	// instead of dispatching every request to a worker individually, the
+	// pool holds each incoming request for up to this long, merging
+	// requests that share a batch key (same element count, optimisation
+	// level, strategy and input arrays) into one cross-expression
+	// super-network evaluated in a single run — subtrees shared between
+	// member expressions execute once. Zero (the default) disables
+	// batching; the per-request path is untouched.
+	BatchWindow time.Duration
+	// BatchMax caps the members of one forming batch; a batch that fills
+	// up flushes immediately instead of waiting out the window. Default
+	// 16. Ignored unless BatchWindow is set.
+	BatchMax int
 
 	// TraceKeep sizes the ring of recent request traces (the /trace
 	// endpoint's window). Zero keeps obs.DefaultKeep; negative disables
@@ -185,6 +210,16 @@ type job struct {
 	// hops counts breaker reroutes, bounding how often a job may bounce
 	// between tripped workers before failing ErrWorkerUnavailable.
 	hops int
+	// formed is when the batch former flushed the job out of its forming
+	// window (zero for jobs that never passed through the former). Queue
+	// wait is measured from it, so time deliberately spent forming is
+	// not misattributed to queue congestion.
+	formed time.Time
+	// batch, when non-nil, makes this a merged batch job: the member
+	// jobs (each carrying its own context and response channel) evaluate
+	// together as one super-network. The carrier's req, ctx and resp are
+	// unused.
+	batch []*job
 }
 
 // Pool is a fixed set of worker engines behind one shared compile cache
@@ -212,6 +247,18 @@ type Pool struct {
 	senders sync.WaitGroup
 	workers sync.WaitGroup
 
+	// Batch former: when BatchWindow is set, requests wait here (keyed
+	// by batch key) for up to the window before dispatching — several
+	// compatible requests as one merged batch job, a lone one as an
+	// ordinary solo job. formMu guards the map; lock order is sendMu
+	// before formMu.
+	formMu  sync.Mutex
+	forming map[string]*formingBatch
+
+	batches     atomic.Int64 // merged batch jobs executed
+	batchSplits atomic.Int64 // batches degraded to solo member evaluations
+	batchShared atomic.Int64 // network nodes cross-expression CSE eliminated
+
 	served   atomic.Int64
 	failed   atomic.Int64
 	expired  atomic.Int64
@@ -223,11 +270,13 @@ type Pool struct {
 	// Observability: the shared metrics registry, the request tracer
 	// (nil when disabled), per-worker busy time for utilisation gauges,
 	// and the request-latency histograms the workers feed.
-	reg      *obs.Registry
-	tracer   *obs.Tracer
-	busy     []atomic.Int64 // per-worker cumulative execution ns
-	waitHist *obs.Histogram
-	runHist  *obs.Histogram
+	reg           *obs.Registry
+	tracer        *obs.Tracer
+	busy          []atomic.Int64 // per-worker cumulative execution ns
+	waitHist      *obs.Histogram
+	runHist       *obs.Histogram
+	formingHist   *obs.Histogram // time spent in the batch forming window
+	batchSizeHist *obs.Histogram // members per executed batch, encoded as µs
 
 	// Continuous profiling: every worker engine deposits one EvalRecord
 	// per evaluation into perf (a sharded ring shared by the whole
@@ -265,6 +314,9 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.ReplaceAfterProbes <= 0 {
 		cfg.ReplaceAfterProbes = 3
 	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 16
+	}
 	comp := compile.NewCompiler()
 	if cfg.MaxCacheEntries > 0 {
 		comp.SetMaxEntries(cfg.MaxCacheEntries)
@@ -274,6 +326,7 @@ func NewPool(cfg Config) (*Pool, error) {
 		comp:     comp,
 		queue:    make(chan *job, cfg.QueueDepth),
 		done:     make(chan struct{}),
+		forming:  make(map[string]*formingBatch),
 		reg:      obs.NewRegistry(),
 		busy:     make([]atomic.Int64, cfg.Workers),
 		restarts: make([]atomic.Int64, cfg.Workers),
@@ -553,7 +606,20 @@ func (p *Pool) registerMetrics() {
 		nil, func() float64 { return float64(p.flight.Dumped()) })
 	obs.RegisterRuntimeMetrics(r)
 
-	p.waitHist = r.Histogram("dfg_request_wait_seconds", "Time requests spent queued.", nil)
+	// Batch-forming scheduler series. The size histogram reuses the
+	// log-bucketed duration histogram by encoding a batch of n members
+	// as n microseconds, so its quantiles read back as member counts in
+	// µs units.
+	r.CounterFunc("dfg_batches_total", "Merged batch jobs executed.",
+		nil, func() float64 { return float64(p.batches.Load()) })
+	r.CounterFunc("dfg_batch_splits_total", "Batches degraded to per-member solo evaluation after a merged run failed.",
+		nil, func() float64 { return float64(p.batchSplits.Load()) })
+	r.CounterFunc("dfg_batch_cse_nodes_shared_total", "Dataflow nodes cross-expression CSE eliminated across executed batches.",
+		nil, func() float64 { return float64(p.batchShared.Load()) })
+	p.formingHist = r.Histogram("dfg_batch_forming_wait_seconds", "Time requests spent in the batch forming window.", nil)
+	p.batchSizeHist = r.Histogram("dfg_batch_size", "Members per executed batch (encoded as microseconds).", nil)
+
+	p.waitHist = r.Histogram("dfg_request_wait_seconds", "Time requests spent queued (excluding the batch forming window).", nil)
 	p.runHist = r.Histogram("dfg_request_run_seconds", "Time requests spent executing.", nil)
 }
 
@@ -592,7 +658,10 @@ const maxPreparedPerWorker = 64
 
 // worker drains the queue until it is closed, running each job on its
 // private engine. Closing the queue (not a signal channel) is what ends
-// the loop, so every job accepted before Close is still served.
+// the loop, so every job accepted before Close is still served. Solo
+// jobs run through runJob; merged batch jobs (the batch former's
+// output) through runBatch, which fans one super-network evaluation
+// back out to every member's response channel.
 //
 // Each executed job records a "request" trace rooted at enqueue time:
 // an explicit "queue-wait" child covering the time spent in the bounded
@@ -620,153 +689,213 @@ const maxPreparedPerWorker = 64
 // device outright.
 func (p *Pool) worker(id int) {
 	defer p.workers.Done()
-	eng := p.engine(id)
-	br := p.breakers[id]
-	prepared := make(map[string]*dfg.Prepared)
-	byVariant := make(map[string]*dfg.Engine)
-	closeAll := func() {
-		for _, pr := range prepared {
-			pr.Close()
-		}
-		prepared = make(map[string]*dfg.Prepared)
+	ws := &workerState{
+		id:        id,
+		eng:       p.engine(id),
+		br:        p.breakers[id],
+		prepared:  make(map[string]*dfg.Prepared),
+		batches:   make(map[string]*dfg.PreparedBatch),
+		byVariant: make(map[string]*dfg.Engine),
 	}
-	defer func() { closeAll() }()
-	// restart discards the (possibly poisoned) engine and its prepared
-	// handles, builds a replacement on a fresh device, and publishes it
-	// for the metric scrapers.
-	restart := func() {
-		closeAll()
-		fresh, err := p.newEngine(id)
-		if err != nil {
-			// Device construction is deterministic; failing here means the
-			// pool config itself is bad, which NewPool would have caught.
-			// Keep limping on the old engine rather than killing the worker.
-			fmt.Fprintf(os.Stderr, "serve: worker %d: engine rebuild failed: %v\n", id, err)
+	defer ws.closeAll()
+	for j := range p.queue {
+		if j.batch != nil {
+			p.runBatch(ws, j)
+			continue
+		}
+		p.runJob(ws, j)
+	}
+}
+
+// workerState is one worker goroutine's private state: its engine (and
+// the variant views derived from it), its circuit breaker, and its
+// bounded caches of open prepared handles — solo and batch. Only the
+// owning worker touches any of it.
+type workerState struct {
+	id        int
+	eng       *dfg.Engine
+	br        *breaker
+	prepared  map[string]*dfg.Prepared
+	batches   map[string]*dfg.PreparedBatch
+	byVariant map[string]*dfg.Engine
+}
+
+// closeAll closes every open prepared handle, draining the engine's
+// buffer arena.
+func (ws *workerState) closeAll() {
+	for _, pr := range ws.prepared {
+		pr.Close()
+	}
+	ws.prepared = make(map[string]*dfg.Prepared)
+	for _, pb := range ws.batches {
+		pb.Close()
+	}
+	ws.batches = make(map[string]*dfg.PreparedBatch)
+}
+
+// restartWorker discards the worker's (possibly poisoned) engine and its
+// prepared handles, builds a replacement on a fresh device, and
+// publishes it for the metric scrapers.
+func (p *Pool) restartWorker(ws *workerState) {
+	ws.closeAll()
+	fresh, err := p.newEngine(ws.id)
+	if err != nil {
+		// Device construction is deterministic; failing here means the
+		// pool config itself is bad, which NewPool would have caught.
+		// Keep limping on the old engine rather than killing the worker.
+		fmt.Fprintf(os.Stderr, "serve: worker %d: engine rebuild failed: %v\n", ws.id, err)
+		return
+	}
+	ws.eng = fresh
+	ws.byVariant = make(map[string]*dfg.Engine)
+	p.engMu.Lock()
+	p.engines[ws.id] = fresh
+	p.engMu.Unlock()
+	ws.br.reset()
+	p.restarts[ws.id].Add(1)
+}
+
+// runJob runs one solo job: queue-wait accounting, the expired-in-queue
+// fast fail and the breaker gate, then execution via execJob.
+func (p *Pool) runJob(ws *workerState, j *job) {
+	pickup := time.Now()
+	wait := pickup.Sub(j.enqueued) // what the client has waited so far
+	qwait := wait                  // the queue's share of it
+	if !j.formed.IsZero() {
+		qwait = pickup.Sub(j.formed)
+	}
+	// Record queue wait for every dequeued job, including ones that
+	// expired while queued — otherwise the histogram only sees
+	// survivors and under overload (exactly when wait matters) its
+	// quantiles are biased toward short waits. A job that passed through
+	// the batch former measures from its flush stamp: the forming window
+	// was spent deliberately, and is observed separately at flush.
+	p.waitHist.Observe(qwait)
+	if err := j.ctx.Err(); err != nil {
+		// Expired (or canceled) while queued: fail fast, don't touch
+		// the device.
+		p.expired.Add(1)
+		j.cancel()
+		j.resp <- Response{Worker: ws.id, Wait: wait, Err: fmt.Errorf("%w: %v", ErrQueueTimeout, err)}
+		return
+	}
+	ok, probe := ws.br.allow(pickup)
+	if !ok {
+		// Tripped device, still cooling: push the job back for a
+		// healthy peer. Holding the job briefly first (longer each
+		// hop) parks this worker while its peers sit blocked on the
+		// queue, so the requeued job hands off to one of them instead
+		// of bouncing straight back here. If it cannot be requeued
+		// (queue full, pool closing, or the job already bounced across
+		// the whole pool), fail it with the typed unavailability
+		// error.
+		hold := time.Duration(j.hops+1) * 200 * time.Microsecond
+		if hold > 2*time.Millisecond {
+			hold = 2 * time.Millisecond
+		}
+		time.Sleep(hold)
+		if p.reroute(j) {
+			p.rerouted.Add(1)
 			return
 		}
-		eng = fresh
-		byVariant = make(map[string]*dfg.Engine)
-		p.engMu.Lock()
-		p.engines[id] = fresh
-		p.engMu.Unlock()
-		br.reset()
-		p.restarts[id].Add(1)
-	}
-	for j := range p.queue {
-		pickup := time.Now()
-		wait := pickup.Sub(j.enqueued)
-		resp := Response{Worker: id, Wait: wait}
-		// Record queue wait for every dequeued job, including ones that
-		// expired while queued — otherwise the histogram only sees
-		// survivors and under overload (exactly when wait matters) its
-		// quantiles are biased toward short waits.
-		p.waitHist.Observe(wait)
-		if err := j.ctx.Err(); err != nil {
-			// Expired (or canceled) while queued: fail fast, don't touch
-			// the device.
-			p.expired.Add(1)
-			resp.Err = fmt.Errorf("%w: %v", ErrQueueTimeout, err)
-		} else if ok, probe := br.allow(pickup); !ok {
-			// Tripped device, still cooling: push the job back for a
-			// healthy peer. Holding the job briefly first (longer each
-			// hop) parks this worker while its peers sit blocked on the
-			// queue, so the requeued job hands off to one of them instead
-			// of bouncing straight back here. If it cannot be requeued
-			// (queue full, pool closing, or the job already bounced across
-			// the whole pool), fail it with the typed unavailability
-			// error.
-			hold := time.Duration(j.hops+1) * 200 * time.Microsecond
-			if hold > 2*time.Millisecond {
-				hold = 2 * time.Millisecond
-			}
-			time.Sleep(hold)
-			if p.reroute(j) {
-				p.rerouted.Add(1)
-				continue
-			}
-			p.failed.Add(1)
-			resp.Err = fmt.Errorf("%w: worker %d breaker open", ErrWorkerUnavailable, id)
-		} else {
-			if probe {
-				// Half-open health probe: heal a latched device loss first,
-				// simulating the driver reset the cooldown stood in for.
-				eng.Heal()
-			}
-			root := p.tracer.Start("request")
-			if root != nil {
-				root.Start = j.enqueued // the trace covers queue wait too
-				root.SetAttr("worker", strconv.Itoa(id))
-				root.Event("queue-wait", "", j.enqueued, pickup)
-				if probe {
-					root.SetAttr("breaker", "probe")
-				}
-				if j.hops > 0 {
-					// Tail retention keeps every rerouted request's trace.
-					root.SetAttr("rerouted", strconv.Itoa(j.hops))
-				}
-			}
-			res, err := p.runShielded(id, eng, byVariant, prepared, root, wait, j)
-			run := time.Since(pickup)
-			if root != nil {
-				if err != nil {
-					root.SetAttr("error", err.Error())
-				}
-				root.Finish()
-			}
-			// File the request into the flight ring before any breaker
-			// bookkeeping, so a dump triggered by this very request
-			// includes its own span tree.
-			if p.flight != nil {
-				fe := perfdb.FlightEntry{
-					UnixNS: pickup.UnixNano(), Worker: id,
-					Expr: j.req.Expr, N: j.req.N,
-					TraceID: root.ID(), DurNS: int64(run), Span: root,
-				}
-				if err != nil {
-					fe.Err = err.Error()
-				}
-				p.flight.Note(fe)
-			}
-			p.busy[id].Add(int64(run))
-			p.runHist.Observe(run)
-			resp.Run = run
-			resp.Result, resp.Err = res, err
-			if err != nil {
-				p.failed.Add(1)
-			} else {
-				p.served.Add(1)
-				p.acc.Add(res.Profile, res.PeakDeviceBytes)
-			}
-			switch {
-			case errors.Is(err, ErrWorkerPanic):
-				// The device (or a kernel on it) panicked; the engine state
-				// is suspect. Dump the flight ring, replace the engine, and
-				// keep serving.
-				p.flight.Dump("worker-panic")
-				restart()
-			case err == nil:
-				if eng.DeviceLost() {
-					// The request was rescued by the recovery ladder's
-					// host-VM rung, but the device underneath is still lost:
-					// trip the breaker anyway so the cooldown/probe machinery
-					// heals (or replaces) it instead of every request limping
-					// through the VM forever.
-					if br.failure(pickup, true) {
-						p.flight.Dump("breaker-trip")
-					}
-					if br.failedProbes() >= p.cfg.ReplaceAfterProbes {
-						restart()
-					}
-				} else {
-					br.success()
-				}
-			default:
-				p.noteFault(id, br, err, pickup, restart)
-			}
-		}
+		p.failed.Add(1)
 		j.cancel()
-		j.resp <- resp
+		j.resp <- Response{Worker: ws.id, Wait: wait, Err: fmt.Errorf("%w: worker %d breaker open", ErrWorkerUnavailable, ws.id)}
+		return
 	}
+	p.execJob(ws, j, pickup, qwait, probe)
+}
+
+// execJob executes one solo job on the worker's engine — the request
+// trace, the panic shield, flight filing, outcome counters and breaker
+// bookkeeping — and delivers the response. It is also the landing path
+// for batch members degraded to solo execution after a merged run
+// failed.
+func (p *Pool) execJob(ws *workerState, j *job, pickup time.Time, qwait time.Duration, probe bool) {
+	if probe {
+		// Half-open health probe: heal a latched device loss first,
+		// simulating the driver reset the cooldown stood in for.
+		ws.eng.Heal()
+	}
+	resp := Response{Worker: ws.id, Wait: pickup.Sub(j.enqueued)}
+	root := p.tracer.Start("request")
+	if root != nil {
+		root.Start = j.enqueued // the trace covers queue (and forming) wait too
+		root.SetAttr("worker", strconv.Itoa(ws.id))
+		if !j.formed.IsZero() {
+			root.Event("batch-forming", "", j.enqueued, j.formed)
+			root.Event("queue-wait", "", j.formed, pickup)
+		} else {
+			root.Event("queue-wait", "", j.enqueued, pickup)
+		}
+		if probe {
+			root.SetAttr("breaker", "probe")
+		}
+		if j.hops > 0 {
+			// Tail retention keeps every rerouted request's trace.
+			root.SetAttr("rerouted", strconv.Itoa(j.hops))
+		}
+	}
+	res, err := p.runShielded(ws, root, qwait, j)
+	run := time.Since(pickup)
+	if root != nil {
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		}
+		root.Finish()
+	}
+	// File the request into the flight ring before any breaker
+	// bookkeeping, so a dump triggered by this very request
+	// includes its own span tree.
+	if p.flight != nil {
+		fe := perfdb.FlightEntry{
+			UnixNS: pickup.UnixNano(), Worker: ws.id,
+			Expr: j.req.Expr, N: j.req.N,
+			TraceID: root.ID(), DurNS: int64(run), Span: root,
+		}
+		if err != nil {
+			fe.Err = err.Error()
+		}
+		p.flight.Note(fe)
+	}
+	p.busy[ws.id].Add(int64(run))
+	p.runHist.Observe(run)
+	resp.Run = run
+	resp.Result, resp.Err = res, err
+	if err != nil {
+		p.failed.Add(1)
+	} else {
+		p.served.Add(1)
+		p.acc.Add(res.Profile, res.PeakDeviceBytes)
+	}
+	switch {
+	case errors.Is(err, ErrWorkerPanic):
+		// The device (or a kernel on it) panicked; the engine state
+		// is suspect. Dump the flight ring, replace the engine, and
+		// keep serving.
+		p.flight.Dump("worker-panic")
+		p.restartWorker(ws)
+	case err == nil:
+		if ws.eng.DeviceLost() {
+			// The request was rescued by the recovery ladder's
+			// host-VM rung, but the device underneath is still lost:
+			// trip the breaker anyway so the cooldown/probe machinery
+			// heals (or replaces) it instead of every request limping
+			// through the VM forever.
+			if ws.br.failure(pickup, true) {
+				p.flight.Dump("breaker-trip")
+			}
+			if ws.br.failedProbes() >= p.cfg.ReplaceAfterProbes {
+				p.restartWorker(ws)
+			}
+		} else {
+			ws.br.success()
+		}
+	default:
+		p.noteFault(ws, err, pickup)
+	}
+	j.cancel()
+	j.resp <- resp
 }
 
 // noteFault feeds an evaluation error to the worker's breaker. Only
@@ -777,7 +906,7 @@ func (p *Pool) worker(id int) {
 // device health and leave the breaker alone. Once enough half-open
 // probes have failed in a row, the device is declared dead and
 // replaced.
-func (p *Pool) noteFault(id int, br *breaker, err error, now time.Time, restart func()) {
+func (p *Pool) noteFault(ws *workerState, err error, now time.Time) {
 	var fe *ocl.FaultError
 	if !errors.As(err, &fe) {
 		return
@@ -785,9 +914,9 @@ func (p *Pool) noteFault(id int, br *breaker, err error, now time.Time, restart 
 	var opened bool
 	switch ocl.Classify(err) {
 	case ocl.ClassDeviceLost:
-		opened = br.failure(now, true)
+		opened = ws.br.failure(now, true)
 	case ocl.ClassTransient, ocl.ClassPermanent:
-		opened = br.failure(now, false)
+		opened = ws.br.failure(now, false)
 	default:
 		return
 	}
@@ -797,8 +926,8 @@ func (p *Pool) noteFault(id int, br *breaker, err error, now time.Time, restart 
 		// tree is still in it.
 		p.flight.Dump("breaker-trip")
 	}
-	if br.failedProbes() >= p.cfg.ReplaceAfterProbes {
-		restart()
+	if ws.br.failedProbes() >= p.cfg.ReplaceAfterProbes {
+		p.restartWorker(ws)
 	}
 }
 
@@ -832,55 +961,66 @@ func (p *Pool) reroute(j *job) bool {
 // deadlocking every queued client. Strategy cleanup runs during the
 // unwind (buffer releases are deferred), so the engine's arena still
 // drains; the caller replaces the engine anyway.
-func (p *Pool) runShielded(id int, eng *dfg.Engine, byVariant map[string]*dfg.Engine,
-	cache map[string]*dfg.Prepared, root *obs.Span, wait time.Duration, j *job) (res *dfg.Result, err error) {
+func (p *Pool) runShielded(ws *workerState, root *obs.Span, qwait time.Duration, j *job) (res *dfg.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, id, r)
+			err = fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, ws.id, r)
 		}
 	}()
-	return evalPrepared(j.ctx, eng, byVariant, cache, root, wait, j.req)
+	return evalPrepared(j.ctx, ws, root, qwait, j.req)
 }
 
-// evalPrepared runs one request through the worker's prepared-plan
-// cache. A request overriding Opt or Strategy is routed to the worker's
-// derived engine for that (level, strategy) pair (memoized in
-// byVariant); fingerprints incorporate the level, so every variant's
-// handles coexist in one cache (derived views share the worker's device
-// environment and arena, preserving the single-goroutine discipline —
-// only this worker touches any of them). Preparing
-// records the compile and plan spans under root (both are cache hits
-// for a hot expression, so every request trace keeps the full stage
-// set); a handle already cached under the same fingerprint wins, and
-// the fresh one — which shares the cached plan anyway — is closed. The
-// cache is bounded by closing an arbitrary old handle; the plan it
-// wrapped stays in the shared compiler cache, so re-preparing is a map
-// lookup.
-func evalPrepared(ctx context.Context, eng *dfg.Engine, byVariant map[string]*dfg.Engine, cache map[string]*dfg.Prepared, root *obs.Span, wait time.Duration, req Request) (*dfg.Result, error) {
+// resolveVariant routes a request overriding Opt or Strategy to the
+// worker's derived engine for that (level, strategy) pair, memoized in
+// byVariant. Derived views share the worker's device environment and
+// arena, preserving the single-goroutine discipline — only this worker
+// touches any of them.
+func resolveVariant(ws *workerState, req Request) (*dfg.Engine, string, error) {
 	variant := req.Opt + "|" + req.Strategy
+	eng := ws.eng
 	if variant != "|" {
-		if cached, ok := byVariant[variant]; ok {
+		if cached, ok := ws.byVariant[variant]; ok {
 			eng = cached
 		} else {
 			d := eng
 			var err error
 			if req.Opt != "" {
 				if d, err = d.WithOptLevel(req.Opt); err != nil {
-					return nil, err
+					return nil, "", err
 				}
 			}
 			if d, err = d.WithStrategy(req.Strategy); err != nil {
-				return nil, err
+				return nil, "", err
 			}
-			byVariant[variant] = d
+			ws.byVariant[variant] = d
 			eng = d
 		}
 	}
+	return eng, variant, nil
+}
+
+// evalPrepared runs one request through the worker's prepared-plan
+// cache. A request overriding Opt or Strategy is routed to the worker's
+// derived engine for that pair (resolveVariant); fingerprints
+// incorporate the level, so every variant's handles coexist in one
+// cache. Preparing records the compile and plan spans under root (both
+// are cache hits for a hot expression, so every request trace keeps the
+// full stage set); a handle already cached under the same fingerprint
+// wins, and the fresh one — which shares the cached plan anyway — is
+// closed. The cache is bounded by closing an arbitrary old handle; the
+// plan it wrapped stays in the shared compiler cache, so re-preparing
+// is a map lookup.
+func evalPrepared(ctx context.Context, ws *workerState, root *obs.Span, qwait time.Duration, req Request) (*dfg.Result, error) {
+	eng, variant, err := resolveVariant(ws, req)
+	if err != nil {
+		return nil, err
+	}
 	// Stamp the measured queue wait on the engine that will actually run
 	// (variant views carry their own pending slot), so the evaluation's
-	// perf record carries it.
-	eng.NoteQueueWait(wait)
+	// perf record carries it. The batch former's window is excluded —
+	// qwait is the post-flush queue share only.
+	eng.NoteQueueWait(qwait)
 	pr, err := eng.PrepareTraced(root, req.Expr)
 	if err != nil {
 		return nil, err
@@ -889,23 +1029,251 @@ func evalPrepared(ctx context.Context, eng *dfg.Engine, byVariant map[string]*df
 	// level — not the strategy — so the handle cache keys on the variant
 	// too: a Strategy override must never reuse another strategy's plan.
 	key := variant + "\x00" + pr.Fingerprint()
-	if cached, ok := cache[key]; ok {
+	if cached, ok := ws.prepared[key]; ok {
 		pr.Close()
 		pr = cached
 	} else {
-		if len(cache) >= maxPreparedPerWorker {
-			for fp, old := range cache {
+		if len(ws.prepared) >= maxPreparedPerWorker {
+			for fp, old := range ws.prepared {
 				old.Close()
-				delete(cache, fp)
+				delete(ws.prepared, fp)
 				break
 			}
 		}
-		cache[key] = pr
+		ws.prepared[key] = pr
 	}
 	// Thread the request's deadline into execution: a request that times
 	// out mid-plan stops at the next kernel-launch boundary instead of
 	// finishing work nobody is waiting for.
 	return pr.EvalTracedCtx(ctx, root, req.N, req.Inputs)
+}
+
+// evalPreparedBatch runs a flushed member set through the worker's
+// prepared-batch cache — the batch analogue of evalPrepared. The
+// variant engine is resolved the same way (members share Opt and
+// Strategy; both are part of the batch key), and handles are cached
+// with the same bound, so a recurring batch shape reuses its merged
+// plan and device-resident sources. The cache key is the ordered
+// member list, NOT the batch fingerprint: the fingerprint digests the
+// sorted de-duplicated members, but a prepared batch demuxes results
+// positionally over the exact text sequence it was prepared with, so
+// two flushes sharing a fingerprint with different member order or
+// duplicate multiplicity must not share a handle. req carries the
+// batch's shared shape (N, inputs, variant); texts the member
+// expressions.
+func evalPreparedBatch(ws *workerState, root *obs.Span, qwait time.Duration, texts []string, req Request) (*dfg.BatchResult, error) {
+	eng, variant, err := resolveVariant(ws, req)
+	if err != nil {
+		return nil, err
+	}
+	eng.NoteQueueWait(qwait)
+	key := variant + "\x00" + strings.Join(texts, "\x01")
+	pb, ok := ws.batches[key]
+	if !ok {
+		pb, err = eng.PrepareBatchTraced(root, texts)
+		if err != nil {
+			return nil, err
+		}
+		if len(ws.batches) >= maxPreparedPerWorker {
+			for k, old := range ws.batches {
+				old.Close()
+				delete(ws.batches, k)
+				break
+			}
+		}
+		ws.batches[key] = pb
+	}
+	return pb.EvalTracedCtx(nil, root, req.N, req.Inputs)
+}
+
+// runBatchShielded is evalPreparedBatch behind the same panic shield as
+// runShielded.
+func (p *Pool) runBatchShielded(ws *workerState, root *obs.Span, qwait time.Duration,
+	texts []string, req Request) (res *dfg.BatchResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("%w: worker %d: %v", ErrWorkerPanic, ws.id, r)
+		}
+	}()
+	return evalPreparedBatch(ws, root, qwait, texts, req)
+}
+
+// runBatch runs one merged batch job: member expiry triage, the breaker
+// gate (batch granularity — an open breaker reroutes the whole batch to
+// a healthy peer), per-member compile-error isolation, then one merged
+// super-network evaluation whose root outputs fan back out to every
+// member's response. Any failure of the merged run degrades the batch
+// instead of failing it: the members re-run individually through the
+// ordinary solo path — recovery ladder included, which the merged run
+// bypasses (the ladder re-plans from expression text, which a merged
+// super-network does not have) — so a faulting member never costs the
+// others their response.
+func (p *Pool) runBatch(ws *workerState, bj *job) {
+	pickup := time.Now()
+	qwait := pickup.Sub(bj.enqueued) // members share the batch's queue wait
+	live := make([]*job, 0, len(bj.batch))
+	for _, m := range bj.batch {
+		p.waitHist.Observe(qwait)
+		if err := m.ctx.Err(); err != nil {
+			// A member that expired while the batch queued fails alone;
+			// the rest of the batch still runs.
+			p.expired.Add(1)
+			m.cancel()
+			m.resp <- Response{Worker: ws.id, Wait: pickup.Sub(m.enqueued), Err: fmt.Errorf("%w: %v", ErrQueueTimeout, err)}
+			continue
+		}
+		live = append(live, m)
+	}
+	if len(live) == 0 {
+		return
+	}
+	bj.batch = live
+	ok, probe := ws.br.allow(pickup)
+	if !ok {
+		hold := time.Duration(bj.hops+1) * 200 * time.Microsecond
+		if hold > 2*time.Millisecond {
+			hold = 2 * time.Millisecond
+		}
+		time.Sleep(hold)
+		if p.reroute(bj) {
+			p.rerouted.Add(1)
+			return
+		}
+		for _, m := range live {
+			p.failed.Add(1)
+			m.cancel()
+			m.resp <- Response{Worker: ws.id, Wait: pickup.Sub(m.enqueued), Err: fmt.Errorf("%w: worker %d breaker open", ErrWorkerUnavailable, ws.id)}
+		}
+		return
+	}
+	if probe {
+		ws.eng.Heal()
+	}
+
+	// The batch trace: one root spanning the whole merged run, each
+	// member's request a child under it (with its forming wait), the
+	// engine's compile/merge/plan/execute spans below — /trace shows the
+	// batch as one tree.
+	root := p.tracer.Start("batch")
+	if root != nil {
+		root.Start = bj.enqueued
+		root.SetAttr("worker", strconv.Itoa(ws.id))
+		root.Event("queue-wait", "", bj.enqueued, pickup)
+		if bj.hops > 0 {
+			root.SetAttr("rerouted", strconv.Itoa(bj.hops))
+		}
+	}
+	memberSpan := func(m *job) *obs.Span {
+		ms := root.Child("member")
+		if ms != nil {
+			ms.Start = m.enqueued
+			ms.SetAttr("expr", m.req.Expr)
+			ms.Event("batch-forming", "", m.enqueued, m.formed)
+		}
+		return ms
+	}
+
+	// Per-member compile isolation: a member that does not compile gets
+	// its own error response and is dropped before the merge — the
+	// shared cache makes the batch's re-compile of the survivors free.
+	lvl, lvlErr := passes.ParseLevel(p.memberOpt(live[0].req))
+	survivors := live[:0]
+	for _, m := range live {
+		err := lvlErr
+		if err == nil {
+			_, _, err = p.comp.CompileTracedAt(m.req.Expr, lvl, root)
+		}
+		if err != nil {
+			if ms := memberSpan(m); ms != nil {
+				ms.SetAttr("error", err.Error())
+				ms.Finish()
+			}
+			p.failed.Add(1)
+			m.cancel()
+			m.resp <- Response{Worker: ws.id, Wait: pickup.Sub(m.enqueued), Err: err}
+			continue
+		}
+		survivors = append(survivors, m)
+	}
+	if len(survivors) == 0 {
+		if root != nil {
+			root.Finish()
+		}
+		return
+	}
+	if root != nil {
+		root.SetAttr("batch", strconv.Itoa(len(survivors)))
+	}
+	spans := make([]*obs.Span, len(survivors))
+	texts := make([]string, len(survivors))
+	for i, m := range survivors {
+		spans[i] = memberSpan(m)
+		texts[i] = m.req.Expr
+	}
+	req0 := survivors[0].req
+	bres, err := p.runBatchShielded(ws, root, qwait, texts, req0)
+	run := time.Since(pickup)
+	for _, ms := range spans {
+		if ms != nil {
+			ms.Finish()
+		}
+	}
+	if err == nil {
+		if root != nil {
+			root.SetAttr("shared", strconv.Itoa(bres.Shared))
+			root.Finish()
+		}
+		p.batches.Add(1)
+		p.batchSizeHist.Observe(time.Duration(len(survivors)) * time.Microsecond)
+		p.batchShared.Add(int64(bres.Shared))
+		if p.flight != nil {
+			p.flight.Note(perfdb.FlightEntry{
+				UnixNS: pickup.UnixNano(), Worker: ws.id,
+				Expr: fmt.Sprintf("batch[%d]: %s", len(survivors), req0.Expr),
+				N:    req0.N, TraceID: root.ID(), DurNS: int64(run), Span: root,
+			})
+		}
+		p.busy[ws.id].Add(int64(run))
+		res0 := bres.Results[0]
+		p.acc.Add(res0.Profile, res0.PeakDeviceBytes)
+		ws.br.success()
+		for i, m := range survivors {
+			p.served.Add(1)
+			p.runHist.Observe(run)
+			m.cancel()
+			m.resp <- Response{Result: bres.Results[i], Worker: ws.id, Wait: pickup.Sub(m.enqueued), Run: run}
+		}
+		return
+	}
+	// The merged run failed: a panic, a device fault, or a merge/plan
+	// error. Degrade, never drop — every member re-runs through the solo
+	// path with the recovery ladder armed, so a member-specific fault
+	// costs only that member its response.
+	if root != nil {
+		root.SetAttr("error", err.Error())
+		root.SetAttr("degraded", "split-to-solo")
+		root.Finish()
+	}
+	p.batchSplits.Add(1)
+	if errors.Is(err, ErrWorkerPanic) {
+		p.flight.Dump("worker-panic")
+		p.restartWorker(ws)
+	} else {
+		p.noteFault(ws, err, pickup)
+	}
+	for _, m := range survivors {
+		p.execJob(ws, m, time.Now(), 0, false)
+	}
+}
+
+// memberOpt is the optimisation level a request compiles at — its own
+// override or the pool default.
+func (p *Pool) memberOpt(req Request) string {
+	if req.Opt != "" {
+		return req.Opt
+	}
+	return p.cfg.Opt
 }
 
 // EvalAsync submits a request and returns a buffered channel that will
@@ -938,10 +1306,23 @@ func (p *Pool) EvalAsync(ctx context.Context, req Request) <-chan Response {
 		resp <- Response{Worker: -1, Err: ErrPoolClosed}
 		return resp
 	}
+	j := &job{req: req, ctx: ctx, cancel: cancel, enqueued: time.Now(), resp: resp}
+	if p.cfg.BatchWindow > 0 {
+		// Batch-forming path: the job joins its forming batch under the
+		// same read lock, so Close's final sweep is guaranteed to see it.
+		// If this join filled the batch, flush it now (form already took
+		// the sender slot); the dispatch goroutine keeps EvalAsync
+		// non-blocking when the queue is full.
+		flush := p.form(j)
+		p.sendMu.RUnlock()
+		if flush != nil {
+			go p.dispatch(flush)
+		}
+		return resp
+	}
 	p.senders.Add(1)
 	p.sendMu.RUnlock()
 
-	j := &job{req: req, ctx: ctx, cancel: cancel, enqueued: time.Now(), resp: resp}
 	go func() {
 		defer p.senders.Done()
 		select {
@@ -959,6 +1340,144 @@ func (p *Pool) EvalAsync(ctx context.Context, req Request) <-chan Response {
 		}
 	}()
 	return resp
+}
+
+// formingBatch is one in-progress batch accumulating members until its
+// window timer fires or it fills to BatchMax.
+type formingBatch struct {
+	key     string
+	members []*job
+	timer   *time.Timer
+	flushed bool
+}
+
+// batchKey groups requests that may merge into one batch: same element
+// count, same Opt/Strategy variant, and the same input binding — name
+// for name, the same backing arrays (identity, not content: %v of a
+// slice's address and length). A merged super-network executes against
+// one binding, so requests carrying different input sets never merge.
+func batchKey(req Request) string {
+	names := make([]string, 0, len(req.Inputs))
+	for name := range req.Inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|%s", req.N, req.Opt, req.Strategy)
+	for _, name := range names {
+		s := req.Inputs[name]
+		fmt.Fprintf(&b, "|%s@%p+%d", name, s, len(s))
+	}
+	return b.String()
+}
+
+// form adds a job to its forming batch, creating the batch (and its
+// window timer) on first touch. Called under sendMu.RLock so every
+// formed member is visible to Close's final sweep. Returns the member
+// set to dispatch when this join filled the batch to BatchMax — the
+// sender slot is already taken for the caller — and nil otherwise.
+func (p *Pool) form(j *job) []*job {
+	key := batchKey(j.req)
+	p.formMu.Lock()
+	defer p.formMu.Unlock()
+	g, ok := p.forming[key]
+	if !ok {
+		g = &formingBatch{key: key}
+		p.forming[key] = g
+		g.timer = time.AfterFunc(p.cfg.BatchWindow, func() { p.flushTimer(g) })
+	}
+	g.members = append(g.members, j)
+	if len(g.members) >= p.cfg.BatchMax {
+		g.flushed = true
+		g.timer.Stop()
+		delete(p.forming, key)
+		p.senders.Add(1)
+		return g.members
+	}
+	return nil
+}
+
+// flushTimer is the forming-window expiry path. When the pool is
+// closing, the batch is left in the map for Close's final sweep (which
+// dispatches straight into the still-open queue); otherwise the batch
+// is claimed and dispatched like a filled one.
+func (p *Pool) flushTimer(g *formingBatch) {
+	p.sendMu.RLock()
+	if p.closed {
+		p.sendMu.RUnlock()
+		return
+	}
+	p.formMu.Lock()
+	if g.flushed {
+		p.formMu.Unlock()
+		p.sendMu.RUnlock()
+		return
+	}
+	g.flushed = true
+	delete(p.forming, g.key)
+	members := g.members
+	p.formMu.Unlock()
+	p.senders.Add(1)
+	p.sendMu.RUnlock()
+	p.dispatch(members)
+}
+
+// dispatch moves a flushed member set into the queue: a lone member
+// goes in as an ordinary solo job (the batch-of-one fast path — it
+// never pays the merge machinery), several as one batch job. Forming
+// wait (enqueue to flush) is observed here; the members' queue wait
+// restarts at the flush stamp. The caller holds a sender slot.
+func (p *Pool) dispatch(members []*job) {
+	defer p.senders.Done()
+	flush := time.Now()
+	for _, m := range members {
+		p.formingHist.Observe(flush.Sub(m.enqueued))
+		m.formed = flush
+	}
+	j := members[0]
+	if len(members) > 1 {
+		j = &job{enqueued: flush, formed: flush, batch: members}
+	}
+	select {
+	case p.queue <- j:
+		// A worker owns the batch now (possibly after Close: jobs that
+		// made it into the queue are drained gracefully).
+	case <-p.done:
+		for _, m := range members {
+			m.cancel()
+			p.rejected.Add(1)
+			m.resp <- Response{Worker: -1, Err: ErrPoolClosed}
+		}
+	}
+}
+
+// flushAllForming dispatches every still-forming batch straight into
+// the queue. Called by Close after closed is set and every in-flight
+// sender has resolved: window timers that fire from here on see closed
+// and leave their batches for this sweep, and the queue is still open
+// with the workers draining it, so the plain sends complete.
+func (p *Pool) flushAllForming() {
+	p.formMu.Lock()
+	groups := make([]*formingBatch, 0, len(p.forming))
+	for _, g := range p.forming {
+		g.flushed = true
+		g.timer.Stop()
+		groups = append(groups, g)
+	}
+	p.forming = make(map[string]*formingBatch)
+	p.formMu.Unlock()
+	for _, g := range groups {
+		flush := time.Now()
+		for _, m := range g.members {
+			p.formingHist.Observe(flush.Sub(m.enqueued))
+			m.formed = flush
+		}
+		j := g.members[0]
+		if len(g.members) > 1 {
+			j = &job{enqueued: flush, formed: flush, batch: g.members}
+		}
+		p.queue <- j
+	}
 }
 
 // Submit is the synchronous form of EvalAsync.
@@ -1018,9 +1537,10 @@ func (p *Pool) Close() error {
 		p.sendMu.Lock()
 		p.closed = true
 		p.sendMu.Unlock()
-		close(p.done)    // unblocks senders stuck on a full queue
-		p.senders.Wait() // every in-flight enqueue has resolved
-		close(p.queue)   // workers drain the remainder and exit
+		close(p.done)       // unblocks senders stuck on a full queue
+		p.senders.Wait()    // every in-flight enqueue has resolved
+		p.flushAllForming() // still-forming batches drain into the open queue
+		close(p.queue)      // workers drain the remainder and exit
 		p.workers.Wait()
 		p.closedAt.Store(time.Now().UnixNano()) // freeze uptime for final metrics
 		if p.cfg.PerfDir != "" {
@@ -1049,6 +1569,15 @@ func (p *Pool) Report(w io.Writer) {
 	if st.Rerouted > 0 || st.Restarts > 0 {
 		fmt.Fprintf(w, "%-28s %d rerouted, %d engine rebuilds, breakers %v\n",
 			"fault tolerance:", st.Rerouted, st.Restarts, p.BreakerStates())
+	}
+	if st.Batches > 0 || st.BatchSplits > 0 {
+		fmt.Fprintf(w, "%-28s %d executed (p50 size %d), %d split to solo, %d CSE-shared nodes\n",
+			"batches:", st.Batches, p.batchSizeHist.Quantile(0.5).Microseconds(),
+			st.BatchSplits, st.BatchShared)
+		fmt.Fprintf(w, "%-28s p50=%v p90=%v p99=%v\n", "forming wait:",
+			p.formingHist.Quantile(0.5).Round(time.Microsecond),
+			p.formingHist.Quantile(0.9).Round(time.Microsecond),
+			p.formingHist.Quantile(0.99).Round(time.Microsecond))
 	}
 	if n := p.runHist.Count(); n > 0 {
 		fmt.Fprintf(w, "%-28s p50=%v p90=%v p99=%v\n", "run latency:",
@@ -1104,6 +1633,11 @@ type Stats struct {
 	// worker; Restarts, engine rebuilds across all workers (panic
 	// recoveries plus dead-device replacements).
 	Rerouted, Restarts int64
+	// Batches counts merged batch jobs executed; BatchSplits, batches
+	// degraded to per-member solo evaluation after a merged run failed;
+	// BatchShared, the dataflow nodes cross-expression CSE eliminated
+	// across executed batches (work members would have duplicated solo).
+	Batches, BatchSplits, BatchShared int64
 	// Compiles, CacheHits and CacheMisses describe the shared compile
 	// cache; CacheEntries is its current size.
 	Compiles, CacheHits, CacheMisses int64
@@ -1135,6 +1669,9 @@ func (p *Pool) Stats() Stats {
 		Rejected:        p.rejected.Load(),
 		Rerouted:        p.rerouted.Load(),
 		Restarts:        restarts,
+		Batches:         p.batches.Load(),
+		BatchSplits:     p.batchSplits.Load(),
+		BatchShared:     p.batchShared.Load(),
 		Compiles:        cs.Compiles,
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,

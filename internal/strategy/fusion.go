@@ -90,7 +90,7 @@ func (p *fusionPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 	named := make(map[string]*ocl.Buffer, len(prog.Args))
 	defer releaseAll(named)
 
-	var outBuf *ocl.Buffer
+	var outBufs []*ocl.Buffer // one per root, in Roots() order
 	for i, a := range prog.Args {
 		switch a.Kind {
 		case codegen.ArgSource:
@@ -114,7 +114,7 @@ func (p *fusionPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fusion: output: %w", err)
 			}
-			outBuf = b
+			outBufs = append(outBufs, b)
 			bufs[i], named[a.Name] = b, b
 		}
 	}
@@ -122,11 +122,19 @@ func (p *fusionPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 	if err := env.Run(prog.Kernel, n, bufs, nil); err != nil {
 		return nil, fmt.Errorf("fusion: %w", err)
 	}
-	data, err := env.Download(outBuf)
-	if err != nil {
-		return nil, err
+	fields := make([]Field, 0, len(outBufs))
+	for i, b := range outBufs {
+		data, err := env.Download(b)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Data: data, Width: prog.OutWidths[i]})
 	}
-	return finish(env, data, prog.OutWidth), nil
+	res := finish(env, fields[0].Data, fields[0].Width)
+	if len(fields) > 1 {
+		res.Roots = fields
+	}
+	return res, nil
 }
 
 // GeneratedSource returns the fused OpenCL C source for a network

@@ -67,14 +67,17 @@ func (p *MultiPlan) Execute(envs []*ocl.Env, bind Bindings) (*Result, error) {
 	prog := p.prog
 	tiles := tilePlan(geom, len(envs))
 
-	out := make([]float32, bind.N*prog.OutWidth)
+	outs := make([][]float32, len(prog.OutWidths))
+	for i, w := range prog.OutWidths {
+		outs[i] = make([]float32, bind.N*w)
+	}
 	errs := make([]error, len(tiles))
 	var wg sync.WaitGroup
 	for i, tr := range tiles {
 		wg.Add(1)
 		go func(i int, tr tileRange) {
 			defer wg.Done()
-			errs[i] = runTileOn(envs[i], prog, bind, tr, out, tr.outOff(prog.OutWidth))
+			errs[i] = runTileOn(envs[i], prog, bind, tr, outs)
 		}(i, tr)
 	}
 	wg.Wait()
@@ -84,7 +87,12 @@ func (p *MultiPlan) Execute(envs []*ocl.Env, bind Bindings) (*Result, error) {
 		}
 	}
 
-	res := &Result{Data: out, Width: prog.OutWidth}
+	res := &Result{Data: outs[0], Width: prog.OutWidth}
+	if len(outs) > 1 {
+		for i, out := range outs {
+			res.Roots = append(res.Roots, Field{Data: out, Width: prog.OutWidths[i]})
+		}
+	}
 	for _, env := range envs {
 		res.Profile = res.Profile.Add(env.Profile())
 		if p := env.PeakBytes(); p > res.PeakBytes {

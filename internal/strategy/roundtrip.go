@@ -116,7 +116,17 @@ func (p *roundtripPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("roundtrip: output %q was never computed", p.net.Output())
 	}
-	return finish(env, out.Data, out.Width), nil
+	res := finish(env, out.Data, out.Width)
+	if p.net.MultiRoot() {
+		for _, r := range p.net.Roots() {
+			h, ok := host[r]
+			if !ok {
+				return nil, fmt.Errorf("roundtrip: root %q was never computed", r)
+			}
+			res.Roots = append(res.Roots, Field{Data: h.Data, Width: h.Width})
+		}
+	}
+	return res, nil
 }
 
 // roundtripKernel uploads the node's inputs, runs one kernel, reads the

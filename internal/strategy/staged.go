@@ -64,7 +64,9 @@ func (s Staged) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
 			refs[in]++
 		}
 	}
-	refs[net.Output()]++
+	for _, r := range net.Roots() {
+		refs[r]++ // one sink reference per root
+	}
 	return &stagedPlan{planBase: base, keep: s.KeepIntermediates, kernels: ks, refs: refs}, nil
 }
 
@@ -167,16 +169,24 @@ func (p *stagedPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 		}
 	}
 
-	outID := p.net.Output()
-	outBuf, ok := bufs[outID]
-	if !ok {
-		return nil, fmt.Errorf("staged: output %q was not retained (refcount bug)", outID)
+	// Download every root (one for ordinary networks), releasing each
+	// sink reference only after its download so shared roots survive.
+	fields := make([]Field, 0, 1)
+	for _, rid := range p.net.Roots() {
+		outBuf, ok := bufs[rid]
+		if !ok {
+			return nil, fmt.Errorf("staged: output %q was not retained (refcount bug)", rid)
+		}
+		data, err := env.Download(outBuf)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Field{Data: data, Width: p.net.NodeByID(rid).Width})
+		release(rid) // the sink's reference
 	}
-	data, err := env.Download(outBuf)
-	if err != nil {
-		return nil, err
+	res := finish(env, fields[0].Data, fields[0].Width)
+	if p.net.MultiRoot() {
+		res.Roots = fields
 	}
-	width := p.net.OutputNode().Width
-	release(outID) // the sink's reference
-	return finish(env, data, width), nil
+	return res, nil
 }

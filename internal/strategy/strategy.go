@@ -101,6 +101,17 @@ type Result struct {
 	// ("vm", "fusion", ...). Empty means the plan's own strategy ran,
 	// so observers should fall back to the plan label.
 	Resolved string
+	// Roots holds every sink's output when the executed network is a
+	// multi-root super-network (a merged batch), in the network's
+	// Roots() order; Data/Width then mirror Roots[0]. Nil for ordinary
+	// single-root executions.
+	Roots []Field
+}
+
+// Field is one root's output array of a multi-root execution.
+type Field struct {
+	Data  []float32
+	Width int
 }
 
 // Strategy executes a dataflow network on a device environment.

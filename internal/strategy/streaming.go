@@ -85,16 +85,25 @@ func (p *streamingPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 		return nil, err
 	}
 
-	out := make([]float32, bind.N*p.prog.OutWidth)
+	outs := make([][]float32, len(p.prog.OutWidths))
+	for i, w := range p.prog.OutWidths {
+		outs[i] = make([]float32, bind.N*w)
+	}
 	for t, tr := range tilePlan(geom, p.tiles) {
 		if err := bind.canceled(); err != nil {
 			return nil, err
 		}
-		if err := runTileOn(env, p.prog, bind, tr, out, tr.outOff(p.prog.OutWidth)); err != nil {
+		if err := runTileOn(env, p.prog, bind, tr, outs); err != nil {
 			return nil, fmt.Errorf("streaming: tile %d: %w", t, err)
 		}
 	}
-	return finish(env, out, p.prog.OutWidth), nil
+	res := finish(env, outs[0], p.prog.OutWidth)
+	if len(outs) > 1 {
+		for i, out := range outs {
+			res.Roots = append(res.Roots, Field{Data: out, Width: p.prog.OutWidths[i]})
+		}
+	}
+	return res, nil
 }
 
 // tileRange describes one haloed Z slab in global element coordinates.
@@ -109,11 +118,11 @@ type tileRange struct {
 }
 
 // runTileOn uploads the tile's source windows, launches the fused kernel
-// on the environment and copies the interior of the tile's output into
-// the result at outOff. Source windows go through the resident path
-// keyed by (name, window offset), so with an arena attached an
-// unchanged window skips its upload.
-func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange, out []float32, outOff int) error {
+// on the environment and copies the interior of each output (one per
+// root) into the matching global result array. Source windows go through
+// the resident path keyed by (name, window offset), so with an arena
+// attached an unchanged window skips its upload.
+func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange, outs [][]float32) error {
 	if err := bind.canceled(); err != nil {
 		return err
 	}
@@ -126,7 +135,7 @@ func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange,
 		}
 	}()
 
-	var outBuf *ocl.Buffer
+	var outBufs []*ocl.Buffer // one per root, in Roots() order
 	for i, a := range prog.Args {
 		switch a.Kind {
 		case codegen.ArgSource:
@@ -139,7 +148,7 @@ func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange,
 			case a.Name == "dims":
 				// The tile is its own sub-mesh along Z.
 				data = kernels.DimsArray(tr.nx, tr.ny, tr.nzTile)
-			case src.Elems() == len(out)/prog.OutWidth || src.Elems() == bind.N:
+			case src.Elems() == bind.N:
 				// Problem-sized array: upload the tile's window.
 				data = src.Data[tr.gLo*src.Width : (tr.gLo+tr.tileN)*src.Width]
 			}
@@ -160,7 +169,7 @@ func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange,
 			if err != nil {
 				return err
 			}
-			outBuf = b
+			outBufs = append(outBufs, b)
 			bufs[i] = b
 		}
 	}
@@ -168,11 +177,14 @@ func runTileOn(env *ocl.Env, prog *codegen.Program, bind Bindings, tr tileRange,
 	if err := env.Run(prog.Kernel, tr.tileN, bufs, nil); err != nil {
 		return err
 	}
-	tileOut, err := env.Download(outBuf)
-	if err != nil {
-		return err
+	for oi, b := range outBufs {
+		tileOut, err := env.Download(b)
+		if err != nil {
+			return err
+		}
+		w := prog.OutWidths[oi]
+		outOff := tr.outOff(w)
+		copy(outs[oi][outOff:outOff+tr.intN*w], tileOut[tr.intLo*w:(tr.intLo+tr.intN)*w])
 	}
-	w := prog.OutWidth
-	copy(out[outOff:outOff+tr.intN*w], tileOut[tr.intLo*w:(tr.intLo+tr.intN)*w])
 	return nil
 }

@@ -84,9 +84,15 @@ func (p *vmPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 		}
 		return s.Data, nil
 	}
-	data, err := p.prog.Run(bind.N, src, bind.canceled)
+	outs, err := p.prog.RunAll(bind.N, src, bind.canceled)
 	if err != nil {
 		return nil, fmt.Errorf("vm: %w", err)
 	}
-	return finish(env, data, p.prog.OutWidth), nil
+	res := finish(env, outs[0], p.prog.OutWidth)
+	if len(outs) > 1 {
+		for i, out := range outs {
+			res.Roots = append(res.Roots, Field{Data: out, Width: p.prog.OutWidths[i]})
+		}
+	}
+	return res, nil
 }

@@ -21,17 +21,30 @@ type SourceFn func(name string) ([]float32, error)
 
 // Run executes the program over n elements, resolving sources through
 // src, and returns a freshly allocated output array of n*OutWidth
-// float32s. canceled, when non-nil, is checked between passes (the VM's
-// analogue of the device strategies' between-launch cancellation
-// points). Register and scratch storage is drawn from the package
-// scratch pool and returned before Run exits, so warm evaluations
-// allocate nothing beyond the output array.
+// float32s (the primary root of a multi-root program). canceled, when
+// non-nil, is checked between passes (the VM's analogue of the device
+// strategies' between-launch cancellation points). Register and scratch
+// storage is drawn from the package scratch pool and returned before Run
+// exits, so warm evaluations allocate nothing beyond the output
+// array(s).
 func (p *Program) Run(n int, src SourceFn, canceled func() error) ([]float32, error) {
+	outs, err := p.RunAll(n, src, canceled)
+	if err != nil {
+		return nil, err
+	}
+	return outs[0], nil
+}
+
+// RunAll is Run returning every root's output array, in the compiled
+// network's Roots() order — one entry for ordinary programs, one per
+// member for merged super-networks. All roots are produced by the same
+// single sweep over the mesh: shared subtrees execute once.
+func (p *Program) RunAll(n int, src SourceFn, canceled func() error) ([][]float32, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("vm: global work size must be positive, got %d", n)
 	}
 	views := make([][]float32, len(p.buffers))
-	out := make([]float32, n*p.OutWidth)
+	outs := make([][]float32, 0, len(p.OutWidths))
 	for i, spec := range p.buffers {
 		switch spec.Kind {
 		case BufSource:
@@ -52,6 +65,8 @@ func (p *Program) Run(n int, src SourceFn, canceled func() error) ([]float32, er
 			defer putScratch(s)
 			views[i] = s
 		case BufOut:
+			out := make([]float32, n*spec.Width)
+			outs = append(outs, out)
 			views[i] = out
 		}
 	}
@@ -66,7 +81,7 @@ func (p *Program) Run(n int, src SourceFn, canceled func() error) ([]float32, er
 		}
 		runPass(pass, regs, views, n)
 	}
-	return out, nil
+	return outs, nil
 }
 
 // runPass executes one pass's instructions over the full range in

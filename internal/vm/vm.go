@@ -26,6 +26,7 @@ package vm
 
 import (
 	"fmt"
+	"strconv"
 
 	"dfg/internal/dataflow"
 	"dfg/internal/kernels"
@@ -75,14 +76,14 @@ const (
 // cache-resident next to the register slab.
 type instr struct {
 	op    opcode
-	width uint8   // element width for load/store
-	comp  uint8   // decompose component / gradient axis
-	dst   uint16  // destination slot
-	a     uint16  // slot operands
+	width uint8  // element width for load/store
+	comp  uint8  // decompose component / gradient axis
+	dst   uint16 // destination slot
+	a     uint16 // slot operands
 	b     uint16
 	c     uint16
-	buf   uint16  // buffer index for load/store
-	val   float32 // constant value
+	buf   uint16    // buffer index for load/store
+	val   float32   // constant value
 	gbufs [5]uint16 // stencils: field, dims, x, y, z buffer indices
 }
 
@@ -123,14 +124,24 @@ type BufferSpec struct {
 // over a shared buffer table and a register slot count. Programs are
 // immutable and safe to share across goroutines; all per-run state lives
 // inside Run.
+//
+// A multi-root super-network compiles to one program with several BufOut
+// entries, in the network's Roots() order; Run returns the primary root
+// and RunAll returns every root's array.
 type Program struct {
-	// OutWidth is the output element width.
+	// OutWidth is the primary output's element width (roots[0]).
 	OutWidth int
+	// OutWidths holds every root's element width, in Roots() order.
+	OutWidths []int
 
 	buffers []BufferSpec
 	passes  [][]instr
 	slots   int // pooled register slots (max over passes after remapping)
 }
+
+// NumOuts returns the number of output arrays (roots) the program
+// produces — 1 except for merged super-networks.
+func (p *Program) NumOuts() int { return len(p.OutWidths) }
 
 // NumPasses returns the pass count (1 unless a stencil consumes a
 // computed value, exactly as in the fused kernel).
@@ -155,13 +166,30 @@ func (p *Program) Buffers() []BufferSpec { return append([]BufferSpec(nil), p.bu
 // the kernel generator's labels.
 func scratchName(id string) string { return "scratch_" + id }
 
+// outName and outKey mirror the kernel generator's output naming: a
+// single root keeps "out"/"__out__", super-network roots are numbered.
+func (c *compiler) outName(i int) string {
+	if len(c.roots) == 1 {
+		return "out"
+	}
+	return "out" + strconv.Itoa(i)
+}
+
+func (c *compiler) outKey(i int) string {
+	if len(c.roots) == 1 {
+		return "__out__"
+	}
+	return "__out" + strconv.Itoa(i) + "__"
+}
+
 // compiler holds the compilation state for one network.
 type compiler struct {
 	net   *dataflow.Network
 	order []*dataflow.Node
 	byID  map[string]*dataflow.Node
+	roots []*dataflow.Node
 
-	pass        map[string]int  // node ID -> pass index
+	pass        map[string]int // node ID -> pass index
 	numPasses   int
 	materialize map[string]bool // node IDs needing problem-sized scratch
 
@@ -193,6 +221,9 @@ func Compile(net *dataflow.Network) (*Program, error) {
 	for _, n := range order {
 		c.byID[n.ID] = n
 	}
+	for _, r := range net.Roots() {
+		c.roots = append(c.roots, c.byID[r])
+	}
 	if err := c.assignPasses(); err != nil {
 		return nil, err
 	}
@@ -207,14 +238,17 @@ func Compile(net *dataflow.Network) (*Program, error) {
 		return nil, fmt.Errorf("vm: program too large (%d registers, %d buffers)", c.numVRegs, len(c.buffers))
 	}
 
-	out := c.net.OutputNode()
 	passNodes := make([][]*dataflow.Node, c.numPasses)
 	for _, n := range c.order {
 		passNodes[c.pass[n.ID]] = append(passNodes[c.pass[n.ID]], n)
 	}
-	prog := &Program{OutWidth: out.Width, buffers: c.buffers}
+	widths := make([]int, len(c.roots))
+	for i, r := range c.roots {
+		widths[i] = r.Width
+	}
+	prog := &Program{OutWidth: widths[0], OutWidths: widths, buffers: c.buffers}
 	for p := 0; p < c.numPasses; p++ {
-		plan, err := c.emitPass(p, passNodes[p], out)
+		plan, err := c.emitPass(p, passNodes[p])
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +329,22 @@ func (c *compiler) assignPasses() error {
 			}
 		}
 	}
-	c.numPasses = c.pass[c.net.Output()] + 1
+	c.numPasses = 0
+	for _, r := range c.roots {
+		if p := c.pass[r.ID] + 1; p > c.numPasses {
+			c.numPasses = p
+		}
+	}
+	// A root computed before the final pass is consumed by the final
+	// store, so it must be materialized like any cross-pass value.
+	for _, r := range c.roots {
+		if r.Filter == "source" || r.Filter == "const" {
+			continue
+		}
+		if c.pass[r.ID] < c.numPasses-1 {
+			c.materialize[r.ID] = true
+		}
+	}
 	return nil
 }
 
@@ -320,9 +369,10 @@ func (c *compiler) planBuffers() {
 			c.buffers = append(c.buffers, BufferSpec{Kind: BufScratch, Name: label, Width: n.Width})
 		}
 	}
-	out := c.net.OutputNode()
-	c.bufIdx["__out__"] = len(c.buffers)
-	c.buffers = append(c.buffers, BufferSpec{Kind: BufOut, Name: "out", Width: out.Width})
+	for i, r := range c.roots {
+		c.bufIdx[c.outKey(i)] = len(c.buffers)
+		c.buffers = append(c.buffers, BufferSpec{Kind: BufOut, Name: c.outName(i), Width: r.Width})
+	}
 }
 
 // emitPass produces one pass's instruction plan over virtual registers,
@@ -330,7 +380,7 @@ func (c *compiler) planBuffers() {
 // first time a pass touches them, stencils read buffers directly,
 // materialized values store to scratch as soon as they are computed, and
 // the final pass ends with the output store.
-func (c *compiler) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) ([]instr, error) {
+func (c *compiler) emitPass(p int, nodes []*dataflow.Node) ([]instr, error) {
 	var plan []instr
 	loaded := make(map[string]bool) // node IDs already in registers this pass
 
@@ -407,8 +457,10 @@ func (c *compiler) emitPass(p int, nodes []*dataflow.Node, out *dataflow.Node) (
 	}
 
 	if p == c.numPasses-1 {
-		a := operand(out.ID)
-		plan = append(plan, instr{op: opStore, a: a, buf: uint16(c.bufIdx["__out__"]), width: uint8(out.Width)})
+		for i, root := range c.roots {
+			a := operand(root.ID)
+			plan = append(plan, instr{op: opStore, a: a, buf: uint16(c.bufIdx[c.outKey(i)]), width: uint8(root.Width)})
+		}
 	}
 	return plan, nil
 }

@@ -91,6 +91,7 @@ func (e *Engine) recordEval(c *evalCapture, res *Result, err error, n int, fp st
 		Opt:            e.lvl.String(),
 		Device:         e.env.Device().Name(),
 		N:              n,
+		Batch:          e.pendingBatch,
 		QueueWaitNS:    int64(e.pendingWait),
 		PlanNS:         int64(e.pendingPlan),
 		TotalNS:        time.Since(t0).Nanoseconds(),
@@ -102,7 +103,7 @@ func (e *Engine) recordEval(c *evalCapture, res *Result, err error, n int, fp st
 		Degraded:       c.degraded,
 		DeviceLost:     c.deviceLost,
 	}
-	e.pendingWait, e.pendingPlan = 0, 0
+	e.pendingWait, e.pendingPlan, e.pendingBatch = 0, 0, 0
 	if res != nil {
 		rec.UploadNS = res.Profile.WriteTime.Nanoseconds()
 		rec.KernelNS = res.Profile.KernelTime.Nanoseconds()
