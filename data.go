@@ -24,6 +24,10 @@ const (
 	VorticityMagnitudeExpr = vortex.VortMagExpr
 	// QCriterionExpr computes Hunt's Q-criterion (Figure 3C).
 	QCriterionExpr = vortex.QCritExpr
+	// GradientMagnitudeExpr (beyond the paper) computes |grad |v|| — the
+	// canonical two-pass expression whose stencil consumes a computed
+	// field, exercising the materialization split and temporal blocking.
+	GradientMagnitudeExpr = vortex.GradMagExpr
 )
 
 // FieldInputs packs a velocity field's arrays for Engine.EvalOnMesh.

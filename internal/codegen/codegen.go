@@ -29,6 +29,7 @@ import (
 
 	"dfg/internal/dataflow"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 )
 
 // ArgKind classifies one buffer argument of a generated kernel.
@@ -91,6 +92,10 @@ type Program struct {
 	// OutWidths holds every root's element width, in Roots() order.
 	// len(OutWidths) == 1 except for merged super-networks.
 	OutWidths []int
+	// Schedule is the canonical spec string of the schedule this program
+	// was generated under ("" for the flat generator). FuseScheduled
+	// sets it; plan caches and reports surface it.
+	Schedule string
 }
 
 // opcodes of the executable plan.
@@ -191,6 +196,10 @@ type generator struct {
 	order []*dataflow.Node
 	byID  map[string]*dataflow.Node
 
+	// sched is the schedule annotation set FuseScheduled lowers against;
+	// nil for the flat generator.
+	sched *passes.Schedule
+
 	// roots are the network's sink nodes (one per Roots() entry).
 	roots []*dataflow.Node
 
@@ -200,6 +209,11 @@ type generator struct {
 
 	args   []Arg
 	bufIdx map[string]int // source name / scratch label -> arg position
+	// virtWidths are the element widths of the temporal virtual scratch
+	// views, indexed bufIdx position minus len(args): temporally fused
+	// intermediates never become kernel arguments — the executable
+	// appends per-chunk views for them at launch time.
+	virtWidths []int
 
 	reg     map[string]int // node ID -> register slot
 	numRegs int
@@ -291,8 +305,17 @@ func (g *generator) assignPasses() error {
 
 // planArgs fixes the kernel's buffer argument order: live sources in
 // network declaration order, then scratch buffers in topo order, then
-// the output.
+// the output. Under a temporal schedule the fused intermediates drop
+// out of the argument list entirely — they live in per-tile (simulated:
+// per-chunk) virtual views the executable appends after the real
+// arguments, so their bufIdx entries point past len(args).
 func (g *generator) planArgs() {
+	fused := make(map[string]bool)
+	if g.sched != nil && g.sched.Temporal {
+		for _, id := range g.sched.FusedScratch {
+			fused[id] = true
+		}
+	}
 	live := make(map[string]bool, len(g.order))
 	for _, n := range g.order {
 		live[n.ID] = true
@@ -304,7 +327,7 @@ func (g *generator) planArgs() {
 		}
 	}
 	for _, n := range g.order {
-		if g.materialize[n.ID] {
+		if g.materialize[n.ID] && !fused[n.ID] {
 			label := scratchName(n.ID)
 			g.bufIdx[label] = len(g.args)
 			g.args = append(g.args, Arg{Kind: ArgScratch, Name: label, Width: n.Width})
@@ -313,6 +336,12 @@ func (g *generator) planArgs() {
 	for i, r := range g.roots {
 		g.bufIdx[g.outKey(i)] = len(g.args)
 		g.args = append(g.args, Arg{Kind: ArgOut, Name: g.outName(i), Width: r.Width})
+	}
+	for _, n := range g.order {
+		if fused[n.ID] {
+			g.bufIdx[scratchName(n.ID)] = len(g.args) + len(g.virtWidths)
+			g.virtWidths = append(g.virtWidths, n.Width)
+		}
 	}
 }
 

@@ -1,0 +1,289 @@
+package codegen
+
+import (
+	"fmt"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/ocl"
+	"dfg/internal/passes"
+)
+
+// This file is the schedule-consuming backend of the fusion generator:
+// FuseScheduled takes the Schedule annotation set internal/passes
+// lowered for a network and emits the tiled / vectorized / temporally
+// blocked kernel variant instead of the single flat body.
+//
+// The bitwise contract: a scheduled program's executable plan performs
+// exactly the same per-element arithmetic as the flat program's — the
+// non-temporal transformations reuse the flat pass closures untouched
+// (tiling, register blocking and vector loads only reshape the emitted
+// source and the modeled memory traffic), and temporal blocking re-runs
+// the identical pass-0 closure over a halo-extended range into virtual
+// scratch before the identical pass-1 closure reads it back. Every
+// scheduled variant is therefore zero-ULP identical to the flat kernel
+// by construction; the differential fuzz target in internal/strategy
+// enforces it end to end.
+
+// Per-stencil bytes the flat cost model charges against the *field*
+// array (as opposed to the coordinate arrays): tiling moves exactly
+// these from global to local memory. kernels.GradCost's 40 load bytes
+// split 24 field + 16 coords; GradAxisCost's 16 split 8 + 8.
+const (
+	gradFieldBytes     = 24
+	gradAxisFieldBytes = 8
+)
+
+// FuseScheduled generates the scheduled kernel program for a validated
+// network. A nil schedule falls through to the flat generator (as does
+// Fuse itself); otherwise the schedule must have been computed by
+// passes.ComputeSchedule for this same network — Verify re-checks it
+// here before anything is emitted.
+func FuseScheduled(net *dataflow.Network, name string, sched *passes.Schedule) (*Program, error) {
+	if sched == nil {
+		return Fuse(net, name)
+	}
+	if err := sched.Verify(net); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	g := &generator{
+		net:    net,
+		name:   name,
+		mode:   ModeBlocked,
+		sched:  sched,
+		order:  order,
+		pass:   make(map[string]int),
+		byID:   make(map[string]*dataflow.Node, len(order)),
+		reg:    make(map[string]int),
+		bufIdx: make(map[string]int),
+	}
+	for _, n := range order {
+		g.byID[n.ID] = n
+	}
+	for _, r := range net.Roots() {
+		g.roots = append(g.roots, g.byID[r])
+	}
+	if err := g.assignPasses(); err != nil {
+		return nil, err
+	}
+	if g.numPasses != sched.Passes {
+		return nil, fmt.Errorf("codegen: schedule computed for a %d-pass network, generator found %d passes", sched.Passes, g.numPasses)
+	}
+	g.planArgs()
+	g.allocRegisters()
+	return g.emitScheduled()
+}
+
+// emitScheduled mirrors emit(): it builds the flat per-pass executable
+// plans (the bitwise ground truth), fuses them temporally if scheduled,
+// reprices the traffic, and renders the scheduled source.
+func (g *generator) emitScheduled() (*Program, error) {
+	passNodes := make([][]*dataflow.Node, g.numPasses)
+	for _, n := range g.order {
+		passNodes[g.pass[n.ID]] = append(passNodes[g.pass[n.ID]], n)
+	}
+
+	var (
+		passFns   []ocl.KernelFunc
+		passCosts []ocl.Cost
+	)
+	for p := 0; p < g.numPasses; p++ {
+		_, fn, passCost, err := g.emitPass(p, passNodes[p])
+		if err != nil {
+			return nil, err
+		}
+		passFns = append(passFns, fn)
+		passCosts = append(passCosts, passCost)
+	}
+
+	numPasses := g.numPasses
+	if g.sched.Temporal {
+		passFns = []ocl.KernelFunc{g.makeTemporalFn(passFns[0], passFns[1])}
+		numPasses = 1
+	}
+
+	src := g.renderScheduledSource(passNodes)
+	k := &ocl.Kernel{
+		Name:    "kfused_" + g.name,
+		Source:  src,
+		NumBufs: len(g.args),
+		Cost:    g.scheduledCost(passCosts),
+		Passes:  passFns,
+	}
+	widths := make([]int, len(g.roots))
+	for i, r := range g.roots {
+		widths[i] = r.Width
+	}
+	return &Program{
+		Source:    src,
+		Kernel:    k,
+		Args:      append([]Arg(nil), g.args...),
+		NumPasses: numPasses,
+		OutWidth:  widths[0],
+		OutWidths: widths,
+		Schedule:  g.sched.Spec.String(),
+	}, nil
+}
+
+// makeTemporalFn fuses the two flat pass closures into one dispatch
+// phase. For each chunk [lo, hi) the producer pass re-runs over the
+// halo-extended range [lo-halo, hi+halo) into freshly allocated virtual
+// scratch views (the per-tile local arrays of the emitted source), then
+// the consumer pass runs over exactly [lo, hi) reading them back. The
+// halo is one z-plane (nx*ny elements) — the farthest neighbour any
+// stencil reads — so every value the consumer touches was recomputed by
+// the very same closure that produced it in the flat program: bitwise
+// identity holds per element.
+func (g *generator) makeTemporalFn(pre, post ocl.KernelFunc) ocl.KernelFunc {
+	dimsIdx := -1
+	for _, n := range g.order {
+		if n.Info().Class == dataflow.ClassStencil {
+			dimsIdx = g.bufIdx[n.Inputs[1]]
+			break
+		}
+	}
+	outIdx := g.bufIdx[g.outKey(0)]
+	virtWidths := append([]int(nil), g.virtWidths...)
+	return func(lo, hi int, bufs []ocl.View, scalars []float64) {
+		elems := bufs[outIdx].Elems
+		halo := 0
+		if dimsIdx >= 0 {
+			dims := bufs[dimsIdx].Data
+			halo = int(dims[0]) * int(dims[1])
+		}
+		lo2, hi2 := lo-halo, hi+halo
+		if lo2 < 0 {
+			lo2 = 0
+		}
+		if hi2 > elems {
+			hi2 = elems
+		}
+		all := make([]ocl.View, len(bufs), len(bufs)+len(virtWidths))
+		copy(all, bufs)
+		for _, w := range virtWidths {
+			all = append(all, ocl.View{Data: make([]float32, elems*w), Elems: elems, Width: w})
+		}
+		pre(lo2, hi2, all, scalars)
+		post(lo, hi, all, scalars)
+	}
+}
+
+// scheduledCost reprices the flat per-pass costs under the schedule:
+//
+//   - tiling moves each stencil's field-neighbour bytes from global to
+//     local memory and adds one halo-redundant stage-in per staged
+//     array (factor h = (TX+2)(TY+2)/(TX*TY) per element);
+//   - vectorized access sets the cost's VectorWidth so the device model
+//     applies its effective-bandwidth gain;
+//   - temporal blocking deletes the fused intermediates' global
+//     round-trip (store + reload become local traffic) and charges the
+//     producer pass's halo recompute (factor h-1) in flops and loads.
+//
+// Flat kernels never pass through here, so their costs — and with them
+// every Table-II-style ordering — are untouched.
+func (g *generator) scheduledCost(passCosts []ocl.Cost) ocl.Cost {
+	var total ocl.Cost
+	for _, c := range passCosts {
+		total = total.Add(c)
+	}
+	s := g.sched
+	spec := s.Spec
+
+	staged := make(map[string]bool, len(s.Staged))
+	for _, st := range s.Staged {
+		staged[st.Field] = true
+	}
+	fusedNode := make(map[string]bool, len(s.FusedScratch))
+	fusedField := make(map[string]bool, len(s.FusedScratch))
+	for _, id := range s.FusedScratch {
+		fusedNode[id] = true
+		fusedField[scratchName(id)] = true
+	}
+	h := 1.0
+	if spec.Tiled() {
+		h = float64((spec.TileX+2)*(spec.TileY+2)) / float64(spec.TileX*spec.TileY)
+	}
+
+	if spec.Tiled() {
+		for _, n := range g.order {
+			if n.Info().Class != dataflow.ClassStencil {
+				continue
+			}
+			field := g.byID[n.Inputs[0]]
+			fieldArg := field.ID
+			if field.Filter != "source" {
+				fieldArg = scratchName(field.ID)
+			}
+			if !staged[fieldArg] {
+				continue
+			}
+			fb := float64(gradFieldBytes)
+			if _, ok := kernels.GradAxisOf(n.Filter); ok {
+				fb = gradAxisFieldBytes
+			}
+			total.LoadBytes -= fb
+			total.LocalBytes += fb
+		}
+		for _, st := range s.Staged {
+			if fusedField[st.Field] {
+				continue // temporally fused: recomputed locally, never staged from global
+			}
+			total.LoadBytes += 4 * h
+			total.LocalBytes += 4 * h
+		}
+	}
+
+	if s.VectorStage || len(s.VectorLoads) > 0 {
+		total.VectorWidth = spec.Vector
+	}
+
+	if s.Temporal {
+		for _, id := range s.FusedScratch {
+			w := float64(g.byID[id].Width)
+			total.StoreBytes -= 4 * w
+			total.LocalBytes += 4 * w * h
+			if g.operandReloaded(id) {
+				total.LoadBytes -= 4 * w
+				total.LocalBytes += 4 * w
+			}
+		}
+		total.Flops += passCosts[0].Flops * (h - 1)
+		total.LoadBytes += passCosts[0].LoadBytes * (h - 1)
+	}
+	return total
+}
+
+// operandReloaded reports whether the flat program reloads a
+// materialized node from global scratch through the operand path in a
+// later pass — i.e. any later-pass consumer other than a stencil
+// reading it as the field input (stencil field reads are covered by the
+// grad cost, not an operand load), or the final root store.
+func (g *generator) operandReloaded(id string) bool {
+	for _, n := range g.order {
+		if g.pass[n.ID] <= g.pass[id] {
+			continue
+		}
+		for i, in := range n.Inputs {
+			if in != id {
+				continue
+			}
+			if i == 0 && n.Info().Class == dataflow.ClassStencil {
+				continue
+			}
+			return true
+		}
+	}
+	for _, r := range g.roots {
+		if r.ID == id && g.pass[id] < g.numPasses-1 {
+			return true
+		}
+	}
+	return false
+}

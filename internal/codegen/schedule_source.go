@@ -1,0 +1,624 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"dfg/internal/dataflow"
+	"dfg/internal/kernels"
+	"dfg/internal/passes"
+)
+
+// This file renders the OpenCL C source of scheduled kernels. The text
+// is what a real OpenCL runtime would JIT — golden tests pin it per
+// transformation — while the numerics come from the executable plan in
+// schedule.go, which is shared with the flat generator.
+
+// Schedule helper sources, emitted after the tile-geometry defines.
+const (
+	axisDiffLocalSrc = `// dfg schedule helper: axis difference against a __local staged tile.
+// lidx indexes the tile (halo included), gid the global coordinate
+// array; lstride/gstride are the axis strides in each space.
+inline float dfg_axis_diff_local(__local const float *f,
+                                 __global const float *coord,
+                                 int lidx, int gid, int p, int n,
+                                 int lstride, int gstride)
+{
+    if (n == 1) {
+        return 0.0f;
+    }
+    if (p == 0) {
+        return (f[lidx + lstride] - f[lidx])
+             / (coord[gid + gstride] - coord[gid]);
+    }
+    if (p == n - 1) {
+        return (f[lidx] - f[lidx - lstride])
+             / (coord[gid] - coord[gid - gstride]);
+    }
+    return (f[lidx + lstride] - f[lidx - lstride])
+         / (coord[gid + gstride] - coord[gid - gstride]);
+}
+`
+
+	stageTileSrc = `// dfg schedule helper: cooperative stage-in of one (TILE+halo)^2 slab;
+// each work-item copies a strided share. Callers barrier before reading.
+inline void dfg_stage_tile(__local float *lt,
+                           __global const float *src,
+                           int tbase, int nx, int lid, int lsz)
+{
+    for (int t = lid; t < DFG_LTILE; t += lsz) {
+        lt[t] = src[tbase + (t / DFG_LW) * nx + (t % DFG_LW)];
+    }
+}
+`
+
+	stageTile4Src = `// dfg schedule helper: vectorized stage-in — float4 interior copies,
+// scalar moves for the ragged tail.
+inline void dfg_stage_tile4(__local float *lt,
+                            __global const float *src,
+                            int tbase, int nx, int lid, int lsz)
+{
+    for (int t = lid * 4; t + 3 < DFG_LTILE; t += lsz * 4) {
+        float4 v = vload4(0, src + tbase + (t / DFG_LW) * nx + (t % DFG_LW));
+        vstore4(v, 0, (__local float *)(lt + t));
+    }
+    for (int t = (DFG_LTILE & ~3) + lid; t < DFG_LTILE; t += lsz) {
+        lt[t] = src[tbase + (t / DFG_LW) * nx + (t % DFG_LW)];
+    }
+}
+`
+
+	gradTileSrc = `// dfg schedule helper: grad3d over a staged tile — x/y neighbours come
+// from local memory, z neighbours stream through global (2.5D tiling).
+inline float4 dfg_grad3d_tile(__local const float *lf,
+                              __global const float *f,
+                              __global const float *dims,
+                              __global const float *x,
+                              __global const float *y,
+                              __global const float *z,
+                              int gid, int lidx)
+{
+    int nx = (int)dims[0];
+    int ny = (int)dims[1];
+    int nz = (int)dims[2];
+    int i = gid % nx;
+    int rest = gid / nx;
+    int j = rest % ny;
+    int k = rest / ny;
+    float4 g;
+    g.s0 = dfg_axis_diff_local(lf, x, lidx, gid, i, nx, 1, 1);
+    g.s1 = dfg_axis_diff_local(lf, y, lidx, gid, j, ny, DFG_LW, nx);
+    g.s2 = dfg_axis_diff(f, z, gid, k, nz, nx * ny);
+    g.s3 = 0.0f;
+    return g;
+}
+`
+
+	gradAxisTileSrc = `// dfg schedule helper: single-axis gradient over a staged tile.
+inline float dfg_grad3d_axis_tile(__local const float *lf,
+                                  __global const float *f,
+                                  __global const float *dims,
+                                  __global const float *coord,
+                                  int gid, int lidx, int axis)
+{
+    int nx = (int)dims[0];
+    int ny = (int)dims[1];
+    int nz = (int)dims[2];
+    int i = gid % nx;
+    int rest = gid / nx;
+    int j = rest % ny;
+    int k = rest / ny;
+    if (axis == 0) {
+        return dfg_axis_diff_local(lf, coord, lidx, gid, i, nx, 1, 1);
+    }
+    if (axis == 1) {
+        return dfg_axis_diff_local(lf, coord, lidx, gid, j, ny, DFG_LW, nx);
+    }
+    return dfg_axis_diff(f, coord, gid, k, nz, nx * ny);
+}
+`
+
+	gradTlocSrc = `// dfg schedule helper: grad3d over temporally recomputed local scratch —
+// three staged z-planes (below/center/above), all neighbours local.
+inline float4 dfg_grad3d_tloc(__local const float *lf,
+                              __global const float *dims,
+                              __global const float *x,
+                              __global const float *y,
+                              __global const float *z,
+                              int gid, int lidx)
+{
+    int nx = (int)dims[0];
+    int ny = (int)dims[1];
+    int nz = (int)dims[2];
+    int i = gid % nx;
+    int rest = gid / nx;
+    int j = rest % ny;
+    int k = rest / ny;
+    float4 g;
+    g.s0 = dfg_axis_diff_local(lf + DFG_LTILE, x, lidx, gid, i, nx, 1, 1);
+    g.s1 = dfg_axis_diff_local(lf + DFG_LTILE, y, lidx, gid, j, ny, DFG_LW, nx);
+    g.s2 = dfg_axis_diff_local(lf, z, DFG_LTILE + lidx, gid, k, nz, DFG_LTILE, nx * ny);
+    g.s3 = 0.0f;
+    return g;
+}
+`
+
+	gradAxisTlocSrc = `// dfg schedule helper: single-axis gradient over temporal local scratch.
+inline float dfg_grad3d_axis_tloc(__local const float *lf,
+                                  __global const float *dims,
+                                  __global const float *coord,
+                                  int gid, int lidx, int axis)
+{
+    int nx = (int)dims[0];
+    int ny = (int)dims[1];
+    int nz = (int)dims[2];
+    int i = gid % nx;
+    int rest = gid / nx;
+    int j = rest % ny;
+    int k = rest / ny;
+    if (axis == 0) {
+        return dfg_axis_diff_local(lf + DFG_LTILE, coord, lidx, gid, i, nx, 1, 1);
+    }
+    if (axis == 1) {
+        return dfg_axis_diff_local(lf + DFG_LTILE, coord, lidx, gid, j, ny, DFG_LW, nx);
+    }
+    return dfg_axis_diff_local(lf, coord, DFG_LTILE + lidx, gid, k, nz, DFG_LTILE, nx * ny);
+}
+`
+)
+
+// schedCtx carries the per-render bookkeeping of the scheduled source
+// walk: which helper functions the emitted statements ended up needing.
+type schedCtx struct {
+	staged     map[string]bool // staged field arg name -> true
+	fusedNode  map[string]bool // temporally fused node ID -> true
+	needsTile  bool            // emitted a dfg_grad3d_tile call
+	needsAxisT bool            // emitted a dfg_grad3d_axis_tile call
+	needsTloc  bool            // emitted a dfg_grad3d_tloc call
+	needsAxisL bool            // emitted a dfg_grad3d_axis_tloc call
+	needsFlat  bool            // emitted a flat dfg_grad3d call
+	needsAxisF bool            // emitted a flat dfg_grad3d_axis call
+}
+
+// renderScheduledSource assembles the scheduled kernel's OpenCL C.
+func (g *generator) renderScheduledSource(passNodes [][]*dataflow.Node) string {
+	s := g.sched
+	spec := s.Spec
+	ctx := &schedCtx{
+		staged:    make(map[string]bool, len(s.Staged)),
+		fusedNode: make(map[string]bool, len(s.FusedScratch)),
+	}
+	for _, st := range s.Staged {
+		ctx.staged[st.Field] = true
+	}
+	for _, id := range s.FusedScratch {
+		ctx.fusedNode[id] = true
+	}
+	tiled := spec.Tiled() && (len(s.Staged) > 0 || s.Temporal)
+
+	// Render the kernel bodies first: they decide which helpers the
+	// header must include.
+	var kernelsSrc []string
+	if s.Temporal {
+		kernelsSrc = append(kernelsSrc, g.renderTiledKernel(ctx, "kfused_"+g.name, passNodes, -1))
+	} else if tiled {
+		for p := range passNodes {
+			name := "kfused_" + g.name
+			if len(passNodes) > 1 {
+				name = fmt.Sprintf("%s_pass%d", name, p)
+			}
+			kernelsSrc = append(kernelsSrc, g.renderTiledKernel(ctx, name, passNodes, p))
+		}
+	} else {
+		for p := range passNodes {
+			name := "kfused_" + g.name
+			if len(passNodes) > 1 {
+				name = fmt.Sprintf("%s_pass%d", name, p)
+			}
+			kernelsSrc = append(kernelsSrc, g.renderLinearKernel(ctx, name, passNodes, p))
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "// fused derived-field kernel %q generated by dfg/codegen\n", g.name)
+	fmt.Fprintf(&b, "// schedule: %s\n", spec)
+	for _, st := range s.Staged {
+		fmt.Fprintf(&b, "//   stage %s -> __local %s (%d stencil(s), halo 1)\n", st.Field, st.Local, st.Stencils)
+	}
+	if len(s.VectorLoads) > 0 {
+		fmt.Fprintf(&b, "//   vload%d sources: %s\n", spec.Vector, strings.Join(s.VectorLoads, ", "))
+	}
+	if s.VectorStage {
+		fmt.Fprintf(&b, "//   vectorized staging copies (float%d)\n", spec.Vector)
+	}
+	if s.Temporal {
+		fmt.Fprintf(&b, "//   temporal: %d passes fused per tile (halo recompute, no global scratch)\n", s.Passes)
+	} else {
+		fmt.Fprintf(&b, "// %d pass(es); intermediate results in device registers\n", len(passNodes))
+	}
+	if tiled {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "#define DFG_TILE_X %d\n", spec.TileX)
+		fmt.Fprintf(&b, "#define DFG_TILE_Y %d\n", spec.TileY)
+		b.WriteString("#define DFG_LW (DFG_TILE_X + 2)\n")
+		b.WriteString("#define DFG_LH (DFG_TILE_Y + 2)\n")
+		b.WriteString("#define DFG_LTILE (DFG_LW * DFG_LH)\n")
+	}
+	if spec.Register > 1 {
+		if !tiled {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "#define DFG_REG %d\n", spec.Register)
+	}
+	if ctx.needsFlat || ctx.needsAxisF || ctx.needsTile || ctx.needsAxisT || ctx.needsTloc || ctx.needsAxisL {
+		b.WriteString("\n")
+		b.WriteString(kernels.Grad3DFunction) // defines dfg_axis_diff (+ flat dfg_grad3d)
+		if ctx.needsAxisF {
+			b.WriteString("\n")
+			b.WriteString(kernels.Grad3DAxisFunction)
+		}
+	}
+	if ctx.needsTile || ctx.needsAxisT || ctx.needsTloc || ctx.needsAxisL {
+		b.WriteString("\n")
+		b.WriteString(axisDiffLocalSrc)
+	}
+	if tiled && len(stagedNonFused(s)) > 0 {
+		b.WriteString("\n")
+		if s.VectorStage {
+			b.WriteString(stageTile4Src)
+		} else {
+			b.WriteString(stageTileSrc)
+		}
+	}
+	for _, h := range []struct {
+		need bool
+		src  string
+	}{
+		{ctx.needsTile, gradTileSrc},
+		{ctx.needsAxisT, gradAxisTileSrc},
+		{ctx.needsTloc, gradTlocSrc},
+		{ctx.needsAxisL, gradAxisTlocSrc},
+	} {
+		if h.need {
+			b.WriteString("\n")
+			b.WriteString(h.src)
+		}
+	}
+	for _, k := range kernelsSrc {
+		b.WriteString("\n")
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// stagedNonFused lists the staged fields that really stage from global
+// memory (temporally fused intermediates are recomputed, not staged).
+func stagedNonFused(s *passes.Schedule) []passes.StagedField {
+	fused := make(map[string]bool, len(s.FusedScratch))
+	for _, id := range s.FusedScratch {
+		fused[scratchName(id)] = true
+	}
+	var out []passes.StagedField
+	for _, st := range s.Staged {
+		if !fused[st.Field] {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// renderLinearKernel renders an untiled scheduled pass body: the flat
+// 1D iteration shape with vectorized loads and/or register blocking.
+func (g *generator) renderLinearKernel(ctx *schedCtx, name string, passNodes [][]*dataflow.Node, p int) string {
+	s := g.sched
+	vec := len(s.VectorLoads) > 0
+	var b strings.Builder
+	if len(passNodes) > 1 {
+		fmt.Fprintf(&b, "// pass %d (device-wide barrier before the next pass;\n", p)
+		b.WriteString("// the runtime dispatches all passes as one fused launch)\n")
+	}
+	fmt.Fprintf(&b, "__kernel void %s(\n%s)\n{\n", name, g.renderParams())
+	b.WriteString("    int gid = get_global_id(0);\n")
+	indent := "    "
+	if s.Spec.Register > 1 {
+		b.WriteString("    // register blocking: each work-item carries DFG_REG elements\n")
+		b.WriteString("    #pragma unroll\n")
+		b.WriteString("    for (int rb = 0; rb < DFG_REG; ++rb, gid += get_global_size(0)) {\n")
+		indent = "        "
+	}
+	if vec && p == loadPassFor(g, passNodes) {
+		for _, src := range s.VectorLoads {
+			fmt.Fprintf(&b, "%sfloat%d v_%s = vload%d(gid, %s);\n", indent, s.Spec.Vector, src, s.Spec.Vector, src)
+		}
+	}
+	for _, line := range g.schedStmts(ctx, p, passNodes[p], "gid", vec) {
+		b.WriteString(indent)
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	if s.Spec.Register > 1 {
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// loadPassFor returns the pass whose body carries the vector-load
+// preamble. Vector loads only apply to fully elementwise networks,
+// which are always single-pass, so this is pass 0.
+func loadPassFor(*generator, [][]*dataflow.Node) int { return 0 }
+
+// renderTiledKernel renders a tiled pass body (p == -1 renders the
+// temporally fused kernel covering both passes).
+func (g *generator) renderTiledKernel(ctx *schedCtx, name string, passNodes [][]*dataflow.Node, p int) string {
+	s := g.sched
+	spec := s.Spec
+	dimsName := g.dimsSourceName()
+
+	// Which fields stage from global in this kernel: staged fields read
+	// by the stencils of the rendered pass(es), minus fused scratch.
+	stage := g.stagedForPass(passNodes, p)
+
+	var b strings.Builder
+	if p >= 0 && len(passNodes) > 1 {
+		fmt.Fprintf(&b, "// pass %d (device-wide barrier before the next pass;\n", p)
+		b.WriteString("// the runtime dispatches all passes as one fused launch)\n")
+	}
+	fmt.Fprintf(&b, "__kernel void %s(\n%s)\n{\n", name, g.renderParams())
+	fmt.Fprintf(&b, "    int nx = (int)%s[0];\n", dimsName)
+	fmt.Fprintf(&b, "    int ny = (int)%s[1];\n", dimsName)
+	b.WriteString("    int lx = get_local_id(0);\n")
+	b.WriteString("    int ly = get_local_id(1);\n")
+	b.WriteString("    int lid = ly * DFG_TILE_X + lx;\n")
+	b.WriteString("    int lsz = DFG_TILE_X * DFG_TILE_Y;\n")
+	b.WriteString("    int lidx = (ly + 1) * DFG_LW + (lx + 1);\n")
+	b.WriteString("    int gid = (get_group_id(1) * DFG_TILE_Y + ly) * nx\n")
+	b.WriteString("            + get_group_id(0) * DFG_TILE_X + lx;\n")
+	b.WriteString("    int tbase = (get_group_id(1) * DFG_TILE_Y - 1) * nx\n")
+	b.WriteString("              + get_group_id(0) * DFG_TILE_X - 1;\n")
+	b.WriteString("    // (the host pads the 2D launch grid to tile multiples;\n")
+	b.WriteString("    //  edge tiles mask their stores)\n")
+
+	// Local declarations.
+	for _, st := range stage {
+		fmt.Fprintf(&b, "    __local float %s[DFG_LTILE];\n", st.Local)
+	}
+	if s.Temporal {
+		for _, id := range s.FusedScratch {
+			n := g.byID[id]
+			fmt.Fprintf(&b, "    __local %s l_%s[3 * DFG_LTILE]; // temporal scratch: z-planes below/center/above\n",
+				cTypeFor(n.Width), scratchName(id))
+		}
+	}
+
+	indent := "    "
+	if spec.Register > 1 {
+		b.WriteString("    // register blocking: each work-item walks DFG_REG z-planes\n")
+		b.WriteString("    #pragma unroll\n")
+		b.WriteString("    for (int rb = 0; rb < DFG_REG; ++rb, gid += nx * ny, tbase += nx * ny) {\n")
+		indent = "        "
+	}
+
+	// Stage-in + barrier.
+	stageFn := "dfg_stage_tile"
+	if s.VectorStage {
+		stageFn = "dfg_stage_tile4"
+	}
+	if spec.Register > 1 && (len(stage) > 0 || s.Temporal) {
+		fmt.Fprintf(&b, "%sbarrier(CLK_LOCAL_MEM_FENCE); // retire the previous plane's tile\n", indent)
+	}
+	for _, st := range stage {
+		fmt.Fprintf(&b, "%s%s(%s, %s, tbase, nx, lid, lsz);\n", indent, stageFn, st.Local, st.Field)
+	}
+
+	if s.Temporal {
+		// Producer pass: recompute over the three staged z-planes (halo
+		// included) into local scratch, then barrier and run the
+		// consumer pass against it.
+		b.WriteString(indent + "// temporal fusion: recompute pass 0 over tile+halo into local\n")
+		b.WriteString(indent + "// scratch (3 z-planes); pass 1 then reads every neighbourhood\n")
+		b.WriteString(indent + "// from local memory — the global round-trip disappears.\n")
+		b.WriteString(indent + "for (int t = lid; t < 3 * DFG_LTILE; t += lsz) {\n")
+		b.WriteString(indent + "    int hgid = tbase + ((t / DFG_LTILE) - 1) * nx * ny\n")
+		b.WriteString(indent + "             + ((t % DFG_LTILE) / DFG_LW) * nx + (t % DFG_LW);\n")
+		for _, line := range g.schedStmts(ctx, 0, passNodes[0], "hgid", false) {
+			b.WriteString(indent + "    ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		b.WriteString(indent + "}\n")
+		fmt.Fprintf(&b, "%sbarrier(CLK_LOCAL_MEM_FENCE);\n", indent)
+		for _, line := range g.schedStmts(ctx, 1, passNodes[1], "gid", false) {
+			b.WriteString(indent)
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	} else {
+		if len(stage) > 0 {
+			fmt.Fprintf(&b, "%sbarrier(CLK_LOCAL_MEM_FENCE);\n", indent)
+		}
+		for _, line := range g.schedStmts(ctx, p, passNodes[p], "gid", false) {
+			b.WriteString(indent)
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+
+	if spec.Register > 1 {
+		b.WriteString("    }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dimsSourceName returns the dims source feeding the network's
+// stencils (every stencil shares it; tiled kernels read nx/ny from it).
+func (g *generator) dimsSourceName() string {
+	for _, n := range g.order {
+		if n.Info().Class == dataflow.ClassStencil {
+			return n.Inputs[1]
+		}
+	}
+	return "dims"
+}
+
+// stagedForPass lists the staged fields whose stencils run in pass p
+// (p == -1: any pass), excluding temporally fused scratch.
+func (g *generator) stagedForPass(passNodes [][]*dataflow.Node, p int) []passes.StagedField {
+	fused := make(map[string]bool, len(g.sched.FusedScratch))
+	for _, id := range g.sched.FusedScratch {
+		fused[scratchName(id)] = true
+	}
+	want := make(map[string]bool)
+	for pp, nodes := range passNodes {
+		if p >= 0 && pp != p {
+			continue
+		}
+		for _, n := range nodes {
+			if n.Info().Class != dataflow.ClassStencil {
+				continue
+			}
+			field := g.byID[n.Inputs[0]]
+			name := field.ID
+			if field.Filter != "source" {
+				name = scratchName(field.ID)
+			}
+			want[name] = true
+		}
+	}
+	var out []passes.StagedField
+	for _, st := range g.sched.Staged {
+		if want[st.Field] && !fused[st.Field] {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// schedStmts renders one pass's statements under the schedule. gidExpr
+// is the linear element index expression ("gid", or "hgid" inside the
+// temporal recompute loop); vec widens the body to the vector type.
+func (g *generator) schedStmts(ctx *schedCtx, p int, nodes []*dataflow.Node, gidExpr string, vec bool) []string {
+	s := g.sched
+	inTemporalLoop := s.Temporal && p == 0
+	scalarType := "float"
+	if vec {
+		scalarType = cTypeFor(s.Spec.Vector)
+	}
+
+	operand := func(id string) string {
+		n := g.byID[id]
+		switch {
+		case n.Filter == "const":
+			return cFloat(n.Value)
+		case n.Filter == "source":
+			if vec {
+				return "v_" + id
+			}
+			return id + "[" + gidExpr + "]"
+		case g.pass[id] < p:
+			if ctx.fusedNode[id] {
+				// Temporally fused: read the center plane of the local
+				// scratch instead of a global array.
+				return fmt.Sprintf("l_%s[DFG_LTILE + lidx]", scratchName(id))
+			}
+			return scratchName(id) + "[" + gidExpr + "]"
+		default:
+			return fmt.Sprintf("r%d", g.reg[id])
+		}
+	}
+
+	var stmts []string
+	for _, n := range nodes {
+		if n.Filter == "source" || n.Filter == "const" {
+			continue
+		}
+		r := g.reg[n.ID]
+		switch n.Filter {
+		case "grad3d", "grad3dx", "grad3dy", "grad3dz":
+			field := g.byID[n.Inputs[0]]
+			fieldArg := field.ID
+			if field.Filter != "source" {
+				fieldArg = scratchName(field.ID)
+			}
+			axis, isAxis := kernels.GradAxisOf(n.Filter)
+			coord := ""
+			if isAxis {
+				coord = n.Inputs[2+axis]
+			}
+			switch {
+			case ctx.fusedNode[field.ID] && !inTemporalLoop:
+				// Stencil over temporally recomputed local scratch.
+				if isAxis {
+					ctx.needsAxisL = true
+					stmts = append(stmts, fmt.Sprintf("float r%d = dfg_grad3d_axis_tloc(l_%s, %s, %s, %s, lidx, %d);",
+						r, fieldArg, n.Inputs[1], coord, gidExpr, axis))
+				} else {
+					ctx.needsTloc = true
+					stmts = append(stmts, fmt.Sprintf("float4 r%d = dfg_grad3d_tloc(l_%s, %s, %s, %s, %s, %s, lidx);",
+						r, fieldArg, n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4], gidExpr))
+				}
+			case ctx.staged[fieldArg] && !inTemporalLoop:
+				// Stencil over a tile staged from global memory.
+				if isAxis {
+					ctx.needsAxisT = true
+					stmts = append(stmts, fmt.Sprintf("float r%d = dfg_grad3d_axis_tile(l_%s, %s, %s, %s, %s, lidx, %d);",
+						r, fieldArg, fieldArg, n.Inputs[1], coord, gidExpr, axis))
+				} else {
+					ctx.needsTile = true
+					stmts = append(stmts, fmt.Sprintf("float4 r%d = dfg_grad3d_tile(l_%s, %s, %s, %s, %s, %s, %s, lidx);",
+						r, fieldArg, fieldArg, n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4], gidExpr))
+				}
+			default:
+				// Flat global stencil (inside the temporal recompute
+				// loop the staged tile does not cover the halo planes).
+				if isAxis {
+					ctx.needsAxisF = true
+					stmts = append(stmts, fmt.Sprintf("float r%d = dfg_grad3d_axis(%s, %s, %s, %s, %d);",
+						r, fieldArg, n.Inputs[1], coord, gidExpr, axis))
+				} else {
+					ctx.needsFlat = true
+					stmts = append(stmts, fmt.Sprintf("float4 r%d = dfg_grad3d(%s, %s, %s, %s, %s, %s);",
+						r, fieldArg, n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4], gidExpr))
+				}
+			}
+		case "decompose":
+			stmts = append(stmts, fmt.Sprintf("float r%d = %s.s%d;", r, operand(n.Inputs[0]), n.Comp))
+		case "norm":
+			in := operand(n.Inputs[0])
+			stmts = append(stmts, fmt.Sprintf("float r%d = sqrt(%[2]s.s0*%[2]s.s0 + %[2]s.s1*%[2]s.s1 + %[2]s.s2*%[2]s.s2);", r, in))
+		default:
+			tmpl, ok := kernels.ExprTemplate(n.Filter)
+			if !ok {
+				stmts = append(stmts, fmt.Sprintf("/* no fusion rule for %s */", n.Filter))
+				continue
+			}
+			exprs := make([]any, 0, len(n.Inputs))
+			for _, in := range n.Inputs {
+				exprs = append(exprs, operand(in))
+			}
+			stmts = append(stmts, fmt.Sprintf("%s r%d = %s;", scalarType, r, fmt.Sprintf(tmpl, exprs...)))
+		}
+
+		if g.materialize[n.ID] {
+			label := scratchName(n.ID)
+			if ctx.fusedNode[n.ID] {
+				stmts = append(stmts, fmt.Sprintf("l_%s[t] = r%d;", label, r))
+			} else {
+				stmts = append(stmts, fmt.Sprintf("%s[%s] = r%d;", label, gidExpr, r))
+			}
+		}
+	}
+
+	if p == g.numPasses-1 {
+		for i, root := range g.roots {
+			expr := operand(root.ID)
+			if vec {
+				stmts = append(stmts, fmt.Sprintf("vstore%d(%s, %s, %s);", s.Spec.Vector, expr, gidExpr, g.outName(i)))
+			} else {
+				stmts = append(stmts, fmt.Sprintf("%s[%s] = %s;", g.outName(i), gidExpr, expr))
+			}
+		}
+	}
+	return stmts
+}

@@ -58,10 +58,6 @@ func (c cse) Name() string {
 	return "cse"
 }
 
-// commutative lists the primitives whose results are bitwise identical
-// under argument swap for every input, including NaNs and signed zeros.
-var commutative = map[string]bool{"add": true, "mul": true, "eq": true, "ne": true}
-
 func (c cse) Run(nw *dataflow.Network, st *Stats) error {
 	canon := make(map[string]string, nw.Len())
 	remap := make(map[string]string)
@@ -75,13 +71,7 @@ func (c cse) Run(nw *dataflow.Network, st *Stats) error {
 				n.Inputs[i] = r
 			}
 		}
-		key := n.Key()
-		if n.Filter == "source" {
-			// Sources are identified by name, never merged across names.
-			key = "source:" + n.ID
-		} else if c.commute && commutative[n.Filter] && len(n.Inputs) == 2 && n.Inputs[1] < n.Inputs[0] {
-			key = n.Filter + "|" + n.Inputs[1] + "|" + n.Inputs[0]
-		}
+		key := CanonicalKey(n, c.commute)
 		if id, ok := canon[key]; ok {
 			remap[n.ID] = id
 			dead = append(dead, n.ID)

@@ -65,22 +65,21 @@ func ForLevel(l Level) *Pipeline {
 // Paper reproduces the paper's front end exactly: constant pooling then
 // the order-sensitive CSE, nothing else. Networks it produces are
 // byte-identical (in JSON form) to the historical expr.Compile output.
-var Paper = New("paper", ConstPool(), CSE())
+var Paper = New("paper", ElimPasses(LevelPaper)...)
 
-// O2 is the full optimising pipeline. ConstPool+CSE first (canonical
-// form), then folding and identity rewrites, a commutativity-aware CSE
-// round to merge what normalisation exposed, decompose-forwarding of
-// gradients into single-axis stencils, and finally dead-node
-// elimination to drop everything orphaned by the rewrites.
-var O2 = New("O2",
-	ConstPool(),
-	CSE(),
+// O2 is the full optimising pipeline. The shared canonicalisation front
+// (ConstPool+CSE) first, then folding and identity rewrites, a
+// commutativity-aware CSE round to merge what normalisation exposed,
+// decompose-forwarding of gradients into single-axis stencils, and
+// finally dead-node elimination to drop everything orphaned by the
+// rewrites.
+var O2 = New("O2", append(ElimPasses(LevelPaper),
 	ConstFold(),
 	Algebraic(),
 	CSECommute(),
 	ForwardDecompose(),
 	DCE(),
-)
+)...)
 
 // Names lists every distinct pass name across the predefined pipelines,
 // in pipeline order — the label set for per-pass metrics.

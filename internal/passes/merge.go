@@ -98,10 +98,7 @@ func MergeNetworks(members []MergeMember, lvl Level, opt RunOptions) (*Merged, e
 		return nil, err
 	}
 
-	pipe := mergePaper
-	if lvl == LevelO2 {
-		pipe = mergeO2
-	}
+	pipe := mergePipeline(lvl)
 	res, err := pipe.RunWith(nw, opt)
 	if err != nil {
 		return nil, err
@@ -120,13 +117,22 @@ func MergeNetworks(members []MergeMember, lvl Level, opt RunOptions) (*Merged, e
 	return &Merged{Net: nw, Fps: fps, Roots: roots, Shared: res.NodesRemoved()}, nil
 }
 
-// mergePaper and mergeO2 are the cross-expression pipelines. Members
+// mergePaper and mergeO2 are the cross-expression pipelines, built from
+// the exact same ElimPasses list the solo pipelines canonicalise with —
+// a node that unifies solo unifies identically in a batch. Members
 // arrive individually optimised, so any node these eliminate was
 // duplicated across members — exactly what Merged.Shared reports.
 var (
-	mergePaper = New("merge", ConstPool(), CSE())
-	mergeO2    = New("merge-O2", ConstPool(), CSE(), CSECommute())
+	mergePaper = New("merge", ElimPasses(LevelPaper)...)
+	mergeO2    = New("merge-O2", ElimPasses(LevelO2)...)
 )
+
+func mergePipeline(lvl Level) *Pipeline {
+	if lvl == LevelO2 {
+		return mergeO2
+	}
+	return mergePaper
+}
 
 // cloneInto copies src's live nodes (in topological order) into dst
 // through the builder API, unifying sources by name, and returns the ID

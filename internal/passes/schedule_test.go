@@ -1,0 +1,274 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"dfg/internal/dataflow"
+)
+
+func TestScheduleSpecParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical String() form
+	}{
+		{"", "flat"},
+		{"flat", "flat"},
+		{"tiled", "tile=16x16,reg=2,vec=4,temporal"},
+		{"tile=8x8", "tile=8x8"},
+		{"tile=16x16,reg=2,vec=4", "tile=16x16,reg=2,vec=4"},
+		{"tile=16x16,temporal", "tile=16x16,temporal"},
+		{"vec=4", "vec=4"},
+		{"reg=4", "reg=4"},
+		{"tiled,notemporal", "tile=16x16,reg=2,vec=4"},
+		{"vec=4,reg=2", "reg=2,vec=4"}, // canonical term order
+	}
+	for _, c := range cases {
+		spec, err := ParseScheduleSpec(c.in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.in, err)
+		}
+		if got := spec.String(); got != c.want {
+			t.Errorf("parse %q -> %q want %q", c.in, got, c.want)
+		}
+		// Canonical form parses back to the identical spec.
+		back, err := ParseScheduleSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if back != spec {
+			t.Errorf("round trip %q -> %+v -> %+v", c.in, spec, back)
+		}
+		if spec.CacheTag() != spec.String() {
+			t.Errorf("CacheTag must be the canonical string for %q", c.in)
+		}
+	}
+}
+
+func TestScheduleSpecParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"tile=16",       // missing second extent
+		"tile=2x2",      // below minimum
+		"tile=128x128",  // above maximum
+		"vec=3",         // not a vector width
+		"reg=99",        // out of range
+		"temporal",      // temporal without tiling
+		"vec=4,bogus=1", // unknown term
+		"tile=axb",      // non-numeric
+	} {
+		if _, err := ParseScheduleSpec(bad); err == nil {
+			t.Errorf("ParseScheduleSpec(%q) must fail", bad)
+		}
+	}
+}
+
+func TestScheduleSpecFlatness(t *testing.T) {
+	if !(ScheduleSpec{}).IsFlat() {
+		t.Fatal("zero spec must be flat")
+	}
+	if (ScheduleSpec{Register: 1, Vector: 1}).IsFlat() == false {
+		t.Fatal("reg=1,vec=1 are no-ops and must count as flat")
+	}
+	if DefaultSchedule().IsFlat() {
+		t.Fatal("default schedule is not flat")
+	}
+}
+
+// stencilNet builds out = norm(grad3d(f)) — a single-pass stencil
+// network with f a source.
+func stencilNet(t *testing.T) *dataflow.Network {
+	t.Helper()
+	nw := dataflow.NewNetwork()
+	for _, s := range []string{"f", "dims", "x", "y", "z"} {
+		nw.AddSource(s)
+	}
+	g, err := nw.AddFilter("grad3d", "f", "dims", "x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nw.AddFilter("norm", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetOutput(n); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// twoPassNet builds out = norm(grad3d(f*f)) — the stencil consumes a
+// computed value, forcing materialization and a pass split.
+func twoPassNet(t *testing.T) *dataflow.Network {
+	t.Helper()
+	nw := dataflow.NewNetwork()
+	for _, s := range []string{"f", "dims", "x", "y", "z"} {
+		nw.AddSource(s)
+	}
+	sq, err := nw.AddFilter("mul", "f", "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nw.AddFilter("grad3d", sq, "dims", "x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := nw.AddFilter("norm", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetOutput(n); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// elementwiseNet builds out = sqrt(u*u + v*v) — no stencils at all.
+func elementwiseNet(t *testing.T) *dataflow.Network {
+	t.Helper()
+	nw := dataflow.NewNetwork()
+	nw.AddSource("u")
+	nw.AddSource("v")
+	uu, _ := nw.AddFilter("mul", "u", "u")
+	vv, _ := nw.AddFilter("mul", "v", "v")
+	s, _ := nw.AddFilter("add", uu, vv)
+	r, _ := nw.AddFilter("sqrt", s)
+	if err := nw.SetOutput(r); err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestComputeScheduleFlatIsNil(t *testing.T) {
+	sched, err := ComputeSchedule(stencilNet(t), ScheduleSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched != nil {
+		t.Fatal("flat spec must lower to a nil schedule")
+	}
+}
+
+func TestComputeScheduleStagesStencilFields(t *testing.T) {
+	nw := stencilNet(t)
+	sched, err := ComputeSchedule(nw, ScheduleSpec{TileX: 16, TileY: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Passes != 1 {
+		t.Fatalf("single-pass net, got %d passes", sched.Passes)
+	}
+	if len(sched.Staged) != 1 || sched.Staged[0].Field != "f" {
+		t.Fatalf("grad3d field f must be staged, got %+v", sched.Staged)
+	}
+	if sched.Staged[0].Local != "l_f" || sched.Staged[0].Stencils != 1 {
+		t.Fatalf("staged entry = %+v", sched.Staged[0])
+	}
+	if sched.Temporal || len(sched.FusedScratch) != 0 {
+		t.Fatal("single-pass net cannot be temporally blocked")
+	}
+	if err := sched.Verify(nw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeScheduleVectorizesElementwise(t *testing.T) {
+	nw := elementwiseNet(t)
+	sched, err := ComputeSchedule(nw, ScheduleSpec{Vector: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.VectorLoads) != 2 {
+		t.Fatalf("want vload of u and v, got %v", sched.VectorLoads)
+	}
+	if sched.VectorStage {
+		t.Fatal("whole-net vectorization must not also request staged copies")
+	}
+	if err := sched.Verify(nw); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeScheduleStencilDegradesToVectorStage(t *testing.T) {
+	// A stencil network cannot vectorize its whole body (grad3d is not
+	// elementwise): with a tile the vector width degrades to the staging
+	// copies, without one it is dropped.
+	nw := stencilNet(t)
+	tiled, err := ComputeSchedule(nw, ScheduleSpec{TileX: 16, TileY: 16, Vector: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiled.VectorLoads) != 0 || !tiled.VectorStage {
+		t.Fatalf("tiled stencil net must degrade vec to staging: %+v", tiled)
+	}
+	bare, err := ComputeSchedule(nw, ScheduleSpec{Vector: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare.VectorLoads) != 0 || bare.VectorStage {
+		t.Fatalf("untiled stencil net has nothing to vectorize: %+v", bare)
+	}
+}
+
+func TestComputeScheduleTemporal(t *testing.T) {
+	nw := twoPassNet(t)
+	sched, err := ComputeSchedule(nw, DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Passes != 2 {
+		t.Fatalf("stencil-on-computed forces 2 passes, got %d", sched.Passes)
+	}
+	if !sched.Temporal || len(sched.FusedScratch) != 1 {
+		t.Fatalf("temporal blocking must fuse the materialized intermediate: %+v", sched)
+	}
+	if err := sched.Verify(nw); err != nil {
+		t.Fatal(err)
+	}
+	// Temporal on a single-pass net silently degrades (nothing to fuse).
+	one, err := ComputeSchedule(stencilNet(t), DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Temporal {
+		t.Fatal("single-pass net must not claim temporal blocking")
+	}
+}
+
+func TestScheduleVerifyCatchesMismatch(t *testing.T) {
+	nw := stencilNet(t)
+	sched, err := ComputeSchedule(nw, ScheduleSpec{TileX: 16, TileY: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A schedule computed for one network must not verify against a
+	// different one.
+	if err := sched.Verify(elementwiseNet(t)); err == nil {
+		t.Fatal("Verify must reject a schedule for a different network")
+	}
+	// Corrupt the annotations and expect rejection.
+	bad := *sched
+	bad.Staged = append([]StagedField(nil), sched.Staged...)
+	bad.Staged[0].Local = "wrong"
+	if err := bad.Verify(nw); err == nil {
+		t.Fatal("Verify must reject a bad local name")
+	}
+}
+
+func TestComputeScheduleRejectsInvalidSpec(t *testing.T) {
+	if _, err := ComputeSchedule(stencilNet(t), ScheduleSpec{TileX: 16}); err == nil {
+		t.Fatal("lopsided tile must be rejected")
+	}
+}
+
+func TestScheduleDescribe(t *testing.T) {
+	sched, err := ComputeSchedule(twoPassNet(t), DefaultSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sched.Describe()
+	for _, frag := range []string{"schedule tile=16x16,reg=2,vec=4,temporal", "stage ", "temporal:"} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("Describe missing %q:\n%s", frag, d)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dfg"
+)
+
+// TestPoolScheduleConfig: a pool-level schedule runs every request on
+// the scheduled fusion kernels, bitwise identical to a flat pool.
+func TestPoolScheduleConfig(t *testing.T) {
+	const n = 128
+	in := testInputs(n)
+	flat := newTestPool(t, Config{Workers: 2})
+	sched := newTestPool(t, Config{Workers: 2, Schedule: "tile=16x16,reg=2,vec=4"})
+
+	req := Request{Expr: dfg.VelocityMagnitudeExpr, N: n, Inputs: in}
+	fres, err := flat.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sched.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fres.Data {
+		if math.Float32bits(fres.Data[i]) != math.Float32bits(sres.Data[i]) {
+			t.Fatalf("scheduled pool diverges at %d: %v vs %v", i, sres.Data[i], fres.Data[i])
+		}
+	}
+}
+
+// TestPoolScheduleConfigRejected: bad specs and non-fusion strategies
+// fail at pool construction, not at first request.
+func TestPoolScheduleConfigRejected(t *testing.T) {
+	if _, err := NewPool(Config{Workers: 1, Schedule: "tile=3x3"}); err == nil {
+		t.Fatal("out-of-range tile must fail NewPool")
+	}
+	if _, err := NewPool(Config{Workers: 1, Strategy: "vm", Schedule: "tiled"}); err == nil {
+		t.Fatal("schedule on a non-fusion pool must fail NewPool")
+	}
+}
+
+// TestPoolScheduleRequestOverride: per-request Schedule routes to a
+// derived scheduled engine (and "flat" opts out of a pool schedule),
+// with bitwise-identical results either way.
+func TestPoolScheduleRequestOverride(t *testing.T) {
+	const n = 96
+	in := testInputs(n)
+	p := newTestPool(t, Config{Workers: 1})
+
+	base, err := p.Submit(context.Background(), Request{Expr: dfg.VelocityMagnitudeExpr, N: n, Inputs: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := p.Submit(context.Background(), Request{
+		Expr: dfg.VelocityMagnitudeExpr, N: n, Inputs: in, Schedule: "vec=4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Data {
+		if math.Float32bits(base.Data[i]) != math.Float32bits(over.Data[i]) {
+			t.Fatalf("schedule override diverges at %d", i)
+		}
+	}
+
+	// Overriding on a scheduled pool: "flat" drops back to the paper kernel.
+	sp := newTestPool(t, Config{Workers: 1, Schedule: "tiled"})
+	fres, err := sp.Submit(context.Background(), Request{
+		Expr: dfg.VelocityMagnitudeExpr, N: n, Inputs: in, Schedule: "flat",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Data {
+		if math.Float32bits(base.Data[i]) != math.Float32bits(fres.Data[i]) {
+			t.Fatalf("flat override diverges at %d", i)
+		}
+	}
+
+	// A bad per-request spec surfaces as a request error, not a hang.
+	if _, err := p.Submit(context.Background(), Request{
+		Expr: dfg.VelocityMagnitudeExpr, N: n, Inputs: in, Schedule: "vec=3",
+	}); err == nil {
+		t.Fatal("bad request schedule must error")
+	}
+}

@@ -82,6 +82,13 @@ type Config struct {
 	// requests below it run on the host bytecode VM, at or above on the
 	// device. 0 means strategy.DefaultVMThreshold; ignored otherwise.
 	VMThreshold int
+	// Schedule selects a schedule transformation for the fusion
+	// strategy's generated kernels (a spec like "tile=16x16,reg=2,vec=4"
+	// or the shorthands "tiled"/"flat"), exactly as dfg.Config.Schedule
+	// does. Requires Strategy "" or "fusion". NewPool canonicalises and
+	// validates it; schedule-tagged plans occupy their own slots in the
+	// shared cache.
+	Schedule string
 	// Opt is the optimisation level worker engines compile at: "paper"
 	// or "O2". Default "O2" — a service cares about launching fewer
 	// kernels, not about reproducing the paper's exact event counts;
@@ -185,6 +192,13 @@ type Request struct {
 	// "tiered@N". Each strategy's plans occupy their own slots in the
 	// shared cache, so overrides never evict the pool default's plans.
 	Strategy string
+	// Schedule, if non-empty, overrides the pool's kernel schedule for
+	// this request ("tile=16x16,reg=2,vec=4", "tiled", "flat", ...).
+	// The effective strategy must be fusion. Schedule-tagged plans
+	// occupy their own cache slots, so a scheduled request never aliases
+	// the flat kernel's plan — and "flat" opts a request out of a
+	// pool-level schedule.
+	Schedule string
 }
 
 // Response is the outcome of one request.
@@ -317,6 +331,20 @@ func NewPool(cfg Config) (*Pool, error) {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 16
 	}
+	// Canonicalise the pool schedule up front: a bad spec (or a schedule
+	// on a non-fusion strategy) fails here, before any worker starts.
+	spec, err := passes.ParseScheduleSpec(cfg.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if !spec.IsFlat() && cfg.Strategy != "" && cfg.Strategy != "fusion" {
+		return nil, fmt.Errorf("serve: schedule %q requires the fusion strategy, not %q", cfg.Schedule, cfg.Strategy)
+	}
+	if spec.IsFlat() {
+		cfg.Schedule = ""
+	} else {
+		cfg.Schedule = spec.CacheTag()
+	}
 	comp := compile.NewCompiler()
 	if cfg.MaxCacheEntries > 0 {
 		comp.SetMaxEntries(cfg.MaxCacheEntries)
@@ -417,10 +445,15 @@ func (p *Pool) newEngine(worker int) (*dfg.Engine, error) {
 }
 
 // strategyName resolves the pool's configured strategy name, folding a
-// non-zero VMThreshold into the "tiered@N" variant (as dfg.New does).
+// non-zero VMThreshold into the "tiered@N" variant (as dfg.New does)
+// and a configured schedule into the "fusion+<spec>" variant. NewPool
+// already validated and canonicalised the schedule.
 func (p *Pool) strategyName() string {
 	if p.cfg.Strategy == "tiered" && p.cfg.VMThreshold > 0 {
 		return fmt.Sprintf("tiered@%d", p.cfg.VMThreshold)
+	}
+	if p.cfg.Schedule != "" {
+		return "fusion+" + p.cfg.Schedule
 	}
 	return p.cfg.Strategy
 }
@@ -971,15 +1004,15 @@ func (p *Pool) runShielded(ws *workerState, root *obs.Span, qwait time.Duration,
 	return evalPrepared(j.ctx, ws, root, qwait, j.req)
 }
 
-// resolveVariant routes a request overriding Opt or Strategy to the
-// worker's derived engine for that (level, strategy) pair, memoized in
-// byVariant. Derived views share the worker's device environment and
+// resolveVariant routes a request overriding Opt, Strategy or Schedule
+// to the worker's derived engine for that (level, strategy, schedule)
+// triple, memoized in byVariant. Derived views share the worker's device environment and
 // arena, preserving the single-goroutine discipline — only this worker
 // touches any of them.
 func resolveVariant(ws *workerState, req Request) (*dfg.Engine, string, error) {
-	variant := req.Opt + "|" + req.Strategy
+	variant := req.Opt + "|" + req.Strategy + "|" + req.Schedule
 	eng := ws.eng
-	if variant != "|" {
+	if variant != "||" {
 		if cached, ok := ws.byVariant[variant]; ok {
 			eng = cached
 		} else {
@@ -992,6 +1025,11 @@ func resolveVariant(ws *workerState, req Request) (*dfg.Engine, string, error) {
 			}
 			if d, err = d.WithStrategy(req.Strategy); err != nil {
 				return nil, "", err
+			}
+			if req.Schedule != "" {
+				if d, err = d.WithSchedule(req.Schedule); err != nil {
+					return nil, "", err
+				}
 			}
 			ws.byVariant[variant] = d
 			eng = d
@@ -1352,7 +1390,7 @@ type formingBatch struct {
 }
 
 // batchKey groups requests that may merge into one batch: same element
-// count, same Opt/Strategy variant, and the same input binding — name
+// count, same Opt/Strategy/Schedule variant, and the same input binding — name
 // for name, the same backing arrays (identity, not content: %v of a
 // slice's address and length). A merged super-network executes against
 // one binding, so requests carrying different input sets never merge.
@@ -1363,7 +1401,7 @@ func batchKey(req Request) string {
 	}
 	sort.Strings(names)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%s|%s", req.N, req.Opt, req.Strategy)
+	fmt.Fprintf(&b, "%d|%s|%s|%s", req.N, req.Opt, req.Strategy, req.Schedule)
 	for _, name := range names {
 		s := req.Inputs[name]
 		fmt.Fprintf(&b, "|%s@%p+%d", name, s, len(s))

@@ -9,6 +9,7 @@ import (
 	"dfg/internal/expr"
 	"dfg/internal/mesh"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 	"dfg/internal/rtsim"
 	"dfg/internal/vortex"
 )
@@ -242,11 +243,11 @@ func TestFusionProgramCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, err := fusionProgram(net)
+	p1, err := fusionProgram(net, passes.ScheduleSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := fusionProgram(net)
+	p2, err := fusionProgram(net, passes.ScheduleSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestFusionProgramCache(t *testing.T) {
 	}
 	// A different network gets its own program.
 	net2, _ := expr.Compile(vortex.VelMagExpr)
-	p3, err := fusionProgram(net2)
+	p3, err := fusionProgram(net2, passes.ScheduleSpec{})
 	if err != nil {
 		t.Fatal(err)
 	}

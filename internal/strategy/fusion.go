@@ -7,25 +7,44 @@ import (
 	"dfg/internal/codegen"
 	"dfg/internal/dataflow"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 )
 
-// progCache memoizes generated programs per network, so pipelines that
-// re-execute the same expression every time step (the host-application
-// pattern) pay for kernel generation once. Networks must not be mutated
-// after their first execution — the expression front end never does.
-var progCache sync.Map // *dataflow.Network -> *codegen.Program
+// progCache memoizes generated programs per (network, schedule), so
+// pipelines that re-execute the same expression every time step (the
+// host-application pattern) pay for kernel generation once per schedule
+// variant. Networks must not be mutated after their first execution —
+// the expression front end never does.
+var progCache sync.Map // progKey -> *codegen.Program
 
-// fusionProgram returns the network's fused program, generating it on
-// first use.
-func fusionProgram(net *dataflow.Network) (*codegen.Program, error) {
-	if p, ok := progCache.Load(net); ok {
+type progKey struct {
+	net *dataflow.Network
+	tag string // canonical ScheduleSpec string; "flat" for the flat body
+}
+
+// fusionProgram returns the network's fused program under the given
+// schedule, generating it on first use.
+func fusionProgram(net *dataflow.Network, spec passes.ScheduleSpec) (*codegen.Program, error) {
+	key := progKey{net: net, tag: spec.String()}
+	if p, ok := progCache.Load(key); ok {
 		return p.(*codegen.Program), nil
 	}
-	prog, err := codegen.Fuse(net, "expr")
+	var (
+		prog *codegen.Program
+		err  error
+	)
+	if spec.IsFlat() {
+		prog, err = codegen.Fuse(net, "expr")
+	} else {
+		var sched *passes.Schedule
+		if sched, err = passes.ComputeSchedule(net, spec); err == nil {
+			prog, err = codegen.FuseScheduled(net, "expr", sched)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	actual, _ := progCache.LoadOrStore(net, prog)
+	actual, _ := progCache.LoadOrStore(key, prog)
 	return actual.(*codegen.Program), nil
 }
 
@@ -46,10 +65,29 @@ func fusionProgram(net *dataflow.Network) (*codegen.Program, error) {
 // With a buffer arena attached, warm executions of an unchanged source
 // set reduce to the kernel dispatch and the one download: sources stay
 // device-resident and the output/scratch buffers recycle from the pool.
-type Fusion struct{}
+//
+// Sched selects a schedule transformation for the generated kernel
+// (tiling with local-memory staging, register blocking, vectorized
+// loads, temporal blocking). The zero spec keeps the flat paper kernel;
+// every scheduled variant is bitwise identical to it — only the emitted
+// source and the modeled memory traffic change.
+type Fusion struct {
+	Sched passes.ScheduleSpec
+}
 
 // Name returns "fusion".
 func (Fusion) Name() string { return "fusion" }
+
+// PlanVariant distinguishes scheduled fusion variants in plan-cache
+// keys: the flat schedule keeps the bare strategy name (so existing
+// cache keys are unchanged), every other spec appends its canonical
+// tag. Same fingerprint + different schedule therefore never alias.
+func (s Fusion) PlanVariant() string {
+	if s.Sched.IsFlat() {
+		return "fusion"
+	}
+	return "fusion+" + s.Sched.CacheTag()
+}
 
 // fusionPlan holds the fused program — kernel generation is the
 // planning step.
@@ -59,12 +97,12 @@ type fusionPlan struct {
 }
 
 // Plan generates (or reuses) the network's fused kernel program.
-func (Fusion) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
+func (s Fusion) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
 	base, err := newPlanBase("fusion", net)
 	if err != nil {
 		return nil, err
 	}
-	prog, err := fusionProgram(net)
+	prog, err := fusionProgram(net, s.Sched)
 	if err != nil {
 		return nil, err
 	}
@@ -141,6 +179,24 @@ func (p *fusionPlan) Execute(env *ocl.Env, bind Bindings) (*Result, error) {
 // without executing it — the inspection hook behind cmd/dfg-fuse.
 func GeneratedSource(net *dataflow.Network, name string) (string, error) {
 	prog, err := codegen.Fuse(net, name)
+	if err != nil {
+		return "", err
+	}
+	return prog.Source, nil
+}
+
+// GeneratedSourceScheduled is GeneratedSource for a scheduled variant:
+// it lowers the spec against the network and emits the tiled /
+// vectorized / temporally blocked source (dfg-fuse -schedule).
+func GeneratedSourceScheduled(net *dataflow.Network, name string, spec passes.ScheduleSpec) (string, error) {
+	if spec.IsFlat() {
+		return GeneratedSource(net, name)
+	}
+	sched, err := passes.ComputeSchedule(net, spec)
+	if err != nil {
+		return "", err
+	}
+	prog, err := codegen.FuseScheduled(net, name, sched)
 	if err != nil {
 		return "", err
 	}

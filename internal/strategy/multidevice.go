@@ -7,6 +7,7 @@ import (
 	"dfg/internal/codegen"
 	"dfg/internal/dataflow"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 )
 
 // ExecuteMultiDevice is the other strategy the paper's future-work
@@ -41,7 +42,7 @@ func PlanMultiDevice(net *dataflow.Network) (*MultiPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := fusionProgram(net)
+	prog, err := fusionProgram(net, passes.ScheduleSpec{})
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"dfg/internal/dataflow"
 	"dfg/internal/kernels"
 	"dfg/internal/ocl"
+	"dfg/internal/passes"
 )
 
 // Streaming is the execution strategy the paper's future-work section
@@ -59,7 +60,7 @@ func (s Streaming) Plan(net *dataflow.Network, _ *ocl.Device) (Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := fusionProgram(net)
+	prog, err := fusionProgram(net, passes.ScheduleSpec{})
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,16 @@ w_7 = 0.5 * (dw[1] - dv[2])
 s_norm = du[0]*du[0] + s_1*s_1 + s_2*s_2 + s_3*s_3 + dv[1]*dv[1] + s_5*s_5 + s_6*s_6 + s_7*s_7 + dw[2]*dw[2]
 w_norm = w_1*w_1 + w_2*w_2 + w_3*w_3 + w_5*w_5 + w_6*w_6 + w_7*w_7
 q = 0.5 * (w_norm - s_norm)`
+
+	// GradMagExpr is not a paper figure: the gradient magnitude of the
+	// velocity magnitude. Its stencil consumes a computed field, so it is
+	// the canonical expression exercising the fusion generator's
+	// materialization pass split (Figure 2's fusion scratch array) and —
+	// under a temporal schedule — the pass-fusing transformation that
+	// deletes that scratch round-trip.
+	GradMagExpr = `m = sqrt(u*u + v*v + w*w)
+g = grad3d(m, dims, x, y, z)
+r = norm(g)`
 )
 
 // Expressions maps the paper's short names (Table II) to the expression
